@@ -1,0 +1,46 @@
+//! Figure 10: multiprogrammed SPEC mixes — weighted runtime and fairness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric::experiments::{common::execute_mix, fig10, ExperimentParams};
+use hatric::{CoherenceMechanism, MemoryMode, SpecMix};
+use hatric_bench::{kernel_params, mix_count, skip_tables};
+
+fn figure_params_fig10() -> ExperimentParams {
+    // Mixes run 16 apps each; keep traces a little shorter than the other
+    // figures so the full sweep stays fast.
+    ExperimentParams {
+        vcpus: 16,
+        fast_pages: 1_024,
+        warmup: 1_000,
+        measured: 1_500,
+        seed: hatric::DEFAULT_SEED,
+    }
+}
+
+fn regenerate_figure() {
+    if skip_tables() {
+        return;
+    }
+    let rows = fig10::run(&figure_params_fig10(), mix_count());
+    println!("\n{}", fig10::format_table(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    let mix = SpecMix::generate(1, hatric::DEFAULT_SEED).remove(0);
+    for (label, mechanism) in [
+        ("software", CoherenceMechanism::Software),
+        ("hatric", CoherenceMechanism::Hatric),
+    ] {
+        let mix = mix.clone();
+        group.bench_function(format!("one_mix_{label}"), move |b| {
+            b.iter(|| execute_mix(&mix, mechanism, MemoryMode::Paged, &kernel_params()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

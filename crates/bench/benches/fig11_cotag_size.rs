@@ -1,0 +1,35 @@
+//! Figure 11 (right): co-tag width sweep (1 / 2 / 3 bytes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric::experiments::{common::execute, common::RunSpec, fig11};
+use hatric::{CoherenceMechanism, WorkloadKind};
+use hatric_bench::{figure_params, kernel_params, skip_tables};
+
+fn regenerate_figure() {
+    if skip_tables() {
+        return;
+    }
+    let rows = fig11::run_cotag_sweep(&figure_params());
+    println!("\n{}", fig11::format_cotag(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("fig11_cotag");
+    group.sample_size(10);
+    for bytes in fig11::COTAG_SWEEP {
+        group.bench_function(format!("hatric_facesim_{bytes}byte_cotag"), |b| {
+            b.iter(|| {
+                execute(
+                    &RunSpec::new(WorkloadKind::Facesim, CoherenceMechanism::Hatric)
+                        .with_cotag_bytes(bytes),
+                    &kernel_params(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

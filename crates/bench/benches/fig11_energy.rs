@@ -1,0 +1,41 @@
+//! Figure 11 (left): performance-energy scatter of HATRIC vs the software
+//! baseline across big-memory and small-footprint workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric::experiments::{common::execute, common::RunSpec, fig11};
+use hatric::{CoherenceMechanism, WorkloadKind};
+use hatric_bench::{figure_params, kernel_params, skip_tables};
+
+fn regenerate_figure() {
+    if skip_tables() {
+        return;
+    }
+    let points = fig11::run_scatter(&figure_params());
+    println!("\n{}", fig11::format_scatter(&points));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("fig11_energy");
+    group.sample_size(10);
+    group.bench_function("hatric_small_footprint_kernel", |b| {
+        b.iter(|| {
+            execute(
+                &RunSpec::new(WorkloadKind::SmallFootprint, CoherenceMechanism::Hatric),
+                &kernel_params(),
+            )
+        })
+    });
+    group.bench_function("software_small_footprint_kernel", |b| {
+        b.iter(|| {
+            execute(
+                &RunSpec::new(WorkloadKind::SmallFootprint, CoherenceMechanism::Software),
+                &kernel_params(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 12: coherence-directory design ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric::experiments::{common::execute, common::RunSpec, fig12};
+use hatric::{CoherenceMechanism, DesignVariant, WorkloadKind};
+use hatric_bench::{figure_params, kernel_params, skip_tables};
+
+fn regenerate_figure() {
+    if skip_tables() {
+        return;
+    }
+    let rows = fig12::run(&figure_params());
+    println!("\n{}", fig12::format_table(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    for variant in DesignVariant::all() {
+        group.bench_function(format!("hatric_canneal_{}", variant.label().replace('-', "_")), |b| {
+            b.iter(|| {
+                execute(
+                    &RunSpec::new(WorkloadKind::Canneal, CoherenceMechanism::Hatric)
+                        .with_variant(variant),
+                    &kernel_params(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 13: HATRIC vs UNITD++ (performance and energy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric::experiments::{common::execute, common::RunSpec, fig13};
+use hatric::{CoherenceMechanism, WorkloadKind};
+use hatric_bench::{figure_params, kernel_params, skip_tables};
+
+fn regenerate_figure() {
+    if skip_tables() {
+        return;
+    }
+    let rows = fig13::run(&figure_params());
+    println!("\n{}", fig13::format_table(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    for (label, mechanism) in [
+        ("unitd_pp", CoherenceMechanism::UnitdPlusPlus),
+        ("hatric", CoherenceMechanism::Hatric),
+    ] {
+        group.bench_function(format!("{label}_data_caching_kernel"), |b| {
+            b.iter(|| {
+                execute(
+                    &RunSpec::new(WorkloadKind::DataCaching, mechanism),
+                    &kernel_params(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

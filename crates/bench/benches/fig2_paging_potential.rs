@@ -1,0 +1,40 @@
+//! Figure 2: die-stacked paging potential vs software translation coherence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric::experiments::{common::execute, common::RunSpec, fig2};
+use hatric::{CoherenceMechanism, WorkloadKind};
+use hatric_bench::{figure_params, kernel_params, skip_tables};
+
+fn regenerate_figure() {
+    if skip_tables() {
+        return;
+    }
+    let rows = fig2::run(&figure_params());
+    println!("\n{}", fig2::format_table(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("curr_best_data_caching_kernel", |b| {
+        b.iter(|| {
+            execute(
+                &RunSpec::new(WorkloadKind::DataCaching, CoherenceMechanism::Software),
+                &kernel_params(),
+            )
+        })
+    });
+    group.bench_function("achievable_data_caching_kernel", |b| {
+        b.iter(|| {
+            execute(
+                &RunSpec::new(WorkloadKind::DataCaching, CoherenceMechanism::Ideal),
+                &kernel_params(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 7: runtime vs vCPU count for sw / hatric / ideal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric::experiments::{common::execute, common::RunSpec, fig7};
+use hatric::{CoherenceMechanism, WorkloadKind};
+use hatric_bench::{figure_params, kernel_params, skip_tables};
+
+fn regenerate_figure() {
+    if skip_tables() {
+        return;
+    }
+    let rows = fig7::run(&figure_params());
+    println!("\n{}", fig7::format_table(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for vcpus in [2usize, 4usize] {
+        group.bench_function(format!("hatric_graph500_{vcpus}_vcpus"), |b| {
+            b.iter(|| {
+                execute(
+                    &RunSpec::new(WorkloadKind::Graph500, CoherenceMechanism::Hatric),
+                    &kernel_params().with_vcpus(vcpus),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

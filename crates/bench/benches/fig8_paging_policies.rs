@@ -1,0 +1,36 @@
+//! Figure 8: runtime vs KVM paging policy (lru / +migration daemon / +prefetch).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric::experiments::{common::execute, common::RunSpec, fig8};
+use hatric::{CoherenceMechanism, PagingKnobs, WorkloadKind};
+use hatric_bench::{figure_params, kernel_params, skip_tables};
+
+fn regenerate_figure() {
+    if skip_tables() {
+        return;
+    }
+    let rows = fig8::run(&figure_params());
+    println!("\n{}", fig8::format_table(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    let labels = fig8::policy_labels();
+    for (i, knobs) in PagingKnobs::fig8_sweep().into_iter().enumerate() {
+        group.bench_function(format!("hatric_tunkrank_{}", labels[i].replace('&', "and_")), |b| {
+            b.iter(|| {
+                execute(
+                    &RunSpec::new(WorkloadKind::Tunkrank, CoherenceMechanism::Hatric)
+                        .with_paging(knobs),
+                    &kernel_params(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 9: runtime vs translation-structure sizes (1x / 2x / 4x).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric::experiments::{common::execute, common::RunSpec, fig9};
+use hatric::{CoherenceMechanism, WorkloadKind};
+use hatric_bench::{figure_params, kernel_params, skip_tables};
+
+fn regenerate_figure() {
+    if skip_tables() {
+        return;
+    }
+    let rows = fig9::run(&figure_params());
+    println!("\n{}", fig9::format_table(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for scale in fig9::SCALE_SWEEP {
+        group.bench_function(format!("hatric_canneal_{scale}x_structures"), |b| {
+            b.iter(|| {
+                execute(
+                    &RunSpec::new(WorkloadKind::Canneal, CoherenceMechanism::Hatric)
+                        .with_structure_scale(scale),
+                    &kernel_params(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

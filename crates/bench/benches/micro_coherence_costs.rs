@@ -1,0 +1,103 @@
+//! Microbenchmarks of the structures on the translation-coherence critical
+//! path (the Sec. 3.2 anatomy): TLB fills and lookups, co-tag invalidation,
+//! full flushes, directory-mediated page-table writes, and the per-remap
+//! planning cost of each protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric_cache::{CacheHierarchy, CacheHierarchyConfig, PtKind};
+use hatric_coherence::{
+    CoherenceCosts, CoherenceMechanism, RemapContext,
+};
+use hatric_cache::SharerSet;
+use hatric_tlb::{StructureSizes, TranslationStructures};
+use hatric_types::{
+    AddressSpaceId, CacheLineAddr, CoTag, CpuId, GuestVirtPage, SystemFrame, SystemPhysAddr, VmId,
+};
+
+fn filled_structures() -> TranslationStructures {
+    let mut ts = TranslationStructures::new(&StructureSizes::haswell_like(), 2);
+    let vm = VmId::new(0);
+    let asid = AddressSpaceId::new(0);
+    for i in 0..512u64 {
+        ts.fill_data(
+            vm,
+            asid,
+            GuestVirtPage::new(i),
+            SystemFrame::new(i + 1),
+            SystemPhysAddr::new(0x10_0000 + i * 8),
+            None,
+        );
+    }
+    ts
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_structures");
+    group.bench_function("tlb_lookup_hit", |b| {
+        let mut ts = filled_structures();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            ts.lookup_data(VmId::new(0), AddressSpaceId::new(0), GuestVirtPage::new(i))
+        })
+    });
+    group.bench_function("cotag_selective_invalidation", |b| {
+        let mut ts = filled_structures();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 8) % 512;
+            ts.invalidate_cotag(CoTag::from_pte_addr(SystemPhysAddr::new(0x10_0000 + i * 8), 2))
+        })
+    });
+    group.bench_function("full_flush", |b| {
+        b.iter_batched(
+            filled_structures,
+            |mut ts| ts.flush_all(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_directory");
+    group.bench_function("pt_line_write_with_16_sharers", |b| {
+        let mut caches = CacheHierarchy::new(CacheHierarchyConfig::haswell_like(16));
+        let line = CacheLineAddr::new(0x40_0000);
+        for cpu in 0..16 {
+            caches.read(CpuId::new(cpu), line);
+        }
+        caches.mark_pt_line(line, PtKind::Nested);
+        b.iter(|| caches.write(CpuId::new(0), line))
+    });
+    group.finish();
+}
+
+fn bench_protocol_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_protocol");
+    let mut sharers = SharerSet::empty();
+    for cpu in 0..16 {
+        sharers.add(CpuId::new(cpu));
+    }
+    let ctx = RemapContext {
+        initiator: CpuId::new(0),
+        vm_cpus: (0..16).map(CpuId::new).collect(),
+        running_guest: (0..16).map(CpuId::new).collect(),
+        sharers,
+    };
+    for mechanism in [
+        CoherenceMechanism::Software,
+        CoherenceMechanism::Hatric,
+        CoherenceMechanism::UnitdPlusPlus,
+        CoherenceMechanism::Ideal,
+    ] {
+        let protocol = mechanism.build(CoherenceCosts::haswell_measured());
+        let label = format!("plan_remap_{mechanism:?}");
+        let ctx = ctx.clone();
+        group.bench_function(label, move |b| b.iter(|| protocol.plan_remap(&ctx)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_structures, bench_directory, bench_protocol_planning);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Section 6 Xen results: HATRIC's benefit on a Xen-like hypervisor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric::experiments::{common::execute, common::RunSpec, xen};
+use hatric::{CoherenceMechanism, HypervisorKind, WorkloadKind};
+use hatric_bench::{figure_params, kernel_params, skip_tables};
+
+fn regenerate_figure() {
+    if skip_tables() {
+        return;
+    }
+    let rows = xen::run(&figure_params());
+    println!("\n{}", xen::format_table(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("xen");
+    group.sample_size(10);
+    for (label, mechanism) in [
+        ("xen_software", CoherenceMechanism::SoftwareXen),
+        ("xen_hatric", CoherenceMechanism::Hatric),
+    ] {
+        group.bench_function(format!("{label}_canneal_kernel"), |b| {
+            b.iter(|| {
+                execute(
+                    &RunSpec::new(WorkloadKind::Canneal, mechanism)
+                        .with_hypervisor(HypervisorKind::Xen),
+                    &kernel_params(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! A set-associative private cache (tags + MESI state only).
+
+use serde::{Deserialize, Serialize};
+
+use hatric_types::consts::CACHE_LINE_BYTES;
+use hatric_types::{CacheLineAddr, RatioStat};
+
+use crate::line::MesiState;
+
+/// Geometry of a private cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivateCacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl PrivateCacheConfig {
+    /// 32 KiB, 8-way L1 data cache (paper Sec. 5.1).
+    #[must_use]
+    pub fn l1_default() -> Self {
+        Self {
+            capacity_bytes: 32 * 1024,
+            ways: 8,
+        }
+    }
+
+    /// 256 KiB, 8-way private L2 cache.
+    #[must_use]
+    pub fn l2_default() -> Self {
+        Self {
+            capacity_bytes: 256 * 1024,
+            ways: 8,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / CACHE_LINE_BYTES) as usize / self.ways
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way {
+    line: CacheLineAddr,
+    state: MesiState,
+}
+
+/// A private, set-associative, LRU cache tracking line tags and MESI state.
+#[derive(Debug, Clone)]
+pub struct PrivateCache {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    stats: RatioStat,
+}
+
+impl PrivateCache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry yields zero sets.
+    #[must_use]
+    pub fn new(config: PrivateCacheConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        Self {
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            ways: config.ways,
+            stats: RatioStat::new(),
+        }
+    }
+
+    fn set_index(&self, line: CacheLineAddr) -> usize {
+        (line.index() as usize) % self.sets.len()
+    }
+
+    /// Looks up a line, promoting it to MRU.  Records hit/miss statistics.
+    pub fn lookup(&mut self, line: CacheLineAddr) -> Option<MesiState> {
+        let set = self.set_index(line);
+        let pos = self.sets[set].iter().position(|w| w.line == line);
+        self.stats.record(pos.is_some());
+        let pos = pos?;
+        let way = self.sets[set].remove(pos);
+        let state = way.state;
+        self.sets[set].insert(0, way);
+        Some(state)
+    }
+
+    /// Probes a line without recency or statistics effects.
+    #[must_use]
+    pub fn probe(&self, line: CacheLineAddr) -> Option<MesiState> {
+        let set = (line.index() as usize) % self.sets.len();
+        self.sets[set].iter().find(|w| w.line == line).map(|w| w.state)
+    }
+
+    /// Changes the MESI state of a present line; returns `false` if absent.
+    pub fn set_state(&mut self, line: CacheLineAddr, state: MesiState) -> bool {
+        let set = self.set_index(line);
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.line == line) {
+            way.state = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a line in the given state; returns the evicted victim
+    /// (line, state) if the set overflowed.
+    pub fn fill(&mut self, line: CacheLineAddr, state: MesiState) -> Option<(CacheLineAddr, MesiState)> {
+        let set = self.set_index(line);
+        if let Some(pos) = self.sets[set].iter().position(|w| w.line == line) {
+            self.sets[set].remove(pos);
+        }
+        self.sets[set].insert(0, Way { line, state });
+        if self.sets[set].len() > self.ways {
+            self.sets[set].pop().map(|w| (w.line, w.state))
+        } else {
+            None
+        }
+    }
+
+    /// Removes a line (coherence invalidation); returns its state if present.
+    pub fn invalidate(&mut self, line: CacheLineAddr) -> Option<MesiState> {
+        let set = self.set_index(line);
+        let pos = self.sets[set].iter().position(|w| w.line == line)?;
+        Some(self.sets[set].remove(pos).state)
+    }
+
+    /// Number of valid lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if the cache holds no lines.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss statistics.
+    #[must_use]
+    pub fn stats(&self) -> RatioStat {
+        self.stats
+    }
+
+    /// Resets hit/miss statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = RatioStat::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> CacheLineAddr {
+        CacheLineAddr::new(n * CACHE_LINE_BYTES)
+    }
+
+    #[test]
+    fn geometry() {
+        let cfg = PrivateCacheConfig::l1_default();
+        assert_eq!(cfg.sets(), 64);
+        let cache = PrivateCache::new(cfg);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn fill_lookup_invalidate() {
+        let mut cache = PrivateCache::new(PrivateCacheConfig::l1_default());
+        cache.fill(line(3), MesiState::Exclusive);
+        assert_eq!(cache.lookup(line(3)), Some(MesiState::Exclusive));
+        assert_eq!(cache.invalidate(line(3)), Some(MesiState::Exclusive));
+        assert_eq!(cache.lookup(line(3)), None);
+        assert_eq!(cache.stats().hits(), 1);
+        assert_eq!(cache.stats().misses(), 1);
+    }
+
+    #[test]
+    fn eviction_returns_lru_victim() {
+        // Tiny cache: 2 sets of 2 ways (256 bytes).
+        let mut cache = PrivateCache::new(PrivateCacheConfig {
+            capacity_bytes: 256,
+            ways: 2,
+        });
+        // Lines 0, 2, 4 all map to set 0.
+        cache.fill(line(0), MesiState::Shared);
+        cache.fill(line(2), MesiState::Shared);
+        cache.lookup(line(0));
+        let victim = cache.fill(line(4), MesiState::Shared);
+        assert_eq!(victim, Some((line(2), MesiState::Shared)));
+    }
+
+    #[test]
+    fn set_state_upgrades() {
+        let mut cache = PrivateCache::new(PrivateCacheConfig::l1_default());
+        cache.fill(line(9), MesiState::Shared);
+        assert!(cache.set_state(line(9), MesiState::Modified));
+        assert_eq!(cache.probe(line(9)), Some(MesiState::Modified));
+        assert!(!cache.set_state(line(10), MesiState::Modified));
+    }
+}

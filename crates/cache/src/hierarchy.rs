@@ -1,0 +1,538 @@
+//! The full cache hierarchy: per-CPU private L1/L2 caches, a shared LLC and
+//! the coherence directory, glued together behind a read/write interface.
+
+use serde::{Deserialize, Serialize};
+
+use hatric_types::{CacheLineAddr, Counter, CpuId, RatioStat};
+
+use crate::cache::{PrivateCache, PrivateCacheConfig};
+use crate::directory::{CoherenceDirectory, DirectoryConfig, DirectoryEntry, SharerSet};
+use crate::line::{MesiState, PtKind};
+
+/// Which level of the hierarchy satisfied an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// Private L1 cache.
+    L1,
+    /// Private L2 cache.
+    L2,
+    /// Shared last-level cache (or a remote private cache).
+    Llc,
+    /// DRAM.
+    Memory,
+}
+
+/// Geometry of the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheHierarchyConfig {
+    /// Number of CPUs (private cache pairs).
+    pub num_cpus: usize,
+    /// L1 geometry.
+    pub l1: PrivateCacheConfig,
+    /// L2 geometry.
+    pub l2: PrivateCacheConfig,
+    /// Shared LLC capacity in bytes.
+    pub llc_bytes: u64,
+    /// Shared LLC associativity.
+    pub llc_ways: usize,
+    /// Coherence directory sizing.
+    pub directory: DirectoryConfig,
+    /// Eagerly update directory sharer lists when page-table lines are
+    /// evicted from private caches (the Fig. 12 "EGR-dir-update" ablation);
+    /// the default (false) is HATRIC's lazy policy.
+    pub eager_pt_directory_update: bool,
+}
+
+impl CacheHierarchyConfig {
+    /// The paper's configuration: 32 KiB L1, 256 KiB L2 per CPU, 20 MiB LLC.
+    #[must_use]
+    pub fn haswell_like(num_cpus: usize) -> Self {
+        Self {
+            num_cpus,
+            l1: PrivateCacheConfig::l1_default(),
+            l2: PrivateCacheConfig::l2_default(),
+            llc_bytes: 20 * 1024 * 1024,
+            llc_ways: 16,
+            directory: DirectoryConfig::llc_sized(),
+            eager_pt_directory_update: false,
+        }
+    }
+}
+
+/// Outcome of a read access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Level that satisfied the access.
+    pub level: HitLevel,
+    /// A remote CPU had the line modified and was downgraded (adds latency).
+    pub remote_downgrade: bool,
+    /// Directory entries evicted for capacity by this access; every sharer
+    /// was back-invalidated, and callers must back-invalidate translation
+    /// structures for page-table lines.
+    pub back_invalidated: Vec<(CacheLineAddr, SharerSet, Option<PtKind>)>,
+}
+
+/// Outcome of a write access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// The underlying access outcome.
+    pub access: AccessOutcome,
+    /// Page-table kind of the written line, as recorded by the directory.
+    pub pt_kind: Option<PtKind>,
+    /// CPUs (other than the writer) that were listed as sharers and received
+    /// invalidation messages.  For page-table lines these are the CPUs whose
+    /// translation structures must receive co-tag invalidations.
+    pub invalidated_sharers: SharerSet,
+    /// Among the invalidated sharers, those that did not actually hold the
+    /// line in their private caches (spurious cache invalidations).
+    pub spurious_sharers: SharerSet,
+}
+
+/// Aggregate statistics for the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStatsSnapshot {
+    /// L1 hit/miss across all CPUs.
+    pub l1: RatioStat,
+    /// L2 hit/miss across all CPUs.
+    pub l2: RatioStat,
+    /// LLC hit/miss.
+    pub llc: RatioStat,
+    /// Accesses that went to DRAM.
+    pub memory_accesses: Counter,
+    /// Coherence invalidation messages sent to private caches.
+    pub invalidations_sent: Counter,
+    /// Invalidations that found nothing to invalidate in the target's caches.
+    pub spurious_invalidations: Counter,
+    /// Lines back-invalidated due to directory evictions.
+    pub back_invalidations: Counter,
+    /// Dirty lines written back.
+    pub writebacks: Counter,
+    /// Writes that hit lines marked as page tables.
+    pub pt_line_writes: Counter,
+}
+
+/// The cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Vec<PrivateCache>,
+    l2: Vec<PrivateCache>,
+    llc: PrivateCache,
+    directory: CoherenceDirectory,
+    config: CacheHierarchyConfig,
+    llc_stats: RatioStat,
+    stats: CacheStatsSnapshot,
+}
+
+impl CacheHierarchy {
+    /// Creates an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cpus` is zero or greater than 64.
+    #[must_use]
+    pub fn new(config: CacheHierarchyConfig) -> Self {
+        assert!(config.num_cpus > 0, "need at least one CPU");
+        assert!(config.num_cpus <= 64, "directory sharer sets support at most 64 CPUs");
+        let l1 = (0..config.num_cpus).map(|_| PrivateCache::new(config.l1)).collect();
+        let l2 = (0..config.num_cpus).map(|_| PrivateCache::new(config.l2)).collect();
+        let llc = PrivateCache::new(PrivateCacheConfig {
+            capacity_bytes: config.llc_bytes,
+            ways: config.llc_ways,
+        });
+        Self {
+            l1,
+            l2,
+            llc,
+            directory: CoherenceDirectory::new(config.directory),
+            config,
+            llc_stats: RatioStat::new(),
+            stats: CacheStatsSnapshot::default(),
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    #[must_use]
+    pub fn config(&self) -> &CacheHierarchyConfig {
+        &self.config
+    }
+
+    /// Read-only access to the coherence directory.
+    #[must_use]
+    pub fn directory(&self) -> &CoherenceDirectory {
+        &self.directory
+    }
+
+    /// Whether `cpu` currently holds `line` in its private caches.
+    #[must_use]
+    pub fn cpu_holds_line(&self, cpu: CpuId, line: CacheLineAddr) -> bool {
+        self.l1[cpu.index()].probe(line).is_some() || self.l2[cpu.index()].probe(line).is_some()
+    }
+
+    fn handle_private_victim(&mut self, cpu: CpuId, line: CacheLineAddr, state: MesiState) {
+        if state.is_dirty() {
+            self.stats.writebacks.incr();
+        }
+        let is_pt = self
+            .directory
+            .entry(line)
+            .map(|e| e.pt_kind().is_some())
+            .unwrap_or(false);
+        // Lazy sharer updates for page-table lines (HATRIC, Fig. 6); eager
+        // for everything else or when the ablation flag is set.
+        if !is_pt || self.config.eager_pt_directory_update {
+            self.directory.remove_sharer(line, cpu);
+        }
+    }
+
+    fn fill_private(&mut self, cpu: CpuId, line: CacheLineAddr, state: MesiState) {
+        if let Some((victim_line, victim_state)) = self.l1[cpu.index()].fill(line, state) {
+            if let Some((l2_victim, l2_state)) = self.l2[cpu.index()].fill(victim_line, victim_state) {
+                self.handle_private_victim(cpu, l2_victim, l2_state);
+            }
+        }
+        if let Some((l2_victim, l2_state)) = self.l2[cpu.index()].fill(line, state) {
+            // Maintain inclusion: a line falling out of L2 leaves L1 too.
+            self.l1[cpu.index()].invalidate(l2_victim);
+            self.handle_private_victim(cpu, l2_victim, l2_state);
+        }
+    }
+
+    fn process_directory_victim(
+        &mut self,
+        victim: Option<(CacheLineAddr, DirectoryEntry)>,
+        out: &mut Vec<(CacheLineAddr, SharerSet, Option<PtKind>)>,
+    ) {
+        if let Some((line, entry)) = victim {
+            for cpu in entry.sharers.iter() {
+                self.l1[cpu.index()].invalidate(line);
+                self.l2[cpu.index()].invalidate(line);
+                self.stats.back_invalidations.incr();
+            }
+            out.push((line, entry.sharers, entry.pt_kind()));
+        }
+    }
+
+    /// Performs a read by `cpu` of `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range for the configured CPU count.
+    pub fn read(&mut self, cpu: CpuId, line: CacheLineAddr) -> AccessOutcome {
+        assert!(cpu.index() < self.config.num_cpus, "unknown {cpu}");
+        if self.l1[cpu.index()].lookup(line).is_some() {
+            self.stats.l1.hit();
+            return AccessOutcome {
+                level: HitLevel::L1,
+                remote_downgrade: false,
+                back_invalidated: Vec::new(),
+            };
+        }
+        self.stats.l1.miss();
+        if let Some(state) = self.l2[cpu.index()].lookup(line) {
+            self.stats.l2.hit();
+            self.fill_private(cpu, line, state);
+            return AccessOutcome {
+                level: HitLevel::L2,
+                remote_downgrade: false,
+                back_invalidated: Vec::new(),
+            };
+        }
+        self.stats.l2.miss();
+
+        let (note, victim) = self.directory.note_read(line, cpu);
+        let mut back = Vec::new();
+        self.process_directory_victim(victim, &mut back);
+
+        // Downgrade a remote modified/exclusive copy: the remote CPU keeps
+        // the line in shared state; dirty data is forwarded and written back
+        // (counted as an LLC-level hit).
+        if let Some(owner) = note.downgraded_owner {
+            if self.l1[owner.index()].probe(line) == Some(MesiState::Modified)
+                || self.l2[owner.index()].probe(line) == Some(MesiState::Modified)
+            {
+                self.stats.writebacks.incr();
+            }
+            self.l1[owner.index()].set_state(line, MesiState::Shared);
+            self.l2[owner.index()].set_state(line, MesiState::Shared);
+        }
+
+        let llc_hit = self.llc.lookup(line).is_some();
+        self.llc_stats.record(llc_hit);
+        self.stats.llc.record(llc_hit || note.downgraded_owner.is_some());
+        let level = if llc_hit || note.downgraded_owner.is_some() {
+            HitLevel::Llc
+        } else {
+            self.stats.memory_accesses.incr();
+            self.llc.fill(line, MesiState::Shared);
+            HitLevel::Memory
+        };
+
+        let fill_state = if note.allocated { MesiState::Exclusive } else { MesiState::Shared };
+        self.fill_private(cpu, line, fill_state);
+        AccessOutcome {
+            level,
+            remote_downgrade: note.downgraded_owner.is_some(),
+            back_invalidated: back,
+        }
+    }
+
+    /// Performs a write by `cpu` of `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range for the configured CPU count.
+    pub fn write(&mut self, cpu: CpuId, line: CacheLineAddr) -> WriteOutcome {
+        assert!(cpu.index() < self.config.num_cpus, "unknown {cpu}");
+        // Silent upgrade when we already own the line.
+        let l1_state = self.l1[cpu.index()].lookup(line);
+        if let Some(state) = l1_state {
+            self.stats.l1.hit();
+            if state.can_write_silently() {
+                self.l1[cpu.index()].set_state(line, MesiState::Modified);
+                self.l2[cpu.index()].set_state(line, MesiState::Modified);
+                return WriteOutcome {
+                    access: AccessOutcome {
+                        level: HitLevel::L1,
+                        remote_downgrade: false,
+                        back_invalidated: Vec::new(),
+                    },
+                    pt_kind: None,
+                    invalidated_sharers: SharerSet::empty(),
+                    spurious_sharers: SharerSet::empty(),
+                };
+            }
+        } else {
+            self.stats.l1.miss();
+        }
+
+        // Upgrade or miss: consult the directory.
+        let (note, victim) = self.directory.note_write(line, cpu);
+        let mut back = Vec::new();
+        self.process_directory_victim(victim, &mut back);
+
+        let mut spurious = SharerSet::empty();
+        for target in note.invalidate_targets.iter() {
+            self.stats.invalidations_sent.incr();
+            let had_l1 = self.l1[target.index()].invalidate(line).is_some();
+            let had_l2 = self.l2[target.index()].invalidate(line).is_some();
+            if !had_l1 && !had_l2 {
+                self.stats.spurious_invalidations.incr();
+                spurious.add(target);
+            }
+        }
+        if note.pt_kind.is_some() {
+            self.stats.pt_line_writes.incr();
+        }
+
+        let llc_hit = self.llc.lookup(line).is_some();
+        self.llc_stats.record(llc_hit);
+        let had_locally = l1_state.is_some() || self.l2[cpu.index()].probe(line).is_some();
+        self.stats.llc.record(llc_hit);
+        let level = if had_locally {
+            HitLevel::L2
+        } else if llc_hit || !note.invalidate_targets.is_empty() {
+            HitLevel::Llc
+        } else {
+            self.stats.memory_accesses.incr();
+            self.llc.fill(line, MesiState::Modified);
+            HitLevel::Memory
+        };
+
+        self.fill_private(cpu, line, MesiState::Modified);
+        WriteOutcome {
+            access: AccessOutcome {
+                level,
+                remote_downgrade: false,
+                back_invalidated: back,
+            },
+            pt_kind: note.pt_kind,
+            invalidated_sharers: note.invalidate_targets,
+            spurious_sharers: spurious,
+        }
+    }
+
+    /// Marks a line as holding page-table entries of the given kind (done by
+    /// the hardware walker when it fills translation structures from a line
+    /// whose accessed bit was clear).
+    pub fn mark_pt_line(&mut self, line: CacheLineAddr, kind: PtKind) {
+        self.directory.mark_pt(line, kind);
+    }
+
+    /// Lazily demotes `cpu` from `line`'s sharer list after the translation
+    /// coherence layer found nothing to invalidate there.
+    pub fn demote_sharer(&mut self, line: CacheLineAddr, cpu: CpuId) {
+        self.directory.demote_after_spurious(line, cpu);
+    }
+
+    /// Aggregate statistics (directory statistics are available separately
+    /// via [`CacheHierarchy::directory`]).
+    #[must_use]
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        self.stats
+    }
+
+    /// Resets the aggregate statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStatsSnapshot::default();
+        self.llc_stats = RatioStat::new();
+        for c in &mut self.l1 {
+            c.reset_stats();
+        }
+        for c in &mut self.l2 {
+            c.reset_stats();
+        }
+        self.llc.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> CacheLineAddr {
+        CacheLineAddr::new(n * 64)
+    }
+
+    fn small_hierarchy(cpus: usize) -> CacheHierarchy {
+        CacheHierarchy::new(CacheHierarchyConfig {
+            num_cpus: cpus,
+            l1: PrivateCacheConfig { capacity_bytes: 1024, ways: 2 },
+            l2: PrivateCacheConfig { capacity_bytes: 4096, ways: 4 },
+            llc_bytes: 64 * 1024,
+            llc_ways: 8,
+            directory: DirectoryConfig::unbounded(),
+            eager_pt_directory_update: false,
+        })
+    }
+
+    #[test]
+    fn first_read_misses_to_memory_then_hits_l1() {
+        let mut h = small_hierarchy(2);
+        let cpu = CpuId::new(0);
+        let first = h.read(cpu, line(5));
+        assert_eq!(first.level, HitLevel::Memory);
+        let second = h.read(cpu, line(5));
+        assert_eq!(second.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn cross_cpu_read_hits_llc() {
+        let mut h = small_hierarchy(2);
+        h.read(CpuId::new(0), line(5));
+        let other = h.read(CpuId::new(1), line(5));
+        assert_eq!(other.level, HitLevel::Llc);
+    }
+
+    #[test]
+    fn write_invalidates_remote_sharers() {
+        let mut h = small_hierarchy(4);
+        for cpu in 0..3 {
+            h.read(CpuId::new(cpu), line(9));
+        }
+        let outcome = h.write(CpuId::new(3), line(9));
+        assert_eq!(outcome.invalidated_sharers.count(), 3);
+        // The remote copies are gone: re-reads go past L1/L2.
+        let reread = h.read(CpuId::new(0), line(9));
+        assert_ne!(reread.level, HitLevel::L1);
+        assert_ne!(reread.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn silent_write_on_owned_line() {
+        let mut h = small_hierarchy(2);
+        let cpu = CpuId::new(0);
+        h.write(cpu, line(3));
+        let again = h.write(cpu, line(3));
+        assert_eq!(again.access.level, HitLevel::L1);
+        assert_eq!(again.invalidated_sharers.count(), 0);
+    }
+
+    #[test]
+    fn pt_marked_line_reports_kind_on_write() {
+        let mut h = small_hierarchy(2);
+        h.read(CpuId::new(0), line(7));
+        h.mark_pt_line(line(7), PtKind::Nested);
+        let outcome = h.write(CpuId::new(1), line(7));
+        assert_eq!(outcome.pt_kind, Some(PtKind::Nested));
+        assert!(outcome.invalidated_sharers.contains(CpuId::new(0)));
+        assert_eq!(h.stats().pt_line_writes.get(), 1);
+    }
+
+    #[test]
+    fn lazy_sharer_update_keeps_pt_sharers_after_eviction() {
+        let mut h = small_hierarchy(2);
+        let cpu = CpuId::new(0);
+        h.read(cpu, line(1));
+        h.mark_pt_line(line(1), PtKind::Nested);
+        // Thrash CPU 0's tiny private caches so line 1 is evicted.
+        for i in 100..400 {
+            h.read(cpu, line(i));
+        }
+        assert!(!h.cpu_holds_line(cpu, line(1)));
+        // The directory still lists CPU 0 as a sharer (lazy update), so a
+        // remote write sends it a (spurious) invalidation.
+        let outcome = h.write(CpuId::new(1), line(1));
+        assert!(outcome.invalidated_sharers.contains(cpu));
+        assert!(outcome.spurious_sharers.contains(cpu));
+    }
+
+    #[test]
+    fn eager_update_removes_pt_sharers_after_eviction() {
+        let mut h = CacheHierarchy::new(CacheHierarchyConfig {
+            num_cpus: 2,
+            l1: PrivateCacheConfig { capacity_bytes: 1024, ways: 2 },
+            l2: PrivateCacheConfig { capacity_bytes: 4096, ways: 4 },
+            llc_bytes: 64 * 1024,
+            llc_ways: 8,
+            directory: DirectoryConfig::unbounded(),
+            eager_pt_directory_update: true,
+        });
+        let cpu = CpuId::new(0);
+        h.read(cpu, line(1));
+        h.mark_pt_line(line(1), PtKind::Nested);
+        for i in 100..400 {
+            h.read(cpu, line(i));
+        }
+        let outcome = h.write(CpuId::new(1), line(1));
+        assert!(!outcome.invalidated_sharers.contains(cpu));
+    }
+
+    #[test]
+    fn directory_eviction_back_invalidates() {
+        let mut h = CacheHierarchy::new(CacheHierarchyConfig {
+            num_cpus: 1,
+            l1: PrivateCacheConfig { capacity_bytes: 4096, ways: 4 },
+            l2: PrivateCacheConfig { capacity_bytes: 16 * 1024, ways: 4 },
+            llc_bytes: 64 * 1024,
+            llc_ways: 8,
+            directory: DirectoryConfig { max_entries: 8 },
+            eager_pt_directory_update: false,
+        });
+        let cpu = CpuId::new(0);
+        let mut saw_back_invalidation = false;
+        for i in 0..64 {
+            let out = h.read(cpu, line(i));
+            if !out.back_invalidated.is_empty() {
+                saw_back_invalidation = true;
+            }
+        }
+        assert!(saw_back_invalidation);
+        assert!(h.stats().back_invalidations.get() > 0);
+    }
+
+    #[test]
+    fn remote_dirty_read_downgrades() {
+        let mut h = small_hierarchy(2);
+        h.write(CpuId::new(0), line(11));
+        let out = h.read(CpuId::new(1), line(11));
+        assert!(out.remote_downgrade);
+        assert_eq!(out.level, HitLevel::Llc);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn out_of_range_cpu_panics() {
+        let mut h = small_hierarchy(2);
+        h.read(CpuId::new(9), line(0));
+    }
+}

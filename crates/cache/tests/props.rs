@@ -1,0 +1,103 @@
+//! Property-based tests for the cache hierarchy and directory coherence.
+
+use proptest::prelude::*;
+
+use hatric_cache::{
+    CacheHierarchy, CacheHierarchyConfig, DirectoryConfig, HitLevel, PrivateCacheConfig,
+};
+use hatric_types::{CacheLineAddr, CpuId};
+
+fn hierarchy(cpus: usize) -> CacheHierarchy {
+    CacheHierarchy::new(CacheHierarchyConfig {
+        num_cpus: cpus,
+        l1: PrivateCacheConfig { capacity_bytes: 2 * 1024, ways: 2 },
+        l2: PrivateCacheConfig { capacity_bytes: 8 * 1024, ways: 4 },
+        llc_bytes: 128 * 1024,
+        llc_ways: 8,
+        directory: DirectoryConfig::unbounded(),
+        eager_pt_directory_update: false,
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u8, u64),
+    Write(u8, u64),
+}
+
+fn op_strategy(cpus: u8, lines: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..cpus, 0..lines).prop_map(|(c, l)| Op::Read(c, l)),
+        (0..cpus, 0..lines).prop_map(|(c, l)| Op::Write(c, l)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single-writer invariant: after any sequence of reads and writes, a
+    /// write by one CPU invalidates every other CPU's private copy of that
+    /// line, so no other CPU can hit on it in L1/L2 immediately afterwards.
+    #[test]
+    fn write_invalidates_all_other_private_copies(
+        ops in proptest::collection::vec(op_strategy(4, 64), 1..200),
+        line in 0u64..64,
+        writer in 0u8..4,
+    ) {
+        let mut h = hierarchy(4);
+        for op in &ops {
+            match *op {
+                Op::Read(c, l) => { h.read(CpuId::new(c.into()), CacheLineAddr::new(l * 64)); }
+                Op::Write(c, l) => { h.write(CpuId::new(c.into()), CacheLineAddr::new(l * 64)); }
+            }
+        }
+        let target = CacheLineAddr::new(line * 64);
+        h.write(CpuId::new(writer.into()), target);
+        for cpu in 0..4u32 {
+            if cpu != u32::from(writer) {
+                prop_assert!(
+                    !h.cpu_holds_line(CpuId::new(cpu), target),
+                    "cpu{cpu} still holds a line written by cpu{writer}"
+                );
+            }
+        }
+    }
+
+    /// Reads after a write by the same CPU always hit locally (L1), i.e. the
+    /// hierarchy never loses the writer's own copy.
+    #[test]
+    fn writer_keeps_its_own_copy(
+        ops in proptest::collection::vec(op_strategy(4, 64), 0..100),
+        line in 0u64..64,
+    ) {
+        let mut h = hierarchy(4);
+        for op in &ops {
+            match *op {
+                Op::Read(c, l) => { h.read(CpuId::new(c.into()), CacheLineAddr::new(l * 64)); }
+                Op::Write(c, l) => { h.write(CpuId::new(c.into()), CacheLineAddr::new(l * 64)); }
+            }
+        }
+        let target = CacheLineAddr::new(line * 64);
+        h.write(CpuId::new(0), target);
+        let outcome = h.read(CpuId::new(0), target);
+        prop_assert_eq!(outcome.level, HitLevel::L1);
+    }
+
+    /// Statistics are consistent: hits plus misses equals the number of
+    /// lookups performed at each level.
+    #[test]
+    fn stats_account_for_every_access(
+        ops in proptest::collection::vec(op_strategy(2, 128), 1..300),
+    ) {
+        let mut h = hierarchy(2);
+        for op in &ops {
+            match *op {
+                Op::Read(c, l) => { h.read(CpuId::new(c.into()), CacheLineAddr::new(l * 64)); }
+                Op::Write(c, l) => { h.write(CpuId::new(c.into()), CacheLineAddr::new(l * 64)); }
+            }
+        }
+        let stats = h.stats();
+        prop_assert_eq!(stats.l1.total(), ops.len() as u64);
+        prop_assert!(stats.memory_accesses.get() <= ops.len() as u64);
+    }
+}

@@ -1,0 +1,43 @@
+//! # hatric-coherence
+//!
+//! Translation-coherence protocols.  When privileged software modifies a
+//! page-table entry, some mechanism must bring the stale copies cached in
+//! TLBs, MMU caches and nested TLBs up to date.  This crate models the four
+//! mechanisms the paper evaluates, as *planners*: given a remap event and
+//! the system state relevant to targeting (which CPUs ran the VM, which CPUs
+//! the coherence directory lists as sharers of the modified page-table
+//! line), each protocol produces a [`CoherencePlan`] describing exactly what
+//! happens on the initiator and on every target — VM exits, IPIs, full
+//! flushes, selective co-tag invalidations — together with their cycle
+//! costs.  The core simulator applies the plan to the translation
+//! structures and charges the cycles.
+//!
+//! * [`SoftwareShootdown`] — today's KVM/Xen path: IPIs to every CPU that
+//!   ever ran a vCPU of the VM, VM exits, and full flushes (Sec. 3.2).
+//! * [`HatricProtocol`] — the paper's contribution: the hypervisor's store
+//!   to the nested page table is picked up by the cache-coherence
+//!   directory; only the CPUs on the line's sharer list receive
+//!   invalidation messages, which their translation structures satisfy with
+//!   co-tag matches.  No IPIs, no VM exits, no flushes (Sec. 4).
+//! * [`UnitdPlusPlus`] — prior hardware work upgraded for virtualization:
+//!   like HATRIC for TLBs (via a reverse-lookup CAM), but MMU caches and
+//!   nested TLBs are still flushed, and the CAM costs energy (Sec. 6,
+//!   Fig. 13).
+//! * [`IdealCoherence`] — zero-overhead translation coherence, the
+//!   unachievable bound used throughout the evaluation.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod costs;
+pub mod plan;
+pub mod protocol;
+pub mod variants;
+
+pub use costs::CoherenceCosts;
+pub use plan::{CoherencePlan, TargetAction, TargetPlan};
+pub use protocol::{
+    CoherenceMechanism, HatricProtocol, IdealCoherence, RemapContext, SoftwareShootdown,
+    TranslationCoherence, UnitdPlusPlus,
+};
+pub use variants::DesignVariant;

@@ -1,0 +1,109 @@
+//! Drivers feed guest memory accesses into the simulated system.
+
+use hatric_workloads::{Access, MixWorkload, Workload};
+
+/// A source of per-thread guest memory accesses.
+///
+/// Two shapes exist: a single multithreaded application (every thread shares
+/// one guest address space) and a multiprogrammed mix (each thread is an
+/// independent single-threaded application with its own address space —
+/// the Fig. 10 setup).
+#[derive(Debug, Clone)]
+pub enum WorkloadDriver {
+    /// One multithreaded application.
+    Threads(Workload),
+    /// A multiprogrammed mix of single-threaded applications.
+    Mix(MixWorkload),
+}
+
+impl WorkloadDriver {
+    /// Number of guest threads (each runs on its own vCPU).
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        match self {
+            WorkloadDriver::Threads(w) => w.threads(),
+            WorkloadDriver::Mix(m) => m.apps(),
+        }
+    }
+
+    /// Index of the guest address space thread `thread` runs in.
+    /// Multithreaded applications share address space 0; mixes give every
+    /// application its own.
+    #[must_use]
+    pub fn address_space_index(&self, thread: usize) -> usize {
+        match self {
+            WorkloadDriver::Threads(_) => 0,
+            WorkloadDriver::Mix(_) => thread,
+        }
+    }
+
+    /// Generates the next access of `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn next_access(&mut self, thread: usize) -> Access {
+        match self {
+            WorkloadDriver::Threads(w) => w.next_access(thread),
+            WorkloadDriver::Mix(m) => m.next_access(thread),
+        }
+    }
+
+    /// A short human-readable description.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            WorkloadDriver::Threads(w) => {
+                format!("{} ({} threads)", w.spec().kind.label(), w.threads())
+            }
+            WorkloadDriver::Mix(m) => format!("spec mix #{} ({} apps)", m.mix().index, m.apps()),
+        }
+    }
+}
+
+impl From<Workload> for WorkloadDriver {
+    fn from(w: Workload) -> Self {
+        WorkloadDriver::Threads(w)
+    }
+}
+
+impl From<MixWorkload> for WorkloadDriver {
+    fn from(m: MixWorkload) -> Self {
+        WorkloadDriver::Mix(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hatric_workloads::{SpecMix, WorkloadKind};
+
+    #[test]
+    fn threads_share_one_address_space() {
+        let wl = Workload::build(WorkloadKind::Canneal, 4, 1_024, 1);
+        let driver = WorkloadDriver::from(wl);
+        assert_eq!(driver.thread_count(), 4);
+        assert_eq!(driver.address_space_index(0), 0);
+        assert_eq!(driver.address_space_index(3), 0);
+        assert!(driver.describe().contains("canneal"));
+    }
+
+    #[test]
+    fn mixes_have_one_address_space_per_app() {
+        let mix = SpecMix::generate(1, 2).remove(0);
+        let driver = WorkloadDriver::from(MixWorkload::build(mix, 1_024, 3));
+        assert_eq!(driver.thread_count(), 16);
+        assert_eq!(driver.address_space_index(5), 5);
+    }
+
+    #[test]
+    fn next_access_advances_streams_independently() {
+        let wl = Workload::build(WorkloadKind::Facesim, 2, 1_024, 1);
+        let mut driver = WorkloadDriver::from(wl);
+        let a = driver.next_access(0);
+        let b = driver.next_access(1);
+        // Different threads have different private regions with very high
+        // probability; at minimum the call must not panic.
+        let _ = (a, b);
+    }
+}

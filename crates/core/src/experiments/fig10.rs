@@ -1,0 +1,166 @@
+//! Figure 10: multiprogrammed SPEC mixes — software coherence's imprecise
+//! targeting punishes applications that never touched the remapped pages;
+//! HATRIC's precise targeting fixes both throughput and fairness.
+
+use serde::{Deserialize, Serialize};
+
+use hatric_coherence::CoherenceMechanism;
+use hatric_workloads::SpecMix;
+
+use super::common::{execute_mix, ExperimentParams};
+use crate::config::MemoryMode;
+use crate::metrics::SimReport;
+
+/// Per-mix metrics: weighted (average) normalised runtime and the runtime of
+/// the slowest application, for software coherence and for HATRIC, all
+/// normalised per-application to the no-hbm run of the same mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig10Row {
+    /// Mix index.
+    pub mix: usize,
+    /// Weighted runtime with software coherence.
+    pub weighted_sw: f64,
+    /// Weighted runtime with HATRIC.
+    pub weighted_hatric: f64,
+    /// Slowest application's normalised runtime with software coherence.
+    pub slowest_sw: f64,
+    /// Slowest application's normalised runtime with HATRIC.
+    pub slowest_hatric: f64,
+}
+
+fn per_app_ratios(report: &SimReport, baseline: &SimReport) -> Vec<f64> {
+    baseline
+        .cycles_per_cpu
+        .iter()
+        .zip(&report.cycles_per_cpu)
+        .filter(|(base, _)| **base > 0)
+        .map(|(base, run)| *run as f64 / *base as f64)
+        .collect()
+}
+
+fn weighted(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        0.0
+    } else {
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    }
+}
+
+fn slowest(ratios: &[f64]) -> f64 {
+    ratios.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Runs the Fig. 10 experiment for `mix_count` mixes (the paper uses 80).
+#[must_use]
+pub fn run(params: &ExperimentParams, mix_count: usize) -> Vec<Fig10Row> {
+    let mixes = SpecMix::generate(mix_count, params.seed);
+    mixes
+        .iter()
+        .map(|mix| {
+            let baseline = execute_mix(mix, CoherenceMechanism::Software, MemoryMode::NoHbm, params);
+            let sw = execute_mix(mix, CoherenceMechanism::Software, MemoryMode::Paged, params);
+            let hatric = execute_mix(mix, CoherenceMechanism::Hatric, MemoryMode::Paged, params);
+            let sw_ratios = per_app_ratios(&sw, &baseline);
+            let hatric_ratios = per_app_ratios(&hatric, &baseline);
+            Fig10Row {
+                mix: mix.index,
+                weighted_sw: weighted(&sw_ratios),
+                weighted_hatric: weighted(&hatric_ratios),
+                slowest_sw: slowest(&sw_ratios),
+                slowest_hatric: slowest(&hatric_ratios),
+            }
+        })
+        .collect()
+}
+
+/// Summary statistics over all mixes (used by tests and the bench report).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig10Summary {
+    /// Fraction of mixes whose weighted runtime regressed (>1.0) under
+    /// software coherence.
+    pub sw_regressing_fraction: f64,
+    /// Fraction of mixes whose weighted runtime regressed under HATRIC.
+    pub hatric_regressing_fraction: f64,
+    /// Mean weighted runtime under software coherence.
+    pub mean_weighted_sw: f64,
+    /// Mean weighted runtime under HATRIC.
+    pub mean_weighted_hatric: f64,
+    /// Worst slowest-application runtime under software coherence.
+    pub worst_slowest_sw: f64,
+    /// Worst slowest-application runtime under HATRIC.
+    pub worst_slowest_hatric: f64,
+}
+
+/// Computes the summary of a set of rows.
+#[must_use]
+pub fn summarise(rows: &[Fig10Row]) -> Fig10Summary {
+    let n = rows.len().max(1) as f64;
+    Fig10Summary {
+        sw_regressing_fraction: rows.iter().filter(|r| r.weighted_sw > 1.0).count() as f64 / n,
+        hatric_regressing_fraction: rows.iter().filter(|r| r.weighted_hatric > 1.0).count() as f64 / n,
+        mean_weighted_sw: rows.iter().map(|r| r.weighted_sw).sum::<f64>() / n,
+        mean_weighted_hatric: rows.iter().map(|r| r.weighted_hatric).sum::<f64>() / n,
+        worst_slowest_sw: rows.iter().map(|r| r.slowest_sw).fold(0.0, f64::max),
+        worst_slowest_hatric: rows.iter().map(|r| r.slowest_hatric).fold(0.0, f64::max),
+    }
+}
+
+/// Formats the rows (sorted by software weighted runtime, as the paper plots
+/// them) plus the summary.
+#[must_use]
+pub fn format_table(rows: &[Fig10Row]) -> String {
+    let mut sorted = rows.to_vec();
+    sorted.sort_by(|a, b| a.weighted_sw.partial_cmp(&b.weighted_sw).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = String::from(
+        "Figure 10: multiprogrammed mixes, runtime normalised to no-hbm (per app)\n\
+         mix   weighted-sw  weighted-hatric  slowest-sw  slowest-hatric\n",
+    );
+    for r in &sorted {
+        out.push_str(&format!(
+            "{:>4} {:>12.3} {:>16.3} {:>11.3} {:>15.3}\n",
+            r.mix, r.weighted_sw, r.weighted_hatric, r.slowest_sw, r.slowest_hatric
+        ));
+    }
+    let s = summarise(rows);
+    out.push_str(&format!(
+        "mixes regressing with sw: {:.0}%   with hatric: {:.0}%   worst slowdown sw: {:.2}x   hatric: {:.2}x\n",
+        s.sw_regressing_fraction * 100.0,
+        s.hatric_regressing_fraction * 100.0,
+        s.worst_slowest_sw,
+        s.worst_slowest_hatric
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(mix: usize, sw: f64, hatric: f64) -> Fig10Row {
+        Fig10Row {
+            mix,
+            weighted_sw: sw,
+            weighted_hatric: hatric,
+            slowest_sw: sw * 1.5,
+            slowest_hatric: hatric * 1.1,
+        }
+    }
+
+    #[test]
+    fn summary_counts_regressions() {
+        let rows = vec![row(0, 1.2, 0.8), row(1, 0.9, 0.7), row(2, 2.5, 0.9)];
+        let s = summarise(&rows);
+        assert!((s.sw_regressing_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.hatric_regressing_fraction, 0.0);
+        assert!((s.worst_slowest_sw - 3.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn format_sorts_by_sw_runtime() {
+        let rows = vec![row(0, 2.0, 1.0), row(1, 0.5, 0.4)];
+        let table = format_table(&rows);
+        let pos1 = table.find("   1 ").unwrap();
+        let pos0 = table.find("   0 ").unwrap();
+        assert!(pos1 < pos0, "rows should be sorted ascending by sw runtime");
+    }
+}

@@ -1,0 +1,150 @@
+//! Figure 11: performance-energy trade-offs.  Left: HATRIC vs the software
+//! baseline for every workload (including small-footprint ones).  Right:
+//! co-tag width sweep (1, 2, 3 bytes).
+
+use serde::{Deserialize, Serialize};
+
+use hatric_coherence::CoherenceMechanism;
+use hatric_workloads::WorkloadKind;
+
+use super::common::{execute, ExperimentParams, RunSpec};
+
+/// One point of the left-hand scatter: HATRIC's runtime and energy relative
+/// to the best software-coherence configuration of the same workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig11Point {
+    /// Workload label.
+    pub workload: String,
+    /// Runtime of HATRIC divided by runtime of the software baseline.
+    pub runtime_ratio: f64,
+    /// Energy of HATRIC divided by energy of the software baseline.
+    pub energy_ratio: f64,
+}
+
+/// One row of the right-hand co-tag sweep (averaged over the big-memory
+/// suite).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CotagRow {
+    /// Co-tag width in bytes.
+    pub cotag_bytes: u8,
+    /// Mean runtime relative to the software baseline.
+    pub runtime_ratio: f64,
+    /// Mean energy relative to the software baseline.
+    pub energy_ratio: f64,
+}
+
+/// The workloads plotted in the left-hand scatter: the big-memory suite plus
+/// the small-footprint class that rarely pages.
+#[must_use]
+pub fn scatter_workloads() -> Vec<WorkloadKind> {
+    let mut v = WorkloadKind::big_memory_suite().to_vec();
+    v.push(WorkloadKind::SmallFootprint);
+    v
+}
+
+/// Runs the left-hand scatter.
+#[must_use]
+pub fn run_scatter(params: &ExperimentParams) -> Vec<Fig11Point> {
+    scatter_workloads()
+        .into_iter()
+        .map(|kind| {
+            let sw = execute(&RunSpec::new(kind, CoherenceMechanism::Software), params);
+            let hatric = execute(&RunSpec::new(kind, CoherenceMechanism::Hatric), params);
+            Fig11Point {
+                workload: kind.label().to_string(),
+                runtime_ratio: hatric.runtime_vs(&sw),
+                energy_ratio: hatric.energy_vs(&sw),
+            }
+        })
+        .collect()
+}
+
+/// The co-tag widths swept by the right-hand plot.
+pub const COTAG_SWEEP: [u8; 3] = [1, 2, 3];
+
+/// Runs the right-hand co-tag sweep.
+#[must_use]
+pub fn run_cotag_sweep(params: &ExperimentParams) -> Vec<CotagRow> {
+    COTAG_SWEEP
+        .iter()
+        .map(|&bytes| {
+            let mut runtime = 0.0;
+            let mut energy = 0.0;
+            let suite = WorkloadKind::big_memory_suite();
+            for &kind in &suite {
+                let sw = execute(&RunSpec::new(kind, CoherenceMechanism::Software), params);
+                let hatric = execute(
+                    &RunSpec::new(kind, CoherenceMechanism::Hatric).with_cotag_bytes(bytes),
+                    params,
+                );
+                runtime += hatric.runtime_vs(&sw);
+                energy += hatric.energy_vs(&sw);
+            }
+            CotagRow {
+                cotag_bytes: bytes,
+                runtime_ratio: runtime / suite.len() as f64,
+                energy_ratio: energy / suite.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Formats the scatter points.
+#[must_use]
+pub fn format_scatter(points: &[Fig11Point]) -> String {
+    let mut out = String::from(
+        "Figure 11 (left): HATRIC vs best software paging (ratios < 1 favour HATRIC)\n\
+         workload          runtime  energy\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<17} {:>8.3} {:>7.3}\n",
+            p.workload, p.runtime_ratio, p.energy_ratio
+        ));
+    }
+    out
+}
+
+/// Formats the co-tag sweep.
+#[must_use]
+pub fn format_cotag(rows: &[CotagRow]) -> String {
+    let mut out = String::from(
+        "Figure 11 (right): co-tag size sweep (mean over big-memory suite)\n\
+         co-tag  runtime  energy\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5}B {:>8.3} {:>7.3}\n",
+            r.cotag_bytes, r.runtime_ratio, r.energy_ratio
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_includes_small_footprint_class() {
+        let wl = scatter_workloads();
+        assert!(wl.contains(&WorkloadKind::SmallFootprint));
+        assert_eq!(wl.len(), 6);
+    }
+
+    #[test]
+    fn cotag_sweep_is_1_2_3_bytes() {
+        assert_eq!(COTAG_SWEEP, [1, 2, 3]);
+    }
+
+    #[test]
+    fn formatting_outputs_ratios() {
+        let table = format_cotag(&[CotagRow {
+            cotag_bytes: 2,
+            runtime_ratio: 0.81,
+            energy_ratio: 0.93,
+        }]);
+        assert!(table.contains("2B"));
+        assert!(table.contains("0.81"));
+    }
+}

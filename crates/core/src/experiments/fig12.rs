@@ -1,0 +1,91 @@
+//! Figure 12: coherence-directory design ablation — eager directory
+//! updates, fine-grained tracking, unbounded directories, and all combined,
+//! compared to baseline HATRIC.
+
+use serde::{Deserialize, Serialize};
+
+use hatric_coherence::{CoherenceMechanism, DesignVariant};
+use hatric_workloads::WorkloadKind;
+
+use super::common::{execute, ExperimentParams, RunSpec};
+
+/// One directory-design variant's mean runtime and energy, normalised to the
+/// best software-coherence paging configuration (as in the paper's Fig. 12).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12Row {
+    /// Variant label (as used in the figure).
+    pub variant: String,
+    /// Mean runtime ratio over the big-memory suite.
+    pub runtime_ratio: f64,
+    /// Mean energy ratio over the big-memory suite.
+    pub energy_ratio: f64,
+}
+
+/// Runs the Fig. 12 ablation.
+#[must_use]
+pub fn run(params: &ExperimentParams) -> Vec<Fig12Row> {
+    let suite = WorkloadKind::big_memory_suite();
+    // Software baselines are shared across variants.
+    let baselines: Vec<_> = suite
+        .iter()
+        .map(|&kind| execute(&RunSpec::new(kind, CoherenceMechanism::Software), params))
+        .collect();
+    DesignVariant::all()
+        .iter()
+        .map(|&variant| {
+            let mut runtime = 0.0;
+            let mut energy = 0.0;
+            for (i, &kind) in suite.iter().enumerate() {
+                let report = execute(
+                    &RunSpec::new(kind, CoherenceMechanism::Hatric).with_variant(variant),
+                    params,
+                );
+                runtime += report.runtime_vs(&baselines[i]);
+                energy += report.energy_vs(&baselines[i]);
+            }
+            Fig12Row {
+                variant: variant.label().to_string(),
+                runtime_ratio: runtime / suite.len() as f64,
+                energy_ratio: energy / suite.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Formats the rows as a text table.
+#[must_use]
+pub fn format_table(rows: &[Fig12Row]) -> String {
+    let mut out = String::from(
+        "Figure 12: directory design ablation (normalised to best sw paging policy)\n\
+         variant           runtime  energy\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<17} {:>8.3} {:>7.3}\n",
+            r.variant, r.runtime_ratio, r.energy_ratio
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_lists_variants() {
+        let rows = vec![Fig12Row {
+            variant: "EGR-dir-update".into(),
+            runtime_ratio: 0.8,
+            energy_ratio: 0.95,
+        }];
+        assert!(format_table(&rows).contains("EGR-dir-update"));
+    }
+
+    #[test]
+    fn all_variants_have_labels() {
+        for v in DesignVariant::all() {
+            assert!(!v.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 13: HATRIC compared with UNITD++ (UNITD upgraded with
+//! virtualization support and directory integration).
+
+use serde::{Deserialize, Serialize};
+
+use hatric_coherence::CoherenceMechanism;
+use hatric_workloads::WorkloadKind;
+
+use super::common::{execute, ExperimentParams, RunSpec};
+use crate::config::MemoryMode;
+
+/// One workload's bars: runtime and energy of the software baseline,
+/// UNITD++ and HATRIC, normalised to the no-hbm runtime/energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig13Row {
+    /// Workload label.
+    pub workload: String,
+    /// Software coherence runtime.
+    pub sw_runtime: f64,
+    /// UNITD++ runtime.
+    pub unitd_runtime: f64,
+    /// HATRIC runtime.
+    pub hatric_runtime: f64,
+    /// Software coherence energy.
+    pub sw_energy: f64,
+    /// UNITD++ energy.
+    pub unitd_energy: f64,
+    /// HATRIC energy.
+    pub hatric_energy: f64,
+}
+
+/// Runs the Fig. 13 comparison.
+#[must_use]
+pub fn run(params: &ExperimentParams) -> Vec<Fig13Row> {
+    WorkloadKind::big_memory_suite()
+        .iter()
+        .map(|&kind| {
+            let baseline = execute(
+                &RunSpec::new(kind, CoherenceMechanism::Software).with_memory_mode(MemoryMode::NoHbm),
+                params,
+            );
+            let sw = execute(&RunSpec::new(kind, CoherenceMechanism::Software), params);
+            let unitd = execute(&RunSpec::new(kind, CoherenceMechanism::UnitdPlusPlus), params);
+            let hatric = execute(&RunSpec::new(kind, CoherenceMechanism::Hatric), params);
+            Fig13Row {
+                workload: kind.label().to_string(),
+                sw_runtime: sw.runtime_vs(&baseline),
+                unitd_runtime: unitd.runtime_vs(&baseline),
+                hatric_runtime: hatric.runtime_vs(&baseline),
+                sw_energy: sw.energy_vs(&baseline),
+                unitd_energy: unitd.energy_vs(&baseline),
+                hatric_energy: hatric.energy_vs(&baseline),
+            }
+        })
+        .collect()
+}
+
+/// Formats the rows as a text table.
+#[must_use]
+pub fn format_table(rows: &[Fig13Row]) -> String {
+    let mut out = String::from(
+        "Figure 13: HATRIC vs UNITD++ (normalised to no-hbm)\n\
+         workload        sw-rt  unitd-rt  hatric-rt   sw-en  unitd-en  hatric-en\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15} {:>6.3} {:>9.3} {:>10.3} {:>7.3} {:>9.3} {:>10.3}\n",
+            r.workload,
+            r.sw_runtime,
+            r.unitd_runtime,
+            r.hatric_runtime,
+            r.sw_energy,
+            r.unitd_energy,
+            r.hatric_energy
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_contains_both_mechanisms() {
+        let rows = vec![Fig13Row {
+            workload: "canneal".into(),
+            sw_runtime: 1.0,
+            unitd_runtime: 0.85,
+            hatric_runtime: 0.78,
+            sw_energy: 1.0,
+            unitd_energy: 0.97,
+            hatric_energy: 0.92,
+        }];
+        let table = format_table(&rows);
+        assert!(table.contains("unitd-rt"));
+        assert!(table.contains("hatric-en"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 2: the potential of hypervisor-managed die-stacked DRAM and how
+//! much of it software translation coherence throws away.
+
+use serde::{Deserialize, Serialize};
+
+use hatric_coherence::CoherenceMechanism;
+use hatric_workloads::WorkloadKind;
+
+use super::common::{execute, ExperimentParams, RunSpec};
+use crate::config::MemoryMode;
+
+/// One workload's bars in Fig. 2, all normalised to the `no-hbm` runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Row {
+    /// Workload label.
+    pub workload: String,
+    /// Runtime with no die-stacked DRAM (the 1.0 baseline).
+    pub no_hbm: f64,
+    /// Runtime with infinite die-stacked DRAM (unachievable lower bound).
+    pub inf_hbm: f64,
+    /// Best paging policy with today's software translation coherence.
+    pub curr_best: f64,
+    /// Best paging policy with zero-overhead translation coherence.
+    pub achievable: f64,
+}
+
+/// Runs the Fig. 2 experiment for every big-memory workload.
+#[must_use]
+pub fn run(params: &ExperimentParams) -> Vec<Fig2Row> {
+    WorkloadKind::big_memory_suite()
+        .iter()
+        .map(|&kind| {
+            let baseline = execute(
+                &RunSpec::new(kind, CoherenceMechanism::Software).with_memory_mode(MemoryMode::NoHbm),
+                params,
+            );
+            let inf = execute(
+                &RunSpec::new(kind, CoherenceMechanism::Software)
+                    .with_memory_mode(MemoryMode::InfiniteHbm),
+                params,
+            );
+            let curr = execute(&RunSpec::new(kind, CoherenceMechanism::Software), params);
+            let achievable = execute(&RunSpec::new(kind, CoherenceMechanism::Ideal), params);
+            Fig2Row {
+                workload: kind.label().to_string(),
+                no_hbm: 1.0,
+                inf_hbm: inf.runtime_vs(&baseline),
+                curr_best: curr.runtime_vs(&baseline),
+                achievable: achievable.runtime_vs(&baseline),
+            }
+        })
+        .collect()
+}
+
+/// Formats the rows as a text table matching the figure's series.
+#[must_use]
+pub fn format_table(rows: &[Fig2Row]) -> String {
+    let mut out = String::from(
+        "Figure 2: runtime normalised to no-hbm (lower is better)\n\
+         workload        no-hbm  inf-hbm  curr-best  achievable\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15} {:>6.3} {:>8.3} {:>10.3} {:>11.3}\n",
+            r.workload, r.no_hbm, r.inf_hbm, r.curr_best, r.achievable
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting_mentions_every_workload() {
+        let rows = vec![Fig2Row {
+            workload: "canneal".into(),
+            no_hbm: 1.0,
+            inf_hbm: 0.6,
+            curr_best: 0.9,
+            achievable: 0.65,
+        }];
+        let table = format_table(&rows);
+        assert!(table.contains("canneal"));
+        assert!(table.contains("achievable"));
+    }
+}

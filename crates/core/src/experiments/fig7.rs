@@ -1,0 +1,94 @@
+//! Figure 7: HATRIC's benefit as a function of vCPU count.
+
+use serde::{Deserialize, Serialize};
+
+use hatric_coherence::CoherenceMechanism;
+use hatric_workloads::WorkloadKind;
+
+use super::common::{execute, ExperimentParams, RunSpec};
+use crate::config::MemoryMode;
+
+/// One (workload, vCPU count) group of bars, normalised to the no-hbm
+/// runtime at the same vCPU count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Row {
+    /// Workload label.
+    pub workload: String,
+    /// Number of vCPUs.
+    pub vcpus: usize,
+    /// Software translation coherence (best paging policy).
+    pub sw: f64,
+    /// HATRIC.
+    pub hatric: f64,
+    /// Zero-overhead translation coherence.
+    pub ideal: f64,
+}
+
+/// vCPU counts swept by the figure.
+pub const VCPU_SWEEP: [usize; 3] = [4, 8, 16];
+
+/// Runs the Fig. 7 experiment.
+#[must_use]
+pub fn run(params: &ExperimentParams) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for &kind in &WorkloadKind::big_memory_suite() {
+        for &vcpus in &VCPU_SWEEP {
+            let p = params.with_vcpus(vcpus);
+            let baseline = execute(
+                &RunSpec::new(kind, CoherenceMechanism::Software).with_memory_mode(MemoryMode::NoHbm),
+                &p,
+            );
+            let sw = execute(&RunSpec::new(kind, CoherenceMechanism::Software), &p);
+            let hatric = execute(&RunSpec::new(kind, CoherenceMechanism::Hatric), &p);
+            let ideal = execute(&RunSpec::new(kind, CoherenceMechanism::Ideal), &p);
+            rows.push(Fig7Row {
+                workload: kind.label().to_string(),
+                vcpus,
+                sw: sw.runtime_vs(&baseline),
+                hatric: hatric.runtime_vs(&baseline),
+                ideal: ideal.runtime_vs(&baseline),
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the rows as a text table.
+#[must_use]
+pub fn format_table(rows: &[Fig7Row]) -> String {
+    let mut out = String::from(
+        "Figure 7: runtime vs vCPU count, normalised to no-hbm (lower is better)\n\
+         workload        vcpus      sw   hatric   ideal\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15} {:>5} {:>7.3} {:>8.3} {:>7.3}\n",
+            r.workload, r.vcpus, r.sw, r.hatric, r.ideal
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_paper_vcpu_counts() {
+        assert_eq!(VCPU_SWEEP, [4, 8, 16]);
+    }
+
+    #[test]
+    fn formatting_includes_counts() {
+        let rows = vec![Fig7Row {
+            workload: "facesim".into(),
+            vcpus: 8,
+            sw: 0.9,
+            hatric: 0.7,
+            ideal: 0.69,
+        }];
+        let table = format_table(&rows);
+        assert!(table.contains("facesim"));
+        assert!(table.contains(" 8 "));
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 8: HATRIC's benefit as a function of the KVM paging policy.
+
+use serde::{Deserialize, Serialize};
+
+use hatric_coherence::CoherenceMechanism;
+use hatric_workloads::WorkloadKind;
+
+use super::common::{execute, ExperimentParams, RunSpec};
+use crate::config::{MemoryMode, PagingKnobs};
+
+/// One (workload, paging policy) group of bars, normalised to no-hbm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Row {
+    /// Workload label.
+    pub workload: String,
+    /// Paging-policy label (`lru`, `&mig-dmn`, `&pref.`).
+    pub policy: String,
+    /// Software translation coherence.
+    pub sw: f64,
+    /// HATRIC.
+    pub hatric: f64,
+    /// Zero-overhead translation coherence.
+    pub ideal: f64,
+}
+
+/// The policy labels in the paper's presentation order.
+#[must_use]
+pub fn policy_labels() -> [&'static str; 3] {
+    ["lru", "&mig-dmn", "&pref."]
+}
+
+/// Runs the Fig. 8 experiment (16 vCPUs).
+#[must_use]
+pub fn run(params: &ExperimentParams) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    let labels = policy_labels();
+    for &kind in &WorkloadKind::big_memory_suite() {
+        let baseline = execute(
+            &RunSpec::new(kind, CoherenceMechanism::Software).with_memory_mode(MemoryMode::NoHbm),
+            params,
+        );
+        for (i, knobs) in PagingKnobs::fig8_sweep().into_iter().enumerate() {
+            let sw = execute(
+                &RunSpec::new(kind, CoherenceMechanism::Software).with_paging(knobs),
+                params,
+            );
+            let hatric = execute(
+                &RunSpec::new(kind, CoherenceMechanism::Hatric).with_paging(knobs),
+                params,
+            );
+            let ideal = execute(
+                &RunSpec::new(kind, CoherenceMechanism::Ideal).with_paging(knobs),
+                params,
+            );
+            rows.push(Fig8Row {
+                workload: kind.label().to_string(),
+                policy: labels[i].to_string(),
+                sw: sw.runtime_vs(&baseline),
+                hatric: hatric.runtime_vs(&baseline),
+                ideal: ideal.runtime_vs(&baseline),
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the rows as a text table.
+#[must_use]
+pub fn format_table(rows: &[Fig8Row]) -> String {
+    let mut out = String::from(
+        "Figure 8: runtime vs paging policy, normalised to no-hbm (lower is better)\n\
+         workload        policy        sw   hatric   ideal\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15} {:<10} {:>7.3} {:>8.3} {:>7.3}\n",
+            r.workload, r.policy, r.sw, r.hatric, r.ideal
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_policies_match_paper_labels() {
+        assert_eq!(policy_labels().len(), PagingKnobs::fig8_sweep().len());
+    }
+
+    #[test]
+    fn formatting_lists_policy() {
+        let rows = vec![Fig8Row {
+            workload: "tunkrank".into(),
+            policy: "&pref.".into(),
+            sw: 1.0,
+            hatric: 0.8,
+            ideal: 0.78,
+        }];
+        assert!(format_table(&rows).contains("&pref."));
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 9: the impact of translation-structure sizes — software flushing
+//! wastes larger TLBs/MMU caches/nTLBs, HATRIC exploits them.
+
+use serde::{Deserialize, Serialize};
+
+use hatric_coherence::CoherenceMechanism;
+use hatric_workloads::WorkloadKind;
+
+use super::common::{execute, ExperimentParams, RunSpec};
+use crate::config::MemoryMode;
+
+/// One (workload, size multiplier) group of bars, normalised to no-hbm with
+/// default (1×) structures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Row {
+    /// Workload label.
+    pub workload: String,
+    /// Translation-structure size multiplier (1, 2 or 4).
+    pub scale: usize,
+    /// Software translation coherence.
+    pub sw: f64,
+    /// HATRIC.
+    pub hatric: f64,
+    /// Zero-overhead translation coherence.
+    pub ideal: f64,
+}
+
+/// The size multipliers swept by the figure.
+pub const SCALE_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Runs the Fig. 9 experiment.
+#[must_use]
+pub fn run(params: &ExperimentParams) -> Vec<Fig9Row> {
+    let mut rows = Vec::new();
+    for &kind in &WorkloadKind::big_memory_suite() {
+        let baseline = execute(
+            &RunSpec::new(kind, CoherenceMechanism::Software).with_memory_mode(MemoryMode::NoHbm),
+            params,
+        );
+        for &scale in &SCALE_SWEEP {
+            let sw = execute(
+                &RunSpec::new(kind, CoherenceMechanism::Software).with_structure_scale(scale),
+                params,
+            );
+            let hatric = execute(
+                &RunSpec::new(kind, CoherenceMechanism::Hatric).with_structure_scale(scale),
+                params,
+            );
+            let ideal = execute(
+                &RunSpec::new(kind, CoherenceMechanism::Ideal).with_structure_scale(scale),
+                params,
+            );
+            rows.push(Fig9Row {
+                workload: kind.label().to_string(),
+                scale,
+                sw: sw.runtime_vs(&baseline),
+                hatric: hatric.runtime_vs(&baseline),
+                ideal: ideal.runtime_vs(&baseline),
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the rows as a text table.
+#[must_use]
+pub fn format_table(rows: &[Fig9Row]) -> String {
+    let mut out = String::from(
+        "Figure 9: runtime vs translation-structure size, normalised to no-hbm\n\
+         workload        size      sw   hatric   ideal\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15} {:>3}x {:>8.3} {:>8.3} {:>7.3}\n",
+            r.workload, r.scale, r.sw, r.hatric, r.ideal
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_1_2_4() {
+        assert_eq!(SCALE_SWEEP, [1, 2, 4]);
+    }
+
+    #[test]
+    fn format_contains_scale() {
+        let rows = vec![Fig9Row {
+            workload: "graph500".into(),
+            scale: 4,
+            sw: 1.0,
+            hatric: 0.8,
+            ideal: 0.79,
+        }];
+        assert!(format_table(&rows).contains("4x"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Simulation reports: runtime, coherence activity, paging activity, cache
+//! and translation statistics, and energy.
+
+use serde::{Deserialize, Serialize};
+
+use hatric_cache::CacheStatsSnapshot;
+use hatric_energy::EnergyReport;
+use hatric_hypervisor::PagingStats;
+use hatric_tlb::TranslationStatsSnapshot;
+
+/// Translation-coherence activity observed during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoherenceActivity {
+    /// Nested-page-table entries modified (page remaps).
+    pub remaps: u64,
+    /// Inter-processor interrupts sent by the software path.
+    pub ipis: u64,
+    /// VM exits caused by translation coherence (not demand faults).
+    pub coherence_vm_exits: u64,
+    /// Full translation-structure flushes performed.
+    pub full_flushes: u64,
+    /// Translation entries lost to full flushes.
+    pub entries_flushed: u64,
+    /// Translation entries removed by selective (co-tag) invalidation.
+    pub entries_selectively_invalidated: u64,
+    /// Hardware coherence messages delivered to translation structures.
+    pub hw_messages: u64,
+    /// Invalidation messages that found nothing to invalidate (spurious).
+    pub spurious_messages: u64,
+    /// Translation entries removed by directory back-invalidations.
+    pub back_invalidated_entries: u64,
+}
+
+/// Demand-paging activity observed during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultActivity {
+    /// Demand faults on non-resident pages (each causes a VM exit).
+    pub demand_faults: u64,
+    /// First-touch minor faults that populated brand-new mappings.
+    pub first_touch_faults: u64,
+    /// Pages migrated into die-stacked memory.
+    pub pages_promoted: u64,
+    /// Pages migrated out to off-chip memory.
+    pub pages_demoted: u64,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Cycles consumed by each physical CPU during the measured phase.
+    pub cycles_per_cpu: Vec<u64>,
+    /// Memory accesses simulated in the measured phase.
+    pub accesses: u64,
+    /// Translation-coherence activity.
+    pub coherence: CoherenceActivity,
+    /// Demand-paging activity.
+    pub faults: FaultActivity,
+    /// Hypervisor paging-policy statistics.
+    pub paging: PagingStats,
+    /// Aggregate translation-structure statistics (summed over CPUs).
+    pub translation: TranslationStatsSnapshot,
+    /// Cache-hierarchy statistics.
+    pub cache: CacheStatsSnapshot,
+    /// Energy accounting.
+    pub energy: EnergyReport,
+}
+
+impl SimReport {
+    /// Runtime of the run: the largest per-CPU cycle count (all guest
+    /// threads run concurrently, one per CPU).
+    #[must_use]
+    pub fn runtime_cycles(&self) -> u64 {
+        self.cycles_per_cpu.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Runtime of an individual thread/application (the cycles of the CPU it
+    /// is pinned to).  Used by the Fig. 10 multiprogrammed metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    #[must_use]
+    pub fn thread_runtime_cycles(&self, thread: usize) -> u64 {
+        self.cycles_per_cpu[thread]
+    }
+
+    /// Average cycles per access (a CPI-like figure of merit).
+    #[must_use]
+    pub fn cycles_per_access(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.runtime_cycles() as f64 / (self.accesses as f64 / self.cycles_per_cpu.len().max(1) as f64)
+        }
+    }
+
+    /// Total energy in nanojoules.
+    #[must_use]
+    pub fn total_energy_nj(&self) -> f64 {
+        self.energy.total_nj()
+    }
+
+    /// Runtime of this run normalised to a baseline run.
+    #[must_use]
+    pub fn runtime_vs(&self, baseline: &SimReport) -> f64 {
+        let base = baseline.runtime_cycles();
+        if base == 0 {
+            0.0
+        } else {
+            self.runtime_cycles() as f64 / base as f64
+        }
+    }
+
+    /// Energy of this run normalised to a baseline run.
+    #[must_use]
+    pub fn energy_vs(&self, baseline: &SimReport) -> f64 {
+        let base = baseline.total_energy_nj();
+        if base == 0.0 {
+            0.0
+        } else {
+            self.total_energy_nj() / base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: Vec<u64>, accesses: u64) -> SimReport {
+        SimReport {
+            cycles_per_cpu: cycles,
+            accesses,
+            ..SimReport::default()
+        }
+    }
+
+    #[test]
+    fn runtime_is_max_cpu() {
+        let r = report(vec![10, 30, 20], 3);
+        assert_eq!(r.runtime_cycles(), 30);
+        assert_eq!(r.thread_runtime_cycles(2), 20);
+    }
+
+    #[test]
+    fn normalisation_against_baseline() {
+        let fast = report(vec![50], 10);
+        let slow = report(vec![100], 10);
+        assert!((fast.runtime_vs(&slow) - 0.5).abs() < 1e-12);
+        assert!((slow.runtime_vs(&fast) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SimReport::default();
+        assert_eq!(r.runtime_cycles(), 0);
+        assert_eq!(r.cycles_per_access(), 0.0);
+        assert_eq!(r.runtime_vs(&r), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # hatric-hypervisor
+//!
+//! The hypervisor-side substrate: virtual-machine and vCPU bookkeeping
+//! (which physical CPUs a VM has ever run on — the only targeting
+//! information software translation coherence has), and the die-stacked
+//! DRAM paging policies the paper implements inside KVM (Sec. 5.2): FIFO
+//! and CLOCK-based pseudo-LRU eviction, a migration daemon that keeps a
+//! pool of free fast-memory frames off the critical path, and demand-fetch
+//! prefetching of adjacent pages.
+//!
+//! The policies here are *decision makers*: they say which guest-physical
+//! frames to promote into die-stacked memory and which to evict.  The core
+//! simulator executes those decisions (copies pages, rewrites the nested
+//! page table, triggers translation coherence) and charges their costs.
+//!
+//! ```
+//! use hatric_hypervisor::{PagingConfig, PagingManager, PagingPolicyKind};
+//! use hatric_types::GuestFrame;
+//!
+//! let mut paging = PagingManager::new(PagingConfig {
+//!     policy: PagingPolicyKind::ClockLru,
+//!     fast_capacity_pages: 2,
+//!     migration_daemon: false,
+//!     daemon_free_target: 0,
+//!     prefetch_pages: 0,
+//! });
+//! // Two promotions fill fast memory; the third must evict the LRU victim.
+//! assert!(paging.on_slow_access(GuestFrame::new(1)).evictions.is_empty());
+//! paging.commit_promotion(GuestFrame::new(1));
+//! assert!(paging.on_slow_access(GuestFrame::new(2)).evictions.is_empty());
+//! paging.commit_promotion(GuestFrame::new(2));
+//! paging.on_fast_access(GuestFrame::new(1));
+//! let decision = paging.on_slow_access(GuestFrame::new(3));
+//! assert_eq!(decision.evictions, vec![GuestFrame::new(2)]);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod paging;
+pub mod vm;
+
+pub use paging::{
+    MigrationDecision, PagingConfig, PagingManager, PagingPolicyKind, PagingStats,
+};
+pub use vm::{HypervisorKind, VirtualMachine, VmConfig};

@@ -1,0 +1,114 @@
+//! A simple physical-frame allocator over a contiguous range.
+
+use hatric_types::SystemFrame;
+
+/// Allocates 4 KiB frames from a contiguous range, reusing freed frames in
+/// LIFO order (freed frames are preferred so die-stacked capacity is packed).
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    base: u64,
+    total: u64,
+    next_fresh: u64,
+    free_list: Vec<u64>,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator covering `[base, base + total)` frame numbers.
+    #[must_use]
+    pub fn new(base: u64, total: u64) -> Self {
+        Self {
+            base,
+            total,
+            next_fresh: 0,
+            free_list: Vec::new(),
+        }
+    }
+
+    /// Number of frames still available.
+    #[must_use]
+    pub fn free(&self) -> u64 {
+        (self.total - self.next_fresh) + self.free_list.len() as u64
+    }
+
+    /// Number of frames handed out and not yet freed.
+    #[must_use]
+    pub fn in_use(&self) -> u64 {
+        self.next_fresh - self.free_list.len() as u64
+    }
+
+    /// Allocates one frame, or `None` if the range is exhausted.
+    pub fn allocate(&mut self) -> Option<SystemFrame> {
+        if let Some(number) = self.free_list.pop() {
+            return Some(SystemFrame::new(number));
+        }
+        if self.next_fresh < self.total {
+            let number = self.base + self.next_fresh;
+            self.next_fresh += 1;
+            Some(SystemFrame::new(number))
+        } else {
+            None
+        }
+    }
+
+    /// Returns a frame to the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the frame lies outside this allocator's range.
+    pub fn free_frame(&mut self, frame: SystemFrame) {
+        debug_assert!(
+            frame.number() >= self.base && frame.number() < self.base + self.total,
+            "frame {frame} outside allocator range"
+        );
+        self.free_list.push(frame.number());
+    }
+
+    /// Whether the allocator has no free frames left.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.free() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_sequentially_from_base() {
+        let mut alloc = FrameAllocator::new(100, 3);
+        assert_eq!(alloc.allocate(), Some(SystemFrame::new(100)));
+        assert_eq!(alloc.allocate(), Some(SystemFrame::new(101)));
+        assert_eq!(alloc.allocate(), Some(SystemFrame::new(102)));
+        assert_eq!(alloc.allocate(), None);
+        assert!(alloc.is_exhausted());
+    }
+
+    #[test]
+    fn freed_frames_are_reused_first() {
+        let mut alloc = FrameAllocator::new(0, 10);
+        let a = alloc.allocate().unwrap();
+        let _b = alloc.allocate().unwrap();
+        alloc.free_frame(a);
+        assert_eq!(alloc.allocate(), Some(a));
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let mut alloc = FrameAllocator::new(0, 10);
+        assert_eq!(alloc.free(), 10);
+        let f = alloc.allocate().unwrap();
+        assert_eq!(alloc.free(), 9);
+        assert_eq!(alloc.in_use(), 1);
+        alloc.free_frame(f);
+        assert_eq!(alloc.free(), 10);
+        assert_eq!(alloc.in_use(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_allocator_is_always_exhausted() {
+        let mut alloc = FrameAllocator::new(0, 0);
+        assert!(alloc.is_exhausted());
+        assert_eq!(alloc.allocate(), None);
+    }
+}

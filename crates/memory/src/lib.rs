@@ -1,0 +1,327 @@
+//! # hatric-memory
+//!
+//! The physical-memory substrate of the HATRIC simulator: a forward-looking
+//! two-level DRAM system with a small, high-bandwidth **die-stacked** device
+//! and a large, lower-bandwidth **off-chip** device (2 GiB at 4× the
+//! bandwidth of 8 GiB, as in Sec. 5.1 of the paper), plus frame allocation
+//! and a simple queueing model that converts bandwidth pressure into access
+//! latency.
+//!
+//! ```
+//! use hatric_memory::{MemoryKind, MemorySystem, MemorySystemConfig};
+//!
+//! # fn main() -> Result<(), hatric_types::SimError> {
+//! let mut mem = MemorySystem::new(MemorySystemConfig::paper_default());
+//! let fast = mem.allocate(MemoryKind::DieStacked)?;
+//! let slow = mem.allocate(MemoryKind::OffChip)?;
+//! assert_eq!(mem.kind_of(fast), MemoryKind::DieStacked);
+//! assert_eq!(mem.kind_of(slow), MemoryKind::OffChip);
+//!
+//! // Under load, the off-chip device queues far more than the die-stacked one.
+//! let mut fast_total = 0;
+//! let mut slow_total = 0;
+//! for i in 0..1000u64 {
+//!     fast_total += mem.access(fast, i * 2);
+//!     slow_total += mem.access(slow, i * 2);
+//! }
+//! assert!(slow_total > fast_total);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod allocator;
+pub mod device;
+
+pub use allocator::FrameAllocator;
+pub use device::{DeviceConfig, DeviceStats, MemoryDevice, MemoryKind};
+
+use serde::{Deserialize, Serialize};
+
+use hatric_types::{Result, SimError, SystemFrame, PAGE_SIZE_4K};
+use hatric_types::consts::CACHE_LINE_BYTES;
+
+/// Configuration of the whole two-level memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystemConfig {
+    /// Die-stacked (fast) device.
+    pub die_stacked: DeviceConfig,
+    /// Off-chip (slow, large) device.
+    pub off_chip: DeviceConfig,
+    /// Fixed software/DMA overhead per migrated page, in cycles, on top of
+    /// the bandwidth cost of streaming the page through both devices.
+    pub page_copy_overhead_cycles: u64,
+}
+
+impl MemorySystemConfig {
+    /// The paper's configuration: 2 GiB die-stacked DRAM with 4× the
+    /// bandwidth of 8 GiB off-chip DRAM.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            die_stacked: DeviceConfig {
+                kind: MemoryKind::DieStacked,
+                capacity_bytes: 2 * 1024 * 1024 * 1024,
+                base_latency_cycles: 120,
+                service_cycles_per_line: 1,
+            },
+            off_chip: DeviceConfig {
+                kind: MemoryKind::OffChip,
+                capacity_bytes: 8 * 1024 * 1024 * 1024,
+                base_latency_cycles: 200,
+                service_cycles_per_line: 4,
+            },
+            page_copy_overhead_cycles: 2_000,
+        }
+    }
+
+    /// A configuration with no die-stacked DRAM at all (the `no-hbm`
+    /// baseline of Fig. 2): the fast device has zero capacity.
+    #[must_use]
+    pub fn no_hbm() -> Self {
+        let mut cfg = Self::paper_default();
+        cfg.die_stacked.capacity_bytes = 0;
+        cfg
+    }
+
+    /// A configuration with effectively infinite die-stacked DRAM (the
+    /// `inf-hbm` upper bound of Fig. 2).
+    #[must_use]
+    pub fn infinite_hbm() -> Self {
+        let mut cfg = Self::paper_default();
+        cfg.die_stacked.capacity_bytes = 1 << 44;
+        cfg
+    }
+}
+
+impl Default for MemorySystemConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The two-level physical memory system.
+///
+/// System-physical frames are laid out as: `[0, off_chip_frames)` on the
+/// off-chip device, `[off_chip_frames, off_chip_frames + die_frames)` on the
+/// die-stacked device, and everything above that is *hypervisor / page-table
+/// reserve* space charged at off-chip latency.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemorySystemConfig,
+    off_chip: MemoryDevice,
+    die_stacked: MemoryDevice,
+    off_chip_frames: u64,
+    die_frames: u64,
+    off_allocator: FrameAllocator,
+    die_allocator: FrameAllocator,
+}
+
+impl MemorySystem {
+    /// Creates the memory system.
+    #[must_use]
+    pub fn new(config: MemorySystemConfig) -> Self {
+        let off_chip_frames = config.off_chip.capacity_bytes / PAGE_SIZE_4K;
+        let die_frames = config.die_stacked.capacity_bytes / PAGE_SIZE_4K;
+        Self {
+            config,
+            off_chip: MemoryDevice::new(config.off_chip),
+            die_stacked: MemoryDevice::new(config.die_stacked),
+            off_chip_frames,
+            die_frames,
+            off_allocator: FrameAllocator::new(0, off_chip_frames),
+            die_allocator: FrameAllocator::new(off_chip_frames, die_frames),
+        }
+    }
+
+    /// The configuration this system was built with.
+    #[must_use]
+    pub fn config(&self) -> &MemorySystemConfig {
+        &self.config
+    }
+
+    /// Which device a system frame lives on.  Frames beyond both devices
+    /// (the page-table / hypervisor reserve) are charged as off-chip.
+    #[must_use]
+    pub fn kind_of(&self, frame: SystemFrame) -> MemoryKind {
+        if frame.number() >= self.off_chip_frames
+            && frame.number() < self.off_chip_frames + self.die_frames
+        {
+            MemoryKind::DieStacked
+        } else {
+            MemoryKind::OffChip
+        }
+    }
+
+    /// First frame number of the die-stacked region.
+    #[must_use]
+    pub fn die_stacked_base(&self) -> SystemFrame {
+        SystemFrame::new(self.off_chip_frames)
+    }
+
+    /// First frame number above both devices; useful as a base for
+    /// page-table / hypervisor reserve allocations.
+    #[must_use]
+    pub fn reserve_base(&self) -> SystemFrame {
+        SystemFrame::new(self.off_chip_frames + self.die_frames)
+    }
+
+    /// Number of free frames on a device.
+    #[must_use]
+    pub fn free_frames(&self, kind: MemoryKind) -> u64 {
+        match kind {
+            MemoryKind::DieStacked => self.die_allocator.free(),
+            MemoryKind::OffChip => self.off_allocator.free(),
+        }
+    }
+
+    /// Total frames on a device.
+    #[must_use]
+    pub fn total_frames(&self, kind: MemoryKind) -> u64 {
+        match kind {
+            MemoryKind::DieStacked => self.die_frames,
+            MemoryKind::OffChip => self.off_chip_frames,
+        }
+    }
+
+    /// Allocates a frame on the requested device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] if the device has no free frames.
+    pub fn allocate(&mut self, kind: MemoryKind) -> Result<SystemFrame> {
+        let allocator = match kind {
+            MemoryKind::DieStacked => &mut self.die_allocator,
+            MemoryKind::OffChip => &mut self.off_allocator,
+        };
+        allocator.allocate().ok_or_else(|| SimError::OutOfMemory {
+            device: kind.to_string(),
+        })
+    }
+
+    /// Frees a previously allocated frame.
+    pub fn free(&mut self, frame: SystemFrame) {
+        match self.kind_of(frame) {
+            MemoryKind::DieStacked => self.die_allocator.free_frame(frame),
+            MemoryKind::OffChip => self.off_allocator.free_frame(frame),
+        }
+    }
+
+    /// Performs one cache-line access to `frame`'s device at simulation time
+    /// `now`, returning the access latency in cycles (base + queueing).
+    pub fn access(&mut self, frame: SystemFrame, now: u64) -> u64 {
+        match self.kind_of(frame) {
+            MemoryKind::DieStacked => self.die_stacked.access(now),
+            MemoryKind::OffChip => self.off_chip.access(now),
+        }
+    }
+
+    /// Cost, in cycles, of copying one 4 KiB page from `from` to `to`,
+    /// including the bandwidth occupancy it adds to both devices.
+    pub fn page_copy_cycles(&mut self, from: SystemFrame, to: SystemFrame, now: u64) -> u64 {
+        let lines = PAGE_SIZE_4K / CACHE_LINE_BYTES;
+        let src = self.kind_of(from);
+        let dst = self.kind_of(to);
+        let mut cycles = self.config.page_copy_overhead_cycles;
+        // Streaming transfers pipeline well; charge the occupancy of both
+        // devices but only the larger of the two as serialised latency.
+        let src_cost: u64 = (0..lines).map(|i| self.device_mut(src).occupy(now + i)).sum();
+        let dst_cost: u64 = (0..lines).map(|i| self.device_mut(dst).occupy(now + i)).sum();
+        cycles += src_cost.max(dst_cost);
+        cycles
+    }
+
+    fn device_mut(&mut self, kind: MemoryKind) -> &mut MemoryDevice {
+        match kind {
+            MemoryKind::DieStacked => &mut self.die_stacked,
+            MemoryKind::OffChip => &mut self.off_chip,
+        }
+    }
+
+    /// Resets both devices' queueing clocks (used when the simulation's
+    /// cycle counters are reset between warmup and measurement).
+    pub fn reset_timing(&mut self) {
+        self.die_stacked.reset_timing();
+        self.off_chip.reset_timing();
+    }
+
+    /// Per-device statistics.
+    #[must_use]
+    pub fn device_stats(&self, kind: MemoryKind) -> DeviceStats {
+        match kind {
+            MemoryKind::DieStacked => self.die_stacked.stats(),
+            MemoryKind::OffChip => self.off_chip.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_regions_do_not_overlap() {
+        let mem = MemorySystem::new(MemorySystemConfig::paper_default());
+        assert_eq!(mem.total_frames(MemoryKind::OffChip), 8 * 1024 * 1024 / 4);
+        assert_eq!(mem.total_frames(MemoryKind::DieStacked), 2 * 1024 * 1024 / 4);
+        assert_eq!(mem.kind_of(SystemFrame::new(0)), MemoryKind::OffChip);
+        assert_eq!(mem.kind_of(mem.die_stacked_base()), MemoryKind::DieStacked);
+        assert_eq!(mem.kind_of(mem.reserve_base()), MemoryKind::OffChip);
+    }
+
+    #[test]
+    fn allocation_respects_device() {
+        let mut mem = MemorySystem::new(MemorySystemConfig::paper_default());
+        let fast = mem.allocate(MemoryKind::DieStacked).unwrap();
+        assert_eq!(mem.kind_of(fast), MemoryKind::DieStacked);
+        let slow = mem.allocate(MemoryKind::OffChip).unwrap();
+        assert_eq!(mem.kind_of(slow), MemoryKind::OffChip);
+    }
+
+    #[test]
+    fn no_hbm_config_cannot_allocate_fast_frames() {
+        let mut mem = MemorySystem::new(MemorySystemConfig::no_hbm());
+        assert!(mem.allocate(MemoryKind::DieStacked).is_err());
+        assert_eq!(mem.free_frames(MemoryKind::DieStacked), 0);
+    }
+
+    #[test]
+    fn free_then_reallocate() {
+        let mut mem = MemorySystem::new(MemorySystemConfig::paper_default());
+        let before = mem.free_frames(MemoryKind::DieStacked);
+        let frame = mem.allocate(MemoryKind::DieStacked).unwrap();
+        assert_eq!(mem.free_frames(MemoryKind::DieStacked), before - 1);
+        mem.free(frame);
+        assert_eq!(mem.free_frames(MemoryKind::DieStacked), before);
+    }
+
+    #[test]
+    fn bandwidth_differential_shows_under_load() {
+        let mut mem = MemorySystem::new(MemorySystemConfig::paper_default());
+        let fast = mem.allocate(MemoryKind::DieStacked).unwrap();
+        let slow = mem.allocate(MemoryKind::OffChip).unwrap();
+        let mut fast_total = 0u64;
+        let mut slow_total = 0u64;
+        // Hammer both devices with back-to-back accesses.
+        for i in 0..10_000u64 {
+            fast_total += mem.access(fast, i);
+            slow_total += mem.access(slow, i);
+        }
+        assert!(
+            slow_total > 2 * fast_total,
+            "off-chip should queue much more: fast={fast_total} slow={slow_total}"
+        );
+    }
+
+    #[test]
+    fn page_copy_cost_is_substantial() {
+        let mut mem = MemorySystem::new(MemorySystemConfig::paper_default());
+        let src = mem.allocate(MemoryKind::OffChip).unwrap();
+        let dst = mem.allocate(MemoryKind::DieStacked).unwrap();
+        let cost = mem.page_copy_cycles(src, dst, 0);
+        assert!(cost >= MemorySystemConfig::paper_default().page_copy_overhead_cycles);
+        assert!(cost < 1_000_000);
+    }
+}

@@ -1,0 +1,60 @@
+//! # hatric-pagetable
+//!
+//! x86-64-style 4-level radix page tables for virtualized address
+//! translation, plus the *two-dimensional page-table walker* that a
+//! hardware walker performs on a TLB miss in a virtualized system
+//! (Sec. 2.1 of the paper).
+//!
+//! Two tables exist per virtual machine:
+//!
+//! * the **guest page table** ([`GuestPageTable`]) maps guest-virtual pages
+//!   (GVPs) to guest-physical frames (GPPs) and is maintained by the guest
+//!   OS; its nodes live in guest-physical memory;
+//! * the **nested page table** ([`NestedPageTable`]) maps guest-physical
+//!   frames to system-physical frames (SPPs) and is maintained by the
+//!   hypervisor; its nodes live in system-physical memory.
+//!
+//! The walker ([`TwoDimWalker`]) produces, for a given GVP, the full ordered
+//! list of *system-physical addresses of every page-table entry touched* by
+//! the 24-reference two-dimensional walk.  Those addresses are exactly what
+//! HATRIC's co-tags store and what the cache/coherence model consumes.
+//!
+//! ```
+//! use hatric_pagetable::{GuestPageTable, NestedPageTable, TwoDimWalker};
+//! use hatric_types::{GuestFrame, GuestVirtPage, SystemFrame};
+//!
+//! # fn main() -> Result<(), hatric_types::SimError> {
+//! // Guest page-table nodes live in guest frames starting at 0x1000,
+//! // nested page-table nodes in system frames starting at 0x8000.
+//! let mut guest = GuestPageTable::new(GuestFrame::new(0x1000));
+//! let mut nested = NestedPageTable::new(SystemFrame::new(0x8000));
+//!
+//! let gvp = GuestVirtPage::new(0x42);
+//! guest.map(gvp, GuestFrame::new(0x77));
+//! // Every guest-physical frame (data and page-table nodes) needs a nested
+//! // mapping before the walker can find it.
+//! for frame in guest.node_frames().iter().chain([GuestFrame::new(0x77)].iter()) {
+//!     nested.map(*frame, SystemFrame::new(frame.number() + 0x10_0000));
+//! }
+//!
+//! let walk = TwoDimWalker::walk(gvp, &guest, &nested)?;
+//! assert_eq!(walk.memory_references(), 24);
+//! assert_eq!(walk.spp, SystemFrame::new(0x77 + 0x10_0000));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod guest;
+pub mod nested;
+pub mod pte;
+pub mod radix;
+pub mod walker;
+
+pub use guest::GuestPageTable;
+pub use nested::NestedPageTable;
+pub use pte::{Pte, PteFlags};
+pub use radix::{MapOutcome, RadixTable};
+pub use walker::{GuestWalkStep, NestedWalkSegment, TwoDimWalk, TwoDimWalker, WalkStepKind};

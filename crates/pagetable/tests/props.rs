@@ -1,0 +1,72 @@
+//! Property-based tests for the radix page tables and the two-dimensional
+//! walker.
+
+use proptest::prelude::*;
+
+use hatric_pagetable::{GuestPageTable, NestedPageTable, TwoDimWalker};
+use hatric_types::{GuestFrame, GuestVirtPage, SystemFrame};
+
+fn build(mappings: &[(u64, u64)]) -> (GuestPageTable, NestedPageTable) {
+    let mut guest = GuestPageTable::new(GuestFrame::new(0x100_0000));
+    let mut nested = NestedPageTable::new(SystemFrame::new(0x800_0000));
+    for &(gvp, gpp) in mappings {
+        guest.map(GuestVirtPage::new(gvp), GuestFrame::new(gpp));
+        nested.map(GuestFrame::new(gpp), SystemFrame::new(gpp + 0x10_0000));
+    }
+    for node in guest.node_frames() {
+        nested.map(node, SystemFrame::new(node.number() + 0x400_0000));
+    }
+    (guest, nested)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every mapped page translates back to exactly the frame it was mapped
+    /// to, through both the tables and the full two-dimensional walk.
+    #[test]
+    fn walk_agrees_with_tables(pages in proptest::collection::btree_set(0u64..(1 << 27), 1..40)) {
+        let mappings: Vec<(u64, u64)> =
+            pages.iter().enumerate().map(|(i, &gvp)| (gvp, 0x1000 + i as u64)).collect();
+        let (guest, nested) = build(&mappings);
+        for &(gvp, gpp) in &mappings {
+            let walk = TwoDimWalker::walk(GuestVirtPage::new(gvp), &guest, &nested).unwrap();
+            prop_assert_eq!(walk.gpp, GuestFrame::new(gpp));
+            prop_assert_eq!(walk.spp, SystemFrame::new(gpp + 0x10_0000));
+            prop_assert_eq!(walk.memory_references(), 24);
+            prop_assert_eq!(
+                walk.nested_leaf_pte_addr(),
+                nested.leaf_entry_addr(GuestFrame::new(gpp)).unwrap()
+            );
+        }
+    }
+
+    /// Remapping a page changes its translation but never moves the page
+    /// table entry itself (co-tags stay valid across migrations).
+    #[test]
+    fn remap_preserves_pte_location(gvp in 0u64..(1 << 27), new_frame in 1u64..(1 << 20)) {
+        let (guest, mut nested) = build(&[(gvp, 0x2222)]);
+        let before = nested.leaf_entry_addr(GuestFrame::new(0x2222)).unwrap();
+        let reported = nested.remap(GuestFrame::new(0x2222), SystemFrame::new(new_frame)).unwrap();
+        prop_assert_eq!(before, reported);
+        let walk = TwoDimWalker::walk(GuestVirtPage::new(gvp), &guest, &nested).unwrap();
+        prop_assert_eq!(walk.spp, SystemFrame::new(new_frame));
+    }
+
+    /// Unmapped pages never translate, mapped pages always do (no aliasing
+    /// between distinct guest-virtual pages).
+    #[test]
+    fn no_false_translations(pages in proptest::collection::btree_set(0u64..(1 << 20), 2..20)) {
+        let pages: Vec<u64> = pages.into_iter().collect();
+        let (mapped, unmapped) = pages.split_at(pages.len() / 2);
+        let mappings: Vec<(u64, u64)> =
+            mapped.iter().enumerate().map(|(i, &gvp)| (gvp, 0x5000 + i as u64)).collect();
+        let (guest, _nested) = build(&mappings);
+        for &(gvp, gpp) in &mappings {
+            prop_assert_eq!(guest.translate(GuestVirtPage::new(gvp)), Some(GuestFrame::new(gpp)));
+        }
+        for &gvp in unmapped {
+            prop_assert_eq!(guest.translate(GuestVirtPage::new(gvp)), None);
+        }
+    }
+}

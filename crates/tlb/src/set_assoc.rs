@@ -1,0 +1,202 @@
+//! A generic set-associative lookup structure with true-LRU replacement.
+//!
+//! All translation structures in this crate (TLBs, MMU caches, nested TLBs)
+//! are instances of [`SetAssoc`].  Entries are stored per set in MRU-first
+//! order; sets are selected by hashing the key, which is adequate for a
+//! behavioural simulator (the real index functions differ per structure but
+//! do not change the conclusions the paper draws).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A set-associative container mapping keys to values with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct SetAssoc<K, V> {
+    sets: Vec<Vec<(K, V)>>,
+    ways: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> SetAssoc<K, V> {
+    /// Creates a structure with `entries` total entries organised as
+    /// `ways`-way sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `ways` is zero, or if `ways` does not divide
+    /// `entries`.
+    #[must_use]
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(entries > 0, "structure must have at least one entry");
+        assert!(ways > 0, "structure must have at least one way");
+        assert!(
+            entries % ways == 0,
+            "ways ({ways}) must divide total entries ({entries})"
+        );
+        let num_sets = entries / ways;
+        Self {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+        }
+    }
+
+    /// Total capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of currently valid entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no entries are valid.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn set_index(&self, key: &K) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.sets.len()
+    }
+
+    /// Looks up `key`, promoting it to MRU on a hit.
+    pub fn lookup(&mut self, key: &K) -> Option<&V> {
+        let set = self.set_index(key);
+        let pos = self.sets[set].iter().position(|(k, _)| k == key)?;
+        let entry = self.sets[set].remove(pos);
+        self.sets[set].insert(0, entry);
+        self.sets[set].first().map(|(_, v)| v)
+    }
+
+    /// Looks up `key` without changing recency (probe).
+    #[must_use]
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let set = self.set_index(key);
+        self.sets[set].iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Inserts (or replaces) `key`, returning the evicted victim if the set
+    /// overflowed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        let set = self.set_index(&key);
+        if let Some(pos) = self.sets[set].iter().position(|(k, _)| *k == key) {
+            self.sets[set].remove(pos);
+        }
+        self.sets[set].insert(0, (key, value));
+        if self.sets[set].len() > self.ways {
+            self.sets[set].pop()
+        } else {
+            None
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let set = self.set_index(key);
+        let pos = self.sets[set].iter().position(|(k, _)| k == key)?;
+        Some(self.sets[set].remove(pos).1)
+    }
+
+    /// Removes every entry for which `pred` returns `true`; returns how many
+    /// entries were removed.
+    pub fn invalidate_matching<F: FnMut(&K, &V) -> bool>(&mut self, mut pred: F) -> u64 {
+        let mut removed = 0;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|(k, v)| !pred(k, v));
+            removed += (before - set.len()) as u64;
+        }
+        removed
+    }
+
+    /// Removes every entry; returns how many entries were valid.
+    pub fn flush(&mut self) -> u64 {
+        let count = self.len() as u64;
+        for set in &mut self.sets {
+            set.clear();
+        }
+        count
+    }
+
+    /// Iterates over all valid entries (no recency effect).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.sets.iter().flatten().map(|(k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c: SetAssoc<u64, u64> = SetAssoc::new(8, 2);
+        assert!(c.insert(1, 10).is_none());
+        assert_eq!(c.lookup(&1), Some(&10));
+        assert_eq!(c.lookup(&2), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // Fully associative (1 set) makes eviction order easy to verify.
+        let mut c: SetAssoc<u64, u64> = SetAssoc::new(2, 2);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.lookup(&1).is_some());
+        let victim = c.insert(3, 3);
+        assert_eq!(victim, Some((2, 2)));
+        assert!(c.peek(&1).is_some());
+        assert!(c.peek(&2).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c: SetAssoc<u64, u64> = SetAssoc::new(2, 2);
+        c.insert(1, 1);
+        c.insert(1, 100);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(&1), Some(&100));
+    }
+
+    #[test]
+    fn invalidate_matching_counts() {
+        let mut c: SetAssoc<u64, u64> = SetAssoc::new(16, 4);
+        for i in 0..10 {
+            c.insert(i, i * 10);
+        }
+        let removed = c.invalidate_matching(|_, v| *v >= 50);
+        assert_eq!(removed, 5);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c: SetAssoc<u64, u64> = SetAssoc::new(16, 4);
+        for i in 0..10 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.flush(), 10);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ways")]
+    fn rejects_nondividing_ways() {
+        let _: SetAssoc<u64, u64> = SetAssoc::new(10, 4);
+    }
+
+    #[test]
+    fn capacity_is_respected_overall() {
+        let mut c: SetAssoc<u64, u64> = SetAssoc::new(64, 4);
+        for i in 0..1000 {
+            c.insert(i, i);
+        }
+        assert!(c.len() <= c.capacity());
+    }
+}

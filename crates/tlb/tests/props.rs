@@ -1,0 +1,89 @@
+//! Property-based tests for the translation structures and co-tag
+//! invalidation invariants.
+
+use proptest::prelude::*;
+
+use hatric_tlb::{StructureSizes, TranslationStructures};
+use hatric_types::{AddressSpaceId, CoTag, GuestVirtPage, SystemFrame, SystemPhysAddr, VmId};
+
+fn filled(entries: &[(u64, u64)]) -> TranslationStructures {
+    let mut ts = TranslationStructures::new(&StructureSizes::haswell_like(), 2);
+    for &(gvp, pte_addr) in entries {
+        ts.fill_data(
+            VmId::new(0),
+            AddressSpaceId::new(0),
+            GuestVirtPage::new(gvp),
+            SystemFrame::new(gvp + 1),
+            SystemPhysAddr::new(pte_addr),
+            None,
+        );
+    }
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invalidating by the co-tag of a page-table line removes every cached
+    /// translation whose PTE lives in that line and never leaves one behind.
+    #[test]
+    fn cotag_invalidation_is_complete(
+        entries in proptest::collection::btree_map(0u64..2_000, 0u64..(1 << 19), 1..60),
+        victim_index in 0usize..60,
+    ) {
+        let list: Vec<(u64, u64)> = entries.into_iter().collect();
+        let mut ts = filled(&list);
+        let (victim_gvp, victim_pte) = list[victim_index % list.len()];
+        let tag = CoTag::from_pte_addr(SystemPhysAddr::new(victim_pte), 2);
+        ts.invalidate_cotag(tag);
+        // The victim translation must be gone.
+        prop_assert!(ts
+            .lookup_data(VmId::new(0), AddressSpaceId::new(0), GuestVirtPage::new(victim_gvp))
+            .is_none());
+        // Any translation from a *different* page-table line that is still
+        // cached must still translate correctly (no over-invalidation beyond
+        // the line/co-tag granularity).
+        for &(gvp, pte) in &list {
+            if CoTag::from_pte_addr(SystemPhysAddr::new(pte), 2) != tag {
+                if let Some(hit) =
+                    ts.lookup_data(VmId::new(0), AddressSpaceId::new(0), GuestVirtPage::new(gvp))
+                {
+                    prop_assert_eq!(hit.spp, SystemFrame::new(gvp + 1));
+                }
+            }
+        }
+    }
+
+    /// A full flush always empties every structure, regardless of content.
+    #[test]
+    fn flush_all_empties_everything(
+        entries in proptest::collection::btree_map(0u64..5_000, 0u64..(1 << 19), 1..100),
+    ) {
+        let list: Vec<(u64, u64)> = entries.into_iter().collect();
+        let mut ts = filled(&list);
+        let counted = ts.flush_all();
+        prop_assert_eq!(ts.occupancy(), 0);
+        prop_assert!(counted.total() > 0);
+        for &(gvp, _) in &list {
+            prop_assert!(ts
+                .lookup_data(VmId::new(0), AddressSpaceId::new(0), GuestVirtPage::new(gvp))
+                .is_none());
+        }
+    }
+
+    /// Lookups never return a frame that was not filled for that exact page.
+    #[test]
+    fn lookups_never_alias(
+        entries in proptest::collection::btree_map(0u64..10_000, 0u64..(1 << 19), 1..80),
+    ) {
+        let list: Vec<(u64, u64)> = entries.into_iter().collect();
+        let mut ts = filled(&list);
+        for &(gvp, _) in &list {
+            if let Some(hit) =
+                ts.lookup_data(VmId::new(0), AddressSpaceId::new(0), GuestVirtPage::new(gvp))
+            {
+                prop_assert_eq!(hit.spp, SystemFrame::new(gvp + 1));
+            }
+        }
+    }
+}

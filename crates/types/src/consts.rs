@@ -1,0 +1,75 @@
+//! Architectural constants for the simulated x86-64-like machine.
+//!
+//! The constants mirror the platform evaluated by the paper (Sec. 5): 4 KiB
+//! base pages, 64-byte cache lines, 8-byte page-table entries (hence eight
+//! PTEs per cache line, the invalidation granularity that HATRIC's coherence
+//! piggybacking operates at), and 4-level radix page tables with 9 index bits
+//! per level.
+
+/// Size in bytes of a base (4 KiB) page.
+pub const PAGE_SIZE_4K: u64 = 4096;
+
+/// Size in bytes of a 2 MiB superpage.
+pub const PAGE_SIZE_2M: u64 = 2 * 1024 * 1024;
+
+/// Size in bytes of a 1 GiB superpage.
+pub const PAGE_SIZE_1G: u64 = 1024 * 1024 * 1024;
+
+/// Size in bytes of a cache line on the simulated machine.
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// Size in bytes of one page-table entry.
+pub const PTE_BYTES: u64 = 8;
+
+/// Number of page-table entries that share one cache line.
+///
+/// This is the granularity at which HATRIC invalidates translation-structure
+/// entries: a store to a nested-page-table cache line conservatively
+/// invalidates every translation whose co-tag matches the line (Sec. 4.2,
+/// "Coherence granularity").
+pub const PTES_PER_CACHE_LINE: u64 = CACHE_LINE_BYTES / PTE_BYTES;
+
+/// Number of levels in an x86-64 radix page table (PML4 .. PT).
+pub const RADIX_LEVELS: usize = 4;
+
+/// Number of virtual-address bits consumed per radix level.
+pub const RADIX_BITS_PER_LEVEL: usize = 9;
+
+/// Number of entries in one radix page-table node (2^9).
+pub const RADIX_FANOUT: usize = 1 << RADIX_BITS_PER_LEVEL;
+
+/// Memory references needed by a full two-dimensional page-table walk.
+///
+/// A nested walk performs `RADIX_LEVELS` nested lookups for each of the
+/// `RADIX_LEVELS` guest levels plus a final nested walk for the data GPP:
+/// `4 * 5 + 4 = 24` (Sec. 2.1).
+pub const TWO_DIM_WALK_REFS: usize = RADIX_LEVELS * (RADIX_LEVELS + 1) + RADIX_LEVELS;
+
+/// Memory references needed by a native (non-virtualized) page-table walk.
+pub const NATIVE_WALK_REFS: usize = RADIX_LEVELS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptes_per_line_is_eight() {
+        assert_eq!(PTES_PER_CACHE_LINE, 8);
+    }
+
+    #[test]
+    fn two_dimensional_walk_is_24_references() {
+        assert_eq!(TWO_DIM_WALK_REFS, 24);
+    }
+
+    #[test]
+    fn radix_fanout_matches_bits() {
+        assert_eq!(RADIX_FANOUT, 512);
+    }
+
+    #[test]
+    fn superpage_sizes_are_multiples_of_base() {
+        assert_eq!(PAGE_SIZE_2M % PAGE_SIZE_4K, 0);
+        assert_eq!(PAGE_SIZE_1G % PAGE_SIZE_2M, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error handling shared by the simulator crates.
+
+use core::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = core::result::Result<T, SimError>;
+
+/// Errors produced by the HATRIC simulator crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value was invalid (e.g. a non-power-of-two associativity).
+    InvalidConfig {
+        /// Description of the offending parameter.
+        what: String,
+    },
+    /// Physical memory of the requested kind is exhausted.
+    OutOfMemory {
+        /// Which device ran out of frames.
+        device: String,
+    },
+    /// A translation was requested for a page that is not mapped.
+    UnmappedPage {
+        /// The guest-virtual page number that missed.
+        page: u64,
+    },
+    /// A guest-physical frame has no nested-page-table mapping.
+    UnmappedGuestFrame {
+        /// The guest-physical frame number that missed.
+        frame: u64,
+    },
+    /// An entity identifier was out of range for the configured system.
+    UnknownEntity {
+        /// Description of the entity (e.g. "cpu 17 of 16").
+        what: String,
+    },
+    /// A trace or workload was malformed.
+    MalformedTrace {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            SimError::OutOfMemory { device } => write!(f, "out of {device} memory"),
+            SimError::UnmappedPage { page } => write!(f, "guest virtual page {page:#x} is not mapped"),
+            SimError::UnmappedGuestFrame { frame } => {
+                write!(f, "guest physical frame {frame:#x} has no nested mapping")
+            }
+            SimError::UnknownEntity { what } => write!(f, "unknown entity: {what}"),
+            SimError::MalformedTrace { what } => write!(f, "malformed trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl SimError {
+    /// Shorthand constructor for configuration errors.
+    #[must_use]
+    pub fn config(what: impl Into<String>) -> Self {
+        SimError::InvalidConfig { what: what.into() }
+    }
+
+    /// Shorthand constructor for unknown-entity errors.
+    #[must_use]
+    pub fn unknown(what: impl Into<String>) -> Self {
+        SimError::UnknownEntity { what: what.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = SimError::config("llc ways must be a power of two");
+        let text = err.to_string();
+        assert!(text.starts_with("invalid configuration"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> = Box::new(SimError::OutOfMemory {
+            device: "die-stacked DRAM".into(),
+        });
+        assert!(err.to_string().contains("die-stacked"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the address/co-tag vocabulary.
+
+use proptest::prelude::*;
+
+use hatric_types::{CacheLineAddr, CoTag, GuestVirtAddr, PageSize, SimRng, SystemPhysAddr};
+
+proptest! {
+    /// Page base + offset always reconstructs the original address.
+    #[test]
+    fn page_decomposition_round_trips(addr in 0u64..(1 << 48)) {
+        let va = GuestVirtAddr::new(addr);
+        for size in [PageSize::Base, PageSize::Large2M, PageSize::Huge1G] {
+            let page = va.page(size);
+            prop_assert_eq!(page.base_addr().raw() + va.page_offset(size), addr);
+            prop_assert_eq!(page.base_addr().raw() % size.bytes(), 0);
+        }
+    }
+
+    /// Cache-line decomposition is idempotent and line-aligned.
+    #[test]
+    fn cache_line_containing_is_idempotent(addr in 0u64..(1 << 48)) {
+        let line = CacheLineAddr::containing(addr);
+        prop_assert_eq!(line.raw() % 64, 0);
+        prop_assert_eq!(CacheLineAddr::containing(line.raw()), line);
+        prop_assert!(line.raw() <= addr && addr < line.raw() + 64);
+    }
+
+    /// Two PTE addresses share a co-tag if and only if they share a cache
+    /// line, as long as the addresses fit within the co-tag's reach.
+    #[test]
+    fn cotag_matches_exactly_cache_line_sharing(
+        a in 0u64..(1 << 21),
+        b in 0u64..(1 << 21),
+        width in 2u8..=4,
+    ) {
+        let ta = CoTag::from_pte_addr(SystemPhysAddr::new(a), width);
+        let tb = CoTag::from_pte_addr(SystemPhysAddr::new(b), width);
+        let same_line = a / 64 == b / 64;
+        if same_line {
+            prop_assert_eq!(ta, tb);
+        }
+        // Within the 2-byte reach (bits 6..22), different lines differ.
+        if !same_line && width >= 3 {
+            prop_assert_ne!(ta, tb);
+        }
+    }
+
+    /// The deterministic RNG produces values strictly below its bound and is
+    /// reproducible from the seed.
+    #[test]
+    fn rng_bound_and_determinism(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..32 {
+            let x = a.below(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.below(bound));
+        }
+    }
+
+    /// Zipf draws always fall within the requested universe.
+    #[test]
+    fn zipf_stays_in_range(seed in any::<u64>(), n in 1u64..100_000, theta in 0.0f64..0.99) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.zipf(n, theta) < n);
+        }
+    }
+}

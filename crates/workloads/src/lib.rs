@@ -1,0 +1,38 @@
+//! # hatric-workloads
+//!
+//! Synthetic workload generators standing in for the paper's evaluation
+//! workloads (Sec. 5.3).  The original study drives its simulator with Pin
+//! traces of PARSEC (canneal, facesim), CloudSuite (data caching, tunkrank),
+//! graph500 and SPEC mixes; those traces are not available, so this crate
+//! generates access streams with the *characteristics that matter to
+//! translation coherence*: memory footprint relative to die-stacked
+//! capacity, access locality (how concentrated the hot set is), spatial run
+//! length, write fraction, sharing across threads, and compute intensity.
+//!
+//! Each [`Workload`] exposes per-thread streams of [`Access`]es that the
+//! core simulator feeds through the TLB/cache/memory model.
+//!
+//! ```
+//! use hatric_workloads::{Workload, WorkloadKind};
+//!
+//! // 2 GiB of die-stacked capacity is 524 288 pages; scaled-down runs pass
+//! // a proportionally smaller number.
+//! let mut wl = Workload::build(WorkloadKind::DataCaching, 16, 8_192, 7);
+//! let access = wl.next_access(0);
+//! assert!(access.gvp.number() < wl.spec().footprint_pages + wl.spec().region_base);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod mix;
+pub mod spec;
+pub mod stream;
+pub mod suite;
+pub mod trace;
+
+pub use mix::{MixWorkload, SpecMix};
+pub use spec::SpecApp;
+pub use stream::{Access, ThreadStream};
+pub use suite::{Workload, WorkloadKind, WorkloadSpec};
+pub use trace::{TraceEvent, TraceRecorder};

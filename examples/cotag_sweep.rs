@@ -1,0 +1,38 @@
+//! Co-tag sizing study (the Fig. 11 right-hand plot): 1-byte co-tags alias
+//! too much (extra invalidations, longer walks), 3-byte co-tags burn lookup
+//! and leakage energy; 2 bytes is the sweet spot the paper picks.
+//!
+//! Run with: `cargo run --release --example cotag_sweep`
+
+use hatric::experiments::{fig11, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams {
+        vcpus: 8,
+        fast_pages: 1_024,
+        warmup: 1_500,
+        measured: 2_500,
+        ..ExperimentParams::default_scale()
+    };
+
+    println!("Reproducing Figure 11 (right): co-tag width sweep\n");
+    let rows = fig11::run_cotag_sweep(&params);
+    println!("{}", fig11::format_cotag(&rows));
+
+    let best = rows
+        .iter()
+        .min_by(|a, b| {
+            (a.runtime_ratio * a.energy_ratio)
+                .partial_cmp(&(b.runtime_ratio * b.energy_ratio))
+                .unwrap()
+        })
+        .expect("sweep is never empty");
+    println!(
+        "Best performance-energy product at {}-byte co-tags (the paper's design point is 2 bytes).",
+        best.cotag_bytes
+    );
+
+    println!("\nReproducing Figure 11 (left): per-workload performance/energy scatter\n");
+    let points = fig11::run_scatter(&params);
+    println!("{}", fig11::format_scatter(&points));
+}

@@ -1,0 +1,53 @@
+//! Anatomy of hypervisor paging (the Sec. 3.2 breakdown): for each
+//! big-memory workload, how often the hypervisor remaps pages, what the
+//! software shootdown path does in response (IPIs, VM exits, flushes), and
+//! what HATRIC does instead (selective co-tag invalidations).
+//!
+//! Run with: `cargo run --release --example paging_anatomy`
+
+use hatric::experiments::{common::execute, common::RunSpec, ExperimentParams};
+use hatric::{CoherenceMechanism, MemoryMode, WorkloadKind};
+
+fn main() {
+    let params = ExperimentParams {
+        vcpus: 8,
+        fast_pages: 1_024,
+        warmup: 2_000,
+        measured: 3_000,
+        ..ExperimentParams::default_scale()
+    };
+
+    println!(
+        "Per-workload paging & coherence anatomy ({} vCPUs, {} fast pages, {} accesses/thread)\n",
+        params.vcpus, params.fast_pages, params.measured
+    );
+    println!(
+        "{:<14} {:>8} {:>8} {:>9} {:>8} {:>9} {:>10} {:>10} {:>8} {:>8}",
+        "workload", "remaps", "ipis", "vm-exits", "flushes", "flushed",
+        "selective", "spurious", "sw-norm", "ha-norm"
+    );
+    for kind in WorkloadKind::big_memory_suite() {
+        let baseline = execute(
+            &RunSpec::new(kind, CoherenceMechanism::Software).with_memory_mode(MemoryMode::NoHbm),
+            &params,
+        );
+        let sw = execute(&RunSpec::new(kind, CoherenceMechanism::Software), &params);
+        let hatric = execute(&RunSpec::new(kind, CoherenceMechanism::Hatric), &params);
+        println!(
+            "{:<14} {:>8} {:>8} {:>9} {:>8} {:>9} {:>10} {:>10} {:>8.3} {:>8.3}",
+            kind.label(),
+            sw.coherence.remaps,
+            sw.coherence.ipis,
+            sw.coherence.coherence_vm_exits,
+            sw.coherence.full_flushes,
+            sw.coherence.entries_flushed,
+            hatric.coherence.entries_selectively_invalidated,
+            hatric.coherence.spurious_messages,
+            sw.runtime_vs(&baseline),
+            hatric.runtime_vs(&baseline),
+        );
+    }
+    println!(
+        "\n(sw-norm / ha-norm: runtime with software coherence / with HATRIC, normalised to no-hbm)"
+    );
+}

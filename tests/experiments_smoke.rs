@@ -1,0 +1,128 @@
+//! Smoke tests for the per-figure experiment runners: every runner executes
+//! at a tiny scale and its results have the qualitative shape the paper
+//! reports.  (The benchmark harness regenerates the full-size tables.)
+
+use hatric::experiments::{fig10, fig11, fig12, fig13, fig2, fig7, fig8, fig9, xen, ExperimentParams};
+
+fn tiny() -> ExperimentParams {
+    ExperimentParams {
+        vcpus: 4,
+        fast_pages: 256,
+        warmup: 800,
+        measured: 1_200,
+        seed: 0x51_0e,
+    }
+}
+
+#[test]
+fn fig2_shape_paging_potential() {
+    let rows = fig2::run(&tiny());
+    assert_eq!(rows.len(), 5);
+    for row in &rows {
+        // Infinite die-stacked DRAM always helps.
+        assert!(row.inf_hbm < 1.0, "{}: inf-hbm {}", row.workload, row.inf_hbm);
+        // Ideal coherence is at least as good as software coherence.
+        assert!(
+            row.achievable <= row.curr_best + 0.02,
+            "{}: achievable {} vs curr-best {}",
+            row.workload,
+            row.achievable,
+            row.curr_best
+        );
+    }
+    // Software translation coherence hurts at least one low-locality
+    // workload badly (the paper: data caching and tunkrank regress).
+    assert!(
+        rows.iter().any(|r| r.curr_best > r.achievable + 0.05),
+        "software coherence should visibly cost performance: {rows:?}"
+    );
+    println!("{}", fig2::format_table(&rows));
+}
+
+#[test]
+fn fig7_hatric_tracks_ideal_across_vcpu_counts() {
+    let rows = fig7::run(&tiny());
+    assert_eq!(rows.len(), 5 * 3);
+    for row in &rows {
+        assert!(row.hatric <= row.sw + 0.02, "{row:?}");
+        assert!((row.hatric - row.ideal).abs() < 0.25, "{row:?}");
+    }
+}
+
+#[test]
+fn fig8_hatric_helps_for_every_paging_policy() {
+    let rows = fig8::run(&tiny());
+    assert_eq!(rows.len(), 5 * 3);
+    for row in &rows {
+        assert!(row.hatric <= row.sw + 0.02, "{row:?}");
+    }
+}
+
+#[test]
+fn fig9_bigger_structures_help_hatric_more_than_software() {
+    let rows = fig9::run(&tiny());
+    assert_eq!(rows.len(), 5 * 3);
+    for row in &rows {
+        assert!(row.hatric <= row.sw + 0.02, "{row:?}");
+    }
+}
+
+#[test]
+fn fig10_hatric_fixes_multiprogrammed_regressions() {
+    let rows = fig10::run(&tiny(), 4);
+    assert_eq!(rows.len(), 4);
+    let summary = fig10::summarise(&rows);
+    assert!(summary.mean_weighted_hatric <= summary.mean_weighted_sw + 1e-9);
+    assert!(summary.worst_slowest_hatric <= summary.worst_slowest_sw + 1e-9);
+}
+
+#[test]
+fn fig11_cotag_sweep_has_three_points_and_sane_ratios() {
+    let rows = fig11::run_cotag_sweep(&tiny());
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        assert!(row.runtime_ratio > 0.0 && row.runtime_ratio <= 1.05, "{row:?}");
+        assert!(row.energy_ratio > 0.0, "{row:?}");
+    }
+}
+
+#[test]
+fn fig11_scatter_hatric_boosts_performance() {
+    let points = fig11::run_scatter(&tiny());
+    assert_eq!(points.len(), 6);
+    for p in &points {
+        assert!(p.runtime_ratio <= 1.03, "{p:?}");
+    }
+}
+
+#[test]
+fn fig12_variants_are_close_to_baseline_hatric() {
+    let rows = fig12::run(&tiny());
+    assert_eq!(rows.len(), 5);
+    let baseline = rows.iter().find(|r| r.variant == "HATRIC").unwrap();
+    for row in &rows {
+        assert!((row.runtime_ratio - baseline.runtime_ratio).abs() < 0.2, "{row:?}");
+    }
+}
+
+#[test]
+fn fig13_hatric_beats_unitd_which_beats_software() {
+    let rows = fig13::run(&tiny());
+    assert_eq!(rows.len(), 5);
+    for row in &rows {
+        assert!(row.hatric_runtime <= row.unitd_runtime + 0.03, "{row:?}");
+        assert!(row.unitd_runtime <= row.sw_runtime + 0.03, "{row:?}");
+    }
+}
+
+#[test]
+fn xen_results_show_improvements() {
+    let rows = xen::run(&tiny());
+    assert_eq!(rows.len(), 2);
+    for row in &rows {
+        assert!(
+            row.improvement_percent > 0.0,
+            "HATRIC should improve Xen too: {row:?}"
+        );
+    }
+}

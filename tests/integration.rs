@@ -1,0 +1,124 @@
+//! Cross-crate integration tests: drive the full simulator end-to-end and
+//! check that the substrate crates compose correctly.
+
+use hatric::{
+    CoherenceMechanism, MemoryMode, PagingKnobs, System, SystemConfig, WorkloadDriver,
+};
+use hatric_workloads::{SpecMix, MixWorkload, Workload, WorkloadKind};
+
+fn small_config(mechanism: CoherenceMechanism) -> SystemConfig {
+    SystemConfig::scaled(4, 256).with_mechanism(mechanism)
+}
+
+fn run_workload(kind: WorkloadKind, mechanism: CoherenceMechanism) -> hatric::SimReport {
+    let config = small_config(mechanism);
+    let mut system = System::new(config.clone()).unwrap();
+    let wl = Workload::build(kind, config.vcpus, config.fast_capacity_pages(), 11);
+    let mut driver = WorkloadDriver::from(wl);
+    system.run(&mut driver, 1_500, 2_000)
+}
+
+#[test]
+fn every_big_memory_workload_runs_under_every_mechanism() {
+    for kind in WorkloadKind::big_memory_suite() {
+        for mechanism in [
+            CoherenceMechanism::Software,
+            CoherenceMechanism::Hatric,
+            CoherenceMechanism::UnitdPlusPlus,
+            CoherenceMechanism::Ideal,
+        ] {
+            let report = run_workload(kind, mechanism);
+            assert!(report.runtime_cycles() > 0, "{kind:?} under {mechanism:?}");
+            assert_eq!(report.accesses, 4 * 2_000);
+        }
+    }
+}
+
+#[test]
+fn hardware_coherence_never_takes_vm_exits_or_flushes() {
+    for mechanism in [CoherenceMechanism::Hatric, CoherenceMechanism::Ideal] {
+        let report = run_workload(WorkloadKind::Tunkrank, mechanism);
+        assert_eq!(report.coherence.coherence_vm_exits, 0);
+        assert_eq!(report.coherence.ipis, 0);
+        assert_eq!(report.coherence.full_flushes, 0);
+    }
+}
+
+#[test]
+fn software_coherence_takes_vm_exits_and_flushes() {
+    let report = run_workload(WorkloadKind::DataCaching, CoherenceMechanism::Software);
+    assert!(report.coherence.remaps > 0);
+    assert!(report.coherence.ipis > 0);
+    assert!(report.coherence.full_flushes > 0);
+    assert!(report.coherence.entries_flushed > 0);
+}
+
+#[test]
+fn mechanism_ordering_matches_the_paper() {
+    // ideal <= hatric < software for a paging-heavy workload.
+    let sw = run_workload(WorkloadKind::DataCaching, CoherenceMechanism::Software);
+    let unitd = run_workload(WorkloadKind::DataCaching, CoherenceMechanism::UnitdPlusPlus);
+    let hatric = run_workload(WorkloadKind::DataCaching, CoherenceMechanism::Hatric);
+    let ideal = run_workload(WorkloadKind::DataCaching, CoherenceMechanism::Ideal);
+    assert!(hatric.runtime_cycles() < sw.runtime_cycles());
+    assert!(unitd.runtime_cycles() < sw.runtime_cycles());
+    assert!(ideal.runtime_cycles() <= hatric.runtime_cycles() * 102 / 100);
+    // UNITD++ still flushes MMU caches and nTLBs, so it cannot beat HATRIC.
+    assert!(hatric.runtime_cycles() <= unitd.runtime_cycles() * 102 / 100);
+}
+
+#[test]
+fn selective_invalidation_happens_with_hatric() {
+    let report = run_workload(WorkloadKind::DataCaching, CoherenceMechanism::Hatric);
+    assert!(report.coherence.remaps > 0);
+    assert!(report.coherence.hw_messages > 0);
+    assert!(
+        report.coherence.entries_selectively_invalidated > 0,
+        "co-tag matches should invalidate stale translations"
+    );
+}
+
+#[test]
+fn paging_policies_all_work_end_to_end() {
+    for knobs in PagingKnobs::fig8_sweep() {
+        let config = small_config(CoherenceMechanism::Hatric).with_paging(knobs);
+        let mut system = System::new(config.clone()).unwrap();
+        let wl = Workload::build(WorkloadKind::Canneal, 4, config.fast_capacity_pages(), 5);
+        let mut driver = WorkloadDriver::from(wl);
+        let report = system.run(&mut driver, 1_000, 1_000);
+        assert!(report.faults.pages_promoted > 0);
+    }
+}
+
+#[test]
+fn memory_modes_behave_sanely() {
+    let paged = run_workload(WorkloadKind::Graph500, CoherenceMechanism::Software);
+    let config = small_config(CoherenceMechanism::Software).with_memory_mode(MemoryMode::NoHbm);
+    let mut system = System::new(config.clone()).unwrap();
+    let wl = Workload::build(WorkloadKind::Graph500, 4, config.fast_capacity_pages(), 11);
+    let mut driver = WorkloadDriver::from(wl);
+    let no_hbm = system.run(&mut driver, 1_500, 2_000);
+    assert_eq!(no_hbm.coherence.remaps, 0);
+    assert!(paged.coherence.remaps > 0);
+}
+
+#[test]
+fn multiprogrammed_mixes_run_with_distinct_address_spaces() {
+    let mix = SpecMix::generate(1, 99).remove(0);
+    let config = SystemConfig::scaled(16, 256).with_mechanism(CoherenceMechanism::Hatric);
+    let mut system = System::new(config).unwrap();
+    let wl = MixWorkload::build(mix, 256, 3);
+    let mut driver = WorkloadDriver::from(wl);
+    let report = system.run(&mut driver, 300, 500);
+    assert_eq!(report.cycles_per_cpu.len(), 16);
+    assert!(report.cycles_per_cpu.iter().all(|&c| c > 0));
+}
+
+#[test]
+fn reports_are_deterministic_for_a_fixed_seed() {
+    let a = run_workload(WorkloadKind::Facesim, CoherenceMechanism::Hatric);
+    let b = run_workload(WorkloadKind::Facesim, CoherenceMechanism::Hatric);
+    assert_eq!(a.runtime_cycles(), b.runtime_cycles());
+    assert_eq!(a.coherence, b.coherence);
+    assert_eq!(a.faults, b.faults);
+}
