@@ -18,15 +18,18 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12");
     group.sample_size(10);
     for variant in DesignVariant::all() {
-        group.bench_function(format!("hatric_canneal_{}", variant.label().replace('-', "_")), |b| {
-            b.iter(|| {
-                execute(
-                    &RunSpec::new(WorkloadKind::Canneal, CoherenceMechanism::Hatric)
-                        .with_variant(variant),
-                    &kernel_params(),
-                )
-            })
-        });
+        group.bench_function(
+            format!("hatric_canneal_{}", variant.label().replace('-', "_")),
+            |b| {
+                b.iter(|| {
+                    execute(
+                        &RunSpec::new(WorkloadKind::Canneal, CoherenceMechanism::Hatric)
+                            .with_variant(variant),
+                        &kernel_params(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

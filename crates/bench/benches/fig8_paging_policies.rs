@@ -19,15 +19,18 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let labels = fig8::policy_labels();
     for (i, knobs) in PagingKnobs::fig8_sweep().into_iter().enumerate() {
-        group.bench_function(format!("hatric_tunkrank_{}", labels[i].replace('&', "and_")), |b| {
-            b.iter(|| {
-                execute(
-                    &RunSpec::new(WorkloadKind::Tunkrank, CoherenceMechanism::Hatric)
-                        .with_paging(knobs),
-                    &kernel_params(),
-                )
-            })
-        });
+        group.bench_function(
+            format!("hatric_tunkrank_{}", labels[i].replace('&', "and_")),
+            |b| {
+                b.iter(|| {
+                    execute(
+                        &RunSpec::new(WorkloadKind::Tunkrank, CoherenceMechanism::Hatric)
+                            .with_paging(knobs),
+                        &kernel_params(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

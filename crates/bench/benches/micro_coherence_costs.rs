@@ -4,11 +4,9 @@
 //! planning cost of each protocol.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hatric_cache::{CacheHierarchy, CacheHierarchyConfig, PtKind};
-use hatric_coherence::{
-    CoherenceCosts, CoherenceMechanism, RemapContext,
-};
 use hatric_cache::SharerSet;
+use hatric_cache::{CacheHierarchy, CacheHierarchyConfig, PtKind};
+use hatric_coherence::{CoherenceCosts, CoherenceMechanism, RemapContext};
 use hatric_tlb::{StructureSizes, TranslationStructures};
 use hatric_types::{
     AddressSpaceId, CacheLineAddr, CoTag, CpuId, GuestVirtPage, SystemFrame, SystemPhysAddr, VmId,
@@ -46,7 +44,10 @@ fn bench_structures(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 8) % 512;
-            ts.invalidate_cotag(CoTag::from_pte_addr(SystemPhysAddr::new(0x10_0000 + i * 8), 2))
+            ts.invalidate_cotag(CoTag::from_pte_addr(
+                SystemPhysAddr::new(0x10_0000 + i * 8),
+                2,
+            ))
         })
     });
     group.bench_function("full_flush", |b| {
@@ -81,6 +82,7 @@ fn bench_protocol_planning(c: &mut Criterion) {
     }
     let ctx = RemapContext {
         initiator: CpuId::new(0),
+        vm: VmId::new(0),
         vm_cpus: (0..16).map(CpuId::new).collect(),
         running_guest: (0..16).map(CpuId::new).collect(),
         sharers,
@@ -99,5 +101,10 @@ fn bench_protocol_planning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_structures, bench_directory, bench_protocol_planning);
+criterion_group!(
+    benches,
+    bench_structures,
+    bench_directory,
+    bench_protocol_planning
+);
 criterion_main!(benches);

@@ -93,7 +93,10 @@ impl PrivateCache {
     #[must_use]
     pub fn probe(&self, line: CacheLineAddr) -> Option<MesiState> {
         let set = (line.index() as usize) % self.sets.len();
-        self.sets[set].iter().find(|w| w.line == line).map(|w| w.state)
+        self.sets[set]
+            .iter()
+            .find(|w| w.line == line)
+            .map(|w| w.state)
     }
 
     /// Changes the MESI state of a present line; returns `false` if absent.
@@ -109,7 +112,11 @@ impl PrivateCache {
 
     /// Inserts a line in the given state; returns the evicted victim
     /// (line, state) if the set overflowed.
-    pub fn fill(&mut self, line: CacheLineAddr, state: MesiState) -> Option<(CacheLineAddr, MesiState)> {
+    pub fn fill(
+        &mut self,
+        line: CacheLineAddr,
+        state: MesiState,
+    ) -> Option<(CacheLineAddr, MesiState)> {
         let set = self.set_index(line);
         if let Some(pos) = self.sets[set].iter().position(|w| w.line == line) {
             self.sets[set].remove(pos);

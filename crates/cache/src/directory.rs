@@ -11,13 +11,21 @@
 //! back-invalidating the line in every sharer (and, with HATRIC, in their
 //! translation structures), which the hierarchy layer performs.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 
 use serde::{Deserialize, Serialize};
 
 use hatric_types::{CacheLineAddr, Counter, CpuId};
 
 use crate::line::PtKind;
+
+/// Deterministic hashing for the entry map: capacity eviction samples the
+/// map's iteration order, and `RandomState` would make two otherwise
+/// identical simulations evict different victims.  The simulator promises
+/// bit-identical results for a fixed seed, so the directory must too.
+type DeterministicState = BuildHasherDefault<DefaultHasher>;
 
 /// A set of CPUs, stored as a 64-bit mask.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,7 +83,9 @@ impl SharerSet {
 
     /// All CPUs in the set, ascending.
     pub fn iter(&self) -> impl Iterator<Item = CpuId> + '_ {
-        (0..64u32).filter(|i| (self.0 >> i) & 1 == 1).map(CpuId::new)
+        (0..64u32)
+            .filter(|i| (self.0 >> i) & 1 == 1)
+            .map(CpuId::new)
     }
 
     /// Set difference: CPUs in `self` but not equal to `cpu`.
@@ -164,7 +174,7 @@ pub struct DirectoryStats {
 /// The directory proper.
 #[derive(Debug, Clone)]
 pub struct CoherenceDirectory {
-    entries: HashMap<CacheLineAddr, DirectoryEntry>,
+    entries: HashMap<CacheLineAddr, DirectoryEntry, DeterministicState>,
     config: DirectoryConfig,
     clock: u64,
     stats: DirectoryStats,
@@ -195,7 +205,7 @@ impl CoherenceDirectory {
     #[must_use]
     pub fn new(config: DirectoryConfig) -> Self {
         Self {
-            entries: HashMap::new(),
+            entries: HashMap::default(),
             config,
             clock: 0,
             stats: DirectoryStats::default(),
@@ -228,7 +238,10 @@ impl CoherenceDirectory {
 
     /// If over capacity, selects and removes a victim entry.  Returns the
     /// victim so the hierarchy can perform back-invalidations.
-    fn evict_if_needed(&mut self, protect: CacheLineAddr) -> Option<(CacheLineAddr, DirectoryEntry)> {
+    fn evict_if_needed(
+        &mut self,
+        protect: CacheLineAddr,
+    ) -> Option<(CacheLineAddr, DirectoryEntry)> {
         if self.config.max_entries == 0 || self.entries.len() <= self.config.max_entries {
             return None;
         }
@@ -381,7 +394,10 @@ mod tests {
         assert!(s.contains(CpuId::new(3)));
         assert!(!s.contains(CpuId::new(4)));
         assert_eq!(s.count(), 2);
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![CpuId::new(3), CpuId::new(5)]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![CpuId::new(3), CpuId::new(5)]
+        );
         s.remove(CpuId::new(3));
         assert_eq!(s.count(), 1);
     }

@@ -132,9 +132,16 @@ impl CacheHierarchy {
     #[must_use]
     pub fn new(config: CacheHierarchyConfig) -> Self {
         assert!(config.num_cpus > 0, "need at least one CPU");
-        assert!(config.num_cpus <= 64, "directory sharer sets support at most 64 CPUs");
-        let l1 = (0..config.num_cpus).map(|_| PrivateCache::new(config.l1)).collect();
-        let l2 = (0..config.num_cpus).map(|_| PrivateCache::new(config.l2)).collect();
+        assert!(
+            config.num_cpus <= 64,
+            "directory sharer sets support at most 64 CPUs"
+        );
+        let l1 = (0..config.num_cpus)
+            .map(|_| PrivateCache::new(config.l1))
+            .collect();
+        let l2 = (0..config.num_cpus)
+            .map(|_| PrivateCache::new(config.l2))
+            .collect();
         let llc = PrivateCache::new(PrivateCacheConfig {
             capacity_bytes: config.llc_bytes,
             ways: config.llc_ways,
@@ -186,7 +193,9 @@ impl CacheHierarchy {
 
     fn fill_private(&mut self, cpu: CpuId, line: CacheLineAddr, state: MesiState) {
         if let Some((victim_line, victim_state)) = self.l1[cpu.index()].fill(line, state) {
-            if let Some((l2_victim, l2_state)) = self.l2[cpu.index()].fill(victim_line, victim_state) {
+            if let Some((l2_victim, l2_state)) =
+                self.l2[cpu.index()].fill(victim_line, victim_state)
+            {
                 self.handle_private_victim(cpu, l2_victim, l2_state);
             }
         }
@@ -258,7 +267,9 @@ impl CacheHierarchy {
 
         let llc_hit = self.llc.lookup(line).is_some();
         self.llc_stats.record(llc_hit);
-        self.stats.llc.record(llc_hit || note.downgraded_owner.is_some());
+        self.stats
+            .llc
+            .record(llc_hit || note.downgraded_owner.is_some());
         let level = if llc_hit || note.downgraded_owner.is_some() {
             HitLevel::Llc
         } else {
@@ -267,7 +278,11 @@ impl CacheHierarchy {
             HitLevel::Memory
         };
 
-        let fill_state = if note.allocated { MesiState::Exclusive } else { MesiState::Shared };
+        let fill_state = if note.allocated {
+            MesiState::Exclusive
+        } else {
+            MesiState::Shared
+        };
         self.fill_private(cpu, line, fill_state);
         AccessOutcome {
             level,
@@ -396,8 +411,14 @@ mod tests {
     fn small_hierarchy(cpus: usize) -> CacheHierarchy {
         CacheHierarchy::new(CacheHierarchyConfig {
             num_cpus: cpus,
-            l1: PrivateCacheConfig { capacity_bytes: 1024, ways: 2 },
-            l2: PrivateCacheConfig { capacity_bytes: 4096, ways: 4 },
+            l1: PrivateCacheConfig {
+                capacity_bytes: 1024,
+                ways: 2,
+            },
+            l2: PrivateCacheConfig {
+                capacity_bytes: 4096,
+                ways: 4,
+            },
             llc_bytes: 64 * 1024,
             llc_ways: 8,
             directory: DirectoryConfig::unbounded(),
@@ -480,8 +501,14 @@ mod tests {
     fn eager_update_removes_pt_sharers_after_eviction() {
         let mut h = CacheHierarchy::new(CacheHierarchyConfig {
             num_cpus: 2,
-            l1: PrivateCacheConfig { capacity_bytes: 1024, ways: 2 },
-            l2: PrivateCacheConfig { capacity_bytes: 4096, ways: 4 },
+            l1: PrivateCacheConfig {
+                capacity_bytes: 1024,
+                ways: 2,
+            },
+            l2: PrivateCacheConfig {
+                capacity_bytes: 4096,
+                ways: 4,
+            },
             llc_bytes: 64 * 1024,
             llc_ways: 8,
             directory: DirectoryConfig::unbounded(),
@@ -501,8 +528,14 @@ mod tests {
     fn directory_eviction_back_invalidates() {
         let mut h = CacheHierarchy::new(CacheHierarchyConfig {
             num_cpus: 1,
-            l1: PrivateCacheConfig { capacity_bytes: 4096, ways: 4 },
-            l2: PrivateCacheConfig { capacity_bytes: 16 * 1024, ways: 4 },
+            l1: PrivateCacheConfig {
+                capacity_bytes: 4096,
+                ways: 4,
+            },
+            l2: PrivateCacheConfig {
+                capacity_bytes: 16 * 1024,
+                ways: 4,
+            },
             llc_bytes: 64 * 1024,
             llc_ways: 8,
             directory: DirectoryConfig { max_entries: 8 },

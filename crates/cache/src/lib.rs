@@ -35,7 +35,6 @@ pub mod line;
 pub use cache::{PrivateCache, PrivateCacheConfig};
 pub use directory::{CoherenceDirectory, DirectoryConfig, DirectoryEntry, SharerSet};
 pub use hierarchy::{
-    AccessOutcome, CacheHierarchy, CacheHierarchyConfig, CacheStatsSnapshot, HitLevel,
-    WriteOutcome,
+    AccessOutcome, CacheHierarchy, CacheHierarchyConfig, CacheStatsSnapshot, HitLevel, WriteOutcome,
 };
 pub use line::{MesiState, PtKind};

@@ -10,8 +10,14 @@ use hatric_types::{CacheLineAddr, CpuId};
 fn hierarchy(cpus: usize) -> CacheHierarchy {
     CacheHierarchy::new(CacheHierarchyConfig {
         num_cpus: cpus,
-        l1: PrivateCacheConfig { capacity_bytes: 2 * 1024, ways: 2 },
-        l2: PrivateCacheConfig { capacity_bytes: 8 * 1024, ways: 4 },
+        l1: PrivateCacheConfig {
+            capacity_bytes: 2 * 1024,
+            ways: 2,
+        },
+        l2: PrivateCacheConfig {
+            capacity_bytes: 8 * 1024,
+            ways: 4,
+        },
         llc_bytes: 128 * 1024,
         llc_ways: 8,
         directory: DirectoryConfig::unbounded(),

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use hatric_types::CpuId;
+use hatric_types::{CpuId, VmId};
 
 /// What a target CPU must do to its translation structures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,6 +35,11 @@ pub struct TargetPlan {
 /// The complete plan for one page-table modification.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CoherencePlan {
+    /// The VM whose nested page table the plan is for (copied from the
+    /// [`crate::RemapContext`]; the executor cross-checks it against the
+    /// initiating VM so plans can never be applied on behalf of the wrong
+    /// tenant).
+    pub vm: VmId,
     /// Cycles charged to the initiating CPU (IPI loops, waiting for acks…).
     pub initiator_cycles: u64,
     /// Per-target work.
@@ -76,6 +81,7 @@ mod tests {
     #[test]
     fn plan_summaries() {
         let plan = CoherencePlan {
+            vm: VmId::new(3),
             initiator_cycles: 1000,
             targets: vec![
                 TargetPlan {

@@ -3,22 +3,33 @@
 use serde::{Deserialize, Serialize};
 
 use hatric_cache::SharerSet;
-use hatric_types::CpuId;
+use hatric_types::{CpuId, VmId};
 
 use crate::costs::CoherenceCosts;
 use crate::plan::{CoherencePlan, TargetAction, TargetPlan};
 
 /// Everything a protocol needs to know about one nested-page-table
 /// modification in order to plan coherence.
+///
+/// The context is VMID-aware: `vm` names the virtual machine whose nested
+/// page table was modified, and `vm_cpus` is the conservative CPU set the
+/// hypervisor tracks *for that VM*.  On a consolidated host running many
+/// VMs, those CPUs may currently be executing other VMs' vCPUs — software
+/// shootdowns disrupt them anyway (the "innocent bystander" cost of
+/// imprecise targeting, Sec. 3.2), while hardware mechanisms consult only
+/// the directory's per-line sharer list and leave unrelated VMs alone.
 #[derive(Debug, Clone)]
 pub struct RemapContext {
     /// The CPU executing the hypervisor code that modifies the entry.
     pub initiator: CpuId,
-    /// CPUs that have executed *any* vCPU of the affected VM — the only
+    /// The VM whose nested page-table entry is being modified.
+    pub vm: VmId,
+    /// CPUs that have executed *any* vCPU of the remapping VM — the only
     /// targeting information software has (Sec. 3.2).
     pub vm_cpus: Vec<CpuId>,
-    /// CPUs currently running a vCPU of the VM in guest mode (these suffer
-    /// VM exits on an IPI; the others only take the flush on re-entry).
+    /// CPUs currently executing a guest (any VM) — an IPI arriving at one of
+    /// these forces a VM exit on whoever occupies it; the rest only take the
+    /// flush at their next VM entry.
     pub running_guest: Vec<CpuId>,
     /// The coherence directory's sharer list for the modified page-table
     /// cache line — the precise targeting information hardware has.
@@ -26,7 +37,7 @@ pub struct RemapContext {
 }
 
 impl RemapContext {
-    /// Whether `cpu` is currently executing the VM in guest mode.
+    /// Whether `cpu` is currently executing a guest in guest mode.
     #[must_use]
     pub fn is_running_guest(&self, cpu: CpuId) -> bool {
         self.running_guest.contains(&cpu)
@@ -68,7 +79,9 @@ impl CoherenceMechanism {
     pub fn is_hardware(self) -> bool {
         matches!(
             self,
-            CoherenceMechanism::Hatric | CoherenceMechanism::UnitdPlusPlus | CoherenceMechanism::Ideal
+            CoherenceMechanism::Hatric
+                | CoherenceMechanism::UnitdPlusPlus
+                | CoherenceMechanism::Ideal
         )
     }
 }
@@ -149,6 +162,7 @@ impl TranslationCoherence for SoftwareShootdown {
         let initiator_cycles =
             c.ipi_initiate_cycles + c.ipi_per_target_cycles * ipis + c.ack_wait_cycles;
         CoherencePlan {
+            vm: ctx.vm,
             initiator_cycles,
             targets,
             ipis_sent: ipis,
@@ -194,6 +208,7 @@ impl TranslationCoherence for HatricProtocol {
             });
         }
         CoherencePlan {
+            vm: ctx.vm,
             // The store itself is an ordinary cache write; the only extra
             // initiator cost is the message fan-out, which the cache system
             // already performs for data coherence.
@@ -240,6 +255,7 @@ impl TranslationCoherence for UnitdPlusPlus {
             });
         }
         CoherencePlan {
+            vm: ctx.vm,
             initiator_cycles: c.coherence_message_cycles,
             targets,
             ipis_sent: 0,
@@ -271,6 +287,7 @@ impl TranslationCoherence for IdealCoherence {
             })
             .collect();
         CoherencePlan {
+            vm: ctx.vm,
             initiator_cycles: 0,
             targets,
             ipis_sent: 0,
@@ -290,6 +307,7 @@ mod tests {
         }
         RemapContext {
             initiator: CpuId::new(0),
+            vm: VmId::new(0),
             vm_cpus: vm_cpus.iter().map(|&c| CpuId::new(c)).collect(),
             running_guest: running.iter().map(|&c| CpuId::new(c)).collect(),
             sharers: set,

@@ -27,14 +27,20 @@ impl DesignVariant {
     /// Whether sharer lists are updated eagerly on page-table line evictions.
     #[must_use]
     pub fn eager_directory_update(self) -> bool {
-        matches!(self, DesignVariant::EagerDirUpdate | DesignVariant::AllCombined)
+        matches!(
+            self,
+            DesignVariant::EagerDirUpdate | DesignVariant::AllCombined
+        )
     }
 
     /// Whether the directory tracks which structure (TLB vs MMU cache vs
     /// nTLB vs L1) caches each translation.
     #[must_use]
     pub fn fine_grain_tracking(self) -> bool {
-        matches!(self, DesignVariant::FineGrainTracking | DesignVariant::AllCombined)
+        matches!(
+            self,
+            DesignVariant::FineGrainTracking | DesignVariant::AllCombined
+        )
     }
 
     /// Whether the directory is unbounded (never back-invalidates).
@@ -107,7 +113,9 @@ mod tests {
     fn baseline_is_default_and_cheapest_directory() {
         assert_eq!(DesignVariant::default(), DesignVariant::Baseline);
         for v in DesignVariant::all() {
-            assert!(v.directory_energy_factor() >= DesignVariant::Baseline.directory_energy_factor());
+            assert!(
+                v.directory_energy_factor() >= DesignVariant::Baseline.directory_energy_factor()
+            );
         }
     }
 

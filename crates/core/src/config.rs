@@ -305,7 +305,9 @@ impl SystemConfig {
             return Err(hatric_types::SimError::config("cotag_bytes must be 1..=4"));
         }
         if self.structure_scale == 0 {
-            return Err(hatric_types::SimError::config("structure_scale must be nonzero"));
+            return Err(hatric_types::SimError::config(
+                "structure_scale must be nonzero",
+            ));
         }
         Ok(())
     }
@@ -343,15 +345,27 @@ mod tests {
     fn memory_modes_adjust_fast_capacity() {
         let cfg = SystemConfig::scaled(4, 1_024);
         assert_eq!(
-            cfg.clone().with_memory_mode(MemoryMode::NoHbm).effective_memory().die_stacked.capacity_bytes,
+            cfg.clone()
+                .with_memory_mode(MemoryMode::NoHbm)
+                .effective_memory()
+                .die_stacked
+                .capacity_bytes,
             0
         );
         assert!(
-            cfg.clone().with_memory_mode(MemoryMode::InfiniteHbm).effective_memory().die_stacked.capacity_bytes
+            cfg.clone()
+                .with_memory_mode(MemoryMode::InfiniteHbm)
+                .effective_memory()
+                .die_stacked
+                .capacity_bytes
                 > cfg.memory.off_chip.capacity_bytes
         );
         assert_eq!(
-            cfg.clone().with_memory_mode(MemoryMode::Paged).effective_memory().die_stacked.capacity_bytes,
+            cfg.clone()
+                .with_memory_mode(MemoryMode::Paged)
+                .effective_memory()
+                .die_stacked
+                .capacity_bytes,
             cfg.memory.die_stacked.capacity_bytes
         );
     }

@@ -57,7 +57,8 @@ pub fn run(params: &ExperimentParams, mix_count: usize) -> Vec<Fig10Row> {
     mixes
         .iter()
         .map(|mix| {
-            let baseline = execute_mix(mix, CoherenceMechanism::Software, MemoryMode::NoHbm, params);
+            let baseline =
+                execute_mix(mix, CoherenceMechanism::Software, MemoryMode::NoHbm, params);
             let sw = execute_mix(mix, CoherenceMechanism::Software, MemoryMode::Paged, params);
             let hatric = execute_mix(mix, CoherenceMechanism::Hatric, MemoryMode::Paged, params);
             let sw_ratios = per_app_ratios(&sw, &baseline);
@@ -97,7 +98,8 @@ pub fn summarise(rows: &[Fig10Row]) -> Fig10Summary {
     let n = rows.len().max(1) as f64;
     Fig10Summary {
         sw_regressing_fraction: rows.iter().filter(|r| r.weighted_sw > 1.0).count() as f64 / n,
-        hatric_regressing_fraction: rows.iter().filter(|r| r.weighted_hatric > 1.0).count() as f64 / n,
+        hatric_regressing_fraction: rows.iter().filter(|r| r.weighted_hatric > 1.0).count() as f64
+            / n,
         mean_weighted_sw: rows.iter().map(|r| r.weighted_sw).sum::<f64>() / n,
         mean_weighted_hatric: rows.iter().map(|r| r.weighted_hatric).sum::<f64>() / n,
         worst_slowest_sw: rows.iter().map(|r| r.slowest_sw).fold(0.0, f64::max),
@@ -110,7 +112,11 @@ pub fn summarise(rows: &[Fig10Row]) -> Fig10Summary {
 #[must_use]
 pub fn format_table(rows: &[Fig10Row]) -> String {
     let mut sorted = rows.to_vec();
-    sorted.sort_by(|a, b| a.weighted_sw.partial_cmp(&b.weighted_sw).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| {
+        a.weighted_sw
+            .partial_cmp(&b.weighted_sw)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = String::from(
         "Figure 10: multiprogrammed mixes, runtime normalised to no-hbm (per app)\n\
          mix   weighted-sw  weighted-hatric  slowest-sw  slowest-hatric\n",

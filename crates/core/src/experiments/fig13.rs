@@ -36,11 +36,15 @@ pub fn run(params: &ExperimentParams) -> Vec<Fig13Row> {
         .iter()
         .map(|&kind| {
             let baseline = execute(
-                &RunSpec::new(kind, CoherenceMechanism::Software).with_memory_mode(MemoryMode::NoHbm),
+                &RunSpec::new(kind, CoherenceMechanism::Software)
+                    .with_memory_mode(MemoryMode::NoHbm),
                 params,
             );
             let sw = execute(&RunSpec::new(kind, CoherenceMechanism::Software), params);
-            let unitd = execute(&RunSpec::new(kind, CoherenceMechanism::UnitdPlusPlus), params);
+            let unitd = execute(
+                &RunSpec::new(kind, CoherenceMechanism::UnitdPlusPlus),
+                params,
+            );
             let hatric = execute(&RunSpec::new(kind, CoherenceMechanism::Hatric), params);
             Fig13Row {
                 workload: kind.label().to_string(),

@@ -31,7 +31,8 @@ pub fn run(params: &ExperimentParams) -> Vec<Fig2Row> {
         .iter()
         .map(|&kind| {
             let baseline = execute(
-                &RunSpec::new(kind, CoherenceMechanism::Software).with_memory_mode(MemoryMode::NoHbm),
+                &RunSpec::new(kind, CoherenceMechanism::Software)
+                    .with_memory_mode(MemoryMode::NoHbm),
                 params,
             );
             let inf = execute(

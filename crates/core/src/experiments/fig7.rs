@@ -35,7 +35,8 @@ pub fn run(params: &ExperimentParams) -> Vec<Fig7Row> {
         for &vcpus in &VCPU_SWEEP {
             let p = params.with_vcpus(vcpus);
             let baseline = execute(
-                &RunSpec::new(kind, CoherenceMechanism::Software).with_memory_mode(MemoryMode::NoHbm),
+                &RunSpec::new(kind, CoherenceMechanism::Software)
+                    .with_memory_mode(MemoryMode::NoHbm),
                 &p,
             );
             let sw = execute(&RunSpec::new(kind, CoherenceMechanism::Software), &p);

@@ -41,7 +41,8 @@ pub fn run(params: &ExperimentParams) -> Vec<XenRow> {
                 params,
             );
             let hatric = execute(
-                &RunSpec::new(kind, CoherenceMechanism::Hatric).with_hypervisor(HypervisorKind::Xen),
+                &RunSpec::new(kind, CoherenceMechanism::Hatric)
+                    .with_hypervisor(HypervisorKind::Xen),
                 params,
             );
             let ratio = hatric.runtime_vs(&sw);

@@ -52,15 +52,19 @@ pub mod config;
 pub mod driver;
 pub mod experiments;
 pub mod metrics;
+pub mod platform;
 pub mod system;
+pub mod vm_instance;
 
 pub use config::{
     CoherenceMechanismExt, LatencyConfig, MemoryMode, PagingKnobs, SystemConfig, DEFAULT_SEED,
 };
 pub use driver::WorkloadDriver;
 pub use experiments::{ExperimentParams, RunSpec};
-pub use metrics::{CoherenceActivity, FaultActivity, SimReport};
+pub use metrics::{CoherenceActivity, FaultActivity, HostReport, InterferenceActivity, SimReport};
+pub use platform::Platform;
 pub use system::System;
+pub use vm_instance::{VmInstance, VmPagingParams};
 
 // Re-export the vocabulary users need to drive the simulator without
 // importing every substrate crate explicitly.

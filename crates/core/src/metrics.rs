@@ -31,6 +31,57 @@ pub struct CoherenceActivity {
     pub back_invalidated_entries: u64,
 }
 
+impl CoherenceActivity {
+    /// Accumulates `other` into `self` (used when summing per-VM reports).
+    pub fn merge(&mut self, other: &CoherenceActivity) {
+        self.remaps += other.remaps;
+        self.ipis += other.ipis;
+        self.coherence_vm_exits += other.coherence_vm_exits;
+        self.full_flushes += other.full_flushes;
+        self.entries_flushed += other.entries_flushed;
+        self.entries_selectively_invalidated += other.entries_selectively_invalidated;
+        self.hw_messages += other.hw_messages;
+        self.spurious_messages += other.spurious_messages;
+        self.back_invalidated_entries += other.back_invalidated_entries;
+    }
+}
+
+/// Cross-VM translation-coherence interference observed during a run.
+///
+/// On a consolidated host, one VM's page remaps can steal cycles from other
+/// VMs: software shootdowns IPI every physical CPU the remapping VM ever ran
+/// on, and whoever currently occupies those CPUs eats the VM exit and the
+/// flush (Sec. 3.2 — "innocent bystanders").  Hardware mechanisms confine
+/// invalidations to the directory's sharer list and never interrupt the
+/// running guest, so a remap-free VM records zero disrupted cycles under
+/// HATRIC.
+///
+/// *Disruptive* means the target action interrupts the occupant: a full
+/// translation-structure flush or a coherence-induced VM exit.  Co-tag
+/// invalidations are serviced by the translation-structure port without
+/// stalling the pipeline and are not counted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterferenceActivity {
+    /// Cycles stolen from this VM's vCPUs by *other* VMs' translation
+    /// coherence (flushes and VM exits charged while this VM occupied the
+    /// targeted physical CPU).
+    pub disrupted_cycles: u64,
+    /// Number of disruptive events (IPI-induced flushes / VM exits) this VM
+    /// received from other VMs.
+    pub disruptions_received: u64,
+    /// Cycles this VM's remaps imposed on vCPUs of *other* VMs.
+    pub inflicted_cycles: u64,
+}
+
+impl InterferenceActivity {
+    /// Accumulates `other` into `self` (used when summing per-VM reports).
+    pub fn merge(&mut self, other: &InterferenceActivity) {
+        self.disrupted_cycles += other.disrupted_cycles;
+        self.disruptions_received += other.disruptions_received;
+        self.inflicted_cycles += other.inflicted_cycles;
+    }
+}
+
 /// Demand-paging activity observed during a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultActivity {
@@ -44,6 +95,16 @@ pub struct FaultActivity {
     pub pages_demoted: u64,
 }
 
+impl FaultActivity {
+    /// Accumulates `other` into `self` (used when summing per-VM reports).
+    pub fn merge(&mut self, other: &FaultActivity) {
+        self.demand_faults += other.demand_faults;
+        self.first_touch_faults += other.first_touch_faults;
+        self.pages_promoted += other.pages_promoted;
+        self.pages_demoted += other.pages_demoted;
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -55,6 +116,8 @@ pub struct SimReport {
     pub coherence: CoherenceActivity,
     /// Demand-paging activity.
     pub faults: FaultActivity,
+    /// Cross-VM interference (all-zero for a single-VM run).
+    pub interference: InterferenceActivity,
     /// Hypervisor paging-policy statistics.
     pub paging: PagingStats,
     /// Aggregate translation-structure statistics (summed over CPUs).
@@ -90,7 +153,8 @@ impl SimReport {
         if self.accesses == 0 {
             0.0
         } else {
-            self.runtime_cycles() as f64 / (self.accesses as f64 / self.cycles_per_cpu.len().max(1) as f64)
+            self.runtime_cycles() as f64
+                / (self.accesses as f64 / self.cycles_per_cpu.len().max(1) as f64)
         }
     }
 
@@ -119,6 +183,70 @@ impl SimReport {
             0.0
         } else {
             self.total_energy_nj() / base
+        }
+    }
+}
+
+/// The result of one consolidated-host run: one [`SimReport`] per VM plus a
+/// host-wide aggregate over the shared platform.
+///
+/// Per-VM reports attribute cycles to the VM's vCPUs (wherever they were
+/// scheduled) and count only that VM's own coherence/paging activity; the
+/// host aggregate carries the per-physical-CPU cycle counters and the shared
+/// cache/translation/energy statistics, with activity counters summed over
+/// the VMs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HostReport {
+    /// One report per VM, indexed by VM slot.
+    pub per_vm: Vec<SimReport>,
+    /// Host-wide aggregate (cycles per physical CPU; summed activity).
+    pub host: SimReport,
+}
+
+impl HostReport {
+    /// Runtime of VM `vm`: the largest cycle count over its vCPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range.
+    #[must_use]
+    pub fn vm_runtime_cycles(&self, vm: usize) -> u64 {
+        self.per_vm[vm].runtime_cycles()
+    }
+
+    /// Runtime of VM `vm` normalised to the same VM in a baseline run
+    /// (slowdown factor > 1.0 means this run was slower).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range in either report.
+    #[must_use]
+    pub fn vm_slowdown_vs(&self, baseline: &HostReport, vm: usize) -> f64 {
+        self.per_vm[vm].runtime_vs(&baseline.per_vm[vm])
+    }
+
+    /// Total cycles stolen across all VMs by other VMs' translation
+    /// coherence — the host-level interference figure of merit.
+    #[must_use]
+    pub fn total_disrupted_cycles(&self) -> u64 {
+        self.per_vm
+            .iter()
+            .map(|r| r.interference.disrupted_cycles)
+            .sum()
+    }
+
+    /// Fraction of all vCPU cycles lost to cross-VM coherence disruption.
+    #[must_use]
+    pub fn interference_fraction(&self) -> f64 {
+        let total: u64 = self
+            .per_vm
+            .iter()
+            .flat_map(|r| r.cycles_per_cpu.iter().copied())
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_disrupted_cycles() as f64 / total as f64
         }
     }
 }

@@ -1,0 +1,710 @@
+//! The shared physical platform and the per-access execution pipeline.
+//!
+//! A [`Platform`] models everything the VMs of one host share: the MESI
+//! cache hierarchy with its HATRIC-extended directory, the per-physical-CPU
+//! translation structures (TLBs are VMID-tagged, so entries of co-scheduled
+//! VMs coexist), the two DRAM devices, the translation-coherence protocol
+//! and the energy model.  Per-VM state (page tables, paging manager,
+//! measurement counters) lives in [`VmInstance`]; the pipeline methods take
+//! the host's VM table plus the slot of the VM driving the access, so one
+//! VM's remap can charge disruption to whichever VM currently occupies a
+//! targeted CPU — the consolidation interference the paper motivates with.
+//!
+//! [`crate::System`] wraps a `Platform` with exactly one `VmInstance`; the
+//! `hatric-host` crate schedules many over the same pipeline.
+
+use hatric_cache::DirectoryConfig;
+use hatric_cache::{
+    AccessOutcome, CacheHierarchy, CacheHierarchyConfig, CacheStatsSnapshot, HitLevel,
+    PrivateCacheConfig, PtKind, SharerSet,
+};
+use hatric_coherence::{
+    CoherenceCosts, CoherenceMechanism, RemapContext, TargetAction, TranslationCoherence,
+};
+use hatric_energy::{EnergyEvent, EnergyModel, EnergyReport};
+use hatric_memory::{MemoryKind, MemorySystem};
+use hatric_pagetable::TwoDimWalker;
+use hatric_tlb::{TlbLevel, TranslationStatsSnapshot, TranslationStructures};
+use hatric_types::{
+    CacheLineAddr, CoTag, CpuId, GuestFrame, GuestVirtPage, Result, SystemFrame, SystemPhysAddr,
+    VcpuId,
+};
+use hatric_workloads::Access;
+
+use crate::config::{CoherenceMechanismExt, LatencyConfig, SystemConfig};
+use crate::vm_instance::{VmInstance, GUEST_PT_GPP_BASE};
+
+/// The hardware every VM on the host shares, plus the execution pipeline.
+#[derive(Debug)]
+pub struct Platform {
+    num_cpus: usize,
+    latencies: LatencyConfig,
+    costs: CoherenceCosts,
+    cotag_bytes: u8,
+    variant: hatric_coherence::DesignVariant,
+    mechanism: CoherenceMechanism,
+    memory: MemorySystem,
+    caches: CacheHierarchy,
+    structures: Vec<TranslationStructures>,
+    protocol: Box<dyn TranslationCoherence>,
+    energy: EnergyModel,
+    /// Cycles consumed on each physical CPU (by any VM, plus hardware
+    /// coherence work not attributable to a running vCPU).
+    cycles: Vec<u64>,
+    /// Which (VM slot, vCPU) currently occupies each physical CPU.
+    occupancy: Vec<Option<(usize, VcpuId)>>,
+}
+
+impl Platform {
+    /// Builds the shared platform from a system configuration.  Only the
+    /// platform-wide fields are read (`num_cpus`, memory, LLC, mechanism,
+    /// directory variant, co-tag width, structure sizes, costs, latencies);
+    /// the per-VM fields (`vcpus`, paging knobs) are configured on each
+    /// [`VmInstance`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn new(config: &SystemConfig) -> Result<Self> {
+        config.validate()?;
+        let memory = MemorySystem::new(config.effective_memory());
+        let directory = if config.variant.unbounded_directory() {
+            DirectoryConfig::unbounded()
+        } else {
+            DirectoryConfig {
+                max_entries: ((config.llc_bytes / 64) as usize * 2).max(1024),
+            }
+        };
+        let caches = CacheHierarchy::new(CacheHierarchyConfig {
+            num_cpus: config.num_cpus,
+            l1: PrivateCacheConfig::l1_default(),
+            l2: PrivateCacheConfig::l2_default(),
+            llc_bytes: config.llc_bytes,
+            llc_ways: 16,
+            directory,
+            eager_pt_directory_update: config.variant.eager_directory_update(),
+        });
+        let sizes = config.structure_sizes.scaled(config.structure_scale);
+        let structures = (0..config.num_cpus)
+            .map(|_| TranslationStructures::new(&sizes, config.cotag_bytes))
+            .collect();
+        let protocol = config.mechanism.build(config.costs);
+        let energy = EnergyModel::new(config.mechanism.energy_params(config.cotag_bytes));
+        Ok(Self {
+            num_cpus: config.num_cpus,
+            latencies: config.latencies,
+            costs: config.costs,
+            cotag_bytes: config.cotag_bytes,
+            variant: config.variant,
+            mechanism: config.mechanism,
+            memory,
+            caches,
+            structures,
+            protocol,
+            energy,
+            cycles: vec![0; config.num_cpus],
+            occupancy: vec![None; config.num_cpus],
+        })
+    }
+
+    // ----- occupancy and inspection ----------------------------------------
+
+    /// Number of physical CPUs.
+    #[must_use]
+    pub fn num_cpus(&self) -> usize {
+        self.num_cpus
+    }
+
+    /// Declares which (VM slot, vCPU) currently executes on `cpu` (`None`
+    /// when the CPU idles).  Schedulers call this every slice; coherence
+    /// disruption is charged to the occupant at remap time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn set_occupant(&mut self, cpu: CpuId, occupant: Option<(usize, VcpuId)>) {
+        self.occupancy[cpu.index()] = occupant;
+    }
+
+    /// The (VM slot, vCPU) currently executing on `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    #[must_use]
+    pub fn occupant(&self, cpu: CpuId) -> Option<(usize, VcpuId)> {
+        self.occupancy[cpu.index()]
+    }
+
+    /// Physical CPUs currently executing any guest (ascending order).
+    #[must_use]
+    pub fn occupied_cpus(&self) -> Vec<CpuId> {
+        self.occupancy
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_some())
+            .map(|(i, _)| CpuId::new(i as u32))
+            .collect()
+    }
+
+    /// Per-physical-CPU cycle counters for the current measurement phase.
+    #[must_use]
+    pub fn cycles_per_cpu(&self) -> &[u64] {
+        &self.cycles
+    }
+
+    /// The shared memory system.
+    #[must_use]
+    pub fn memory(&self) -> &MemorySystem {
+        &self.memory
+    }
+
+    /// The shared cache hierarchy.
+    #[must_use]
+    pub fn caches(&self) -> &CacheHierarchy {
+        &self.caches
+    }
+
+    /// Translation structures of one physical CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    #[must_use]
+    pub fn translation_structures(&self, cpu: CpuId) -> &TranslationStructures {
+        &self.structures[cpu.index()]
+    }
+
+    /// Aggregate translation-structure statistics over all physical CPUs.
+    #[must_use]
+    pub fn translation_snapshot(&self) -> TranslationStatsSnapshot {
+        let mut translation = TranslationStatsSnapshot::default();
+        for s in &self.structures {
+            let snap = s.stats();
+            translation.l1_tlb.merge(snap.l1_tlb);
+            translation.l2_tlb.merge(snap.l2_tlb);
+            translation.mmu_cache.merge(snap.mmu_cache);
+            translation.ntlb.merge(snap.ntlb);
+        }
+        translation
+    }
+
+    /// Cache-hierarchy statistics.
+    #[must_use]
+    pub fn cache_snapshot(&self) -> CacheStatsSnapshot {
+        self.caches.stats()
+    }
+
+    /// Energy report over the current measurement phase.
+    #[must_use]
+    pub fn energy_report(&self) -> EnergyReport {
+        self.energy.report(
+            self.cycles.iter().copied().max().unwrap_or(0),
+            self.num_cpus,
+        )
+    }
+
+    /// Clears all platform measurement state (cycles, statistics, energy)
+    /// while keeping architectural state (cache and TLB contents) intact.
+    pub fn reset_measurements(&mut self) {
+        for c in &mut self.cycles {
+            *c = 0;
+        }
+        self.memory.reset_timing();
+        self.caches.reset_stats();
+        for s in &mut self.structures {
+            s.reset_stats();
+        }
+        self.energy = EnergyModel::new(self.mechanism.energy_params(self.cotag_bytes));
+    }
+
+    // ----- cycle attribution -----------------------------------------------
+
+    /// Charges `cycles` to `cpu` and to the vCPU currently occupying it.
+    fn charge_occupant(&mut self, vms: &mut [VmInstance], cpu: CpuId, cycles: u64) {
+        self.cycles[cpu.index()] += cycles;
+        if let Some((slot, vcpu)) = self.occupancy[cpu.index()] {
+            vms[slot].charge(vcpu, cycles);
+        }
+    }
+
+    /// Charges `cycles` to `cpu` only: hardware work (e.g. a co-tag match in
+    /// the translation-structure port) that does not stall the running guest.
+    fn charge_hardware(&mut self, cpu: CpuId, cycles: u64) {
+        self.cycles[cpu.index()] += cycles;
+    }
+
+    // ----- single-access pipeline ------------------------------------------
+
+    /// Simulates one guest memory access by VM `slot` on physical CPU `cpu`.
+    ///
+    /// The caller must have declared the occupant of `cpu` (the issuing
+    /// vCPU) via [`Platform::set_occupant`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `cpu` is out of range.
+    pub fn step(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        cpu: CpuId,
+        asid: hatric_types::AddressSpaceId,
+        access: Access,
+    ) {
+        vms[slot].bump_accesses();
+        self.charge_occupant(vms, cpu, u64::from(access.compute_cycles));
+        let vm_id = vms[slot].id();
+        let gvp = access.gvp;
+
+        self.energy.record(EnergyEvent::TlbLookup, 1);
+        if let Some(hit) = self.structures[cpu.index()].lookup_data(vm_id, asid, gvp) {
+            let extra = match hit.level {
+                TlbLevel::L1 => 0,
+                TlbLevel::L2 => self.latencies.l2_tlb_hit_extra,
+            };
+            let spp = hit.spp;
+            self.charge_occupant(vms, cpu, extra);
+            if vms[slot].paging_enabled() {
+                if let Some(gpp) = vms[slot].guest_page_table().translate(gvp) {
+                    vms[slot].paging_mut().on_fast_access(gpp);
+                }
+            }
+            self.data_access(vms, slot, cpu, spp, access.line_in_page, access.is_write);
+            return;
+        }
+
+        // TLB miss: make sure the page is mapped, resident where the
+        // hypervisor wants it, then walk.
+        self.energy.record(EnergyEvent::MmuCacheLookup, 1);
+        self.energy.record(EnergyEvent::NtlbLookup, 1);
+        let gpp = self.ensure_guest_mapping(vms, slot, cpu, gvp);
+        self.ensure_nested_mapping(vms, slot, cpu, gpp);
+
+        if vms[slot].paging_enabled() {
+            if vms[slot].paging().is_resident(gpp) {
+                vms[slot].paging_mut().on_fast_access(gpp);
+            } else if self.current_kind(&vms[slot], gpp) == Some(MemoryKind::OffChip) {
+                self.handle_demand_fault(vms, slot, cpu, gpp);
+            }
+        }
+
+        let walk = match TwoDimWalker::walk(
+            gvp,
+            vms[slot].guest_page_table(),
+            vms[slot].nested_page_table(),
+        ) {
+            Ok(walk) => walk,
+            Err(_) => return,
+        };
+        let accessed_clear = vms[slot]
+            .nested_pt_mut()
+            .mark_used(gpp, access.is_write)
+            .unwrap_or(false);
+        if accessed_clear {
+            // The walker informs the directory that this line now feeds
+            // translation structures (Sec. 4.2).
+            self.caches
+                .mark_pt_line(walk.nested_leaf_pte_addr().cache_line(), PtKind::Nested);
+            self.caches
+                .mark_pt_line(walk.guest_leaf_pte_addr().cache_line(), PtKind::Guest);
+            self.energy.record(EnergyEvent::DirectoryAccess, 1);
+        }
+        let assist = self.structures[cpu.index()].service_miss(vm_id, asid, &walk, accessed_clear);
+        self.energy
+            .record(EnergyEvent::PageWalkStep, assist.refs.len() as u64);
+        let refs = assist.refs;
+        for addr in refs {
+            let outcome = self.caches.read(cpu, addr.cache_line());
+            self.charge_read(vms, slot, cpu, addr, &outcome);
+        }
+
+        self.data_access(
+            vms,
+            slot,
+            cpu,
+            walk.spp,
+            access.line_in_page,
+            access.is_write,
+        );
+    }
+
+    fn data_access(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        cpu: CpuId,
+        spp: SystemFrame,
+        line_in_page: u8,
+        is_write: bool,
+    ) {
+        let addr = spp.addr_at(u64::from(line_in_page) * 64);
+        let line = addr.cache_line();
+        if is_write {
+            let outcome = self.caches.write(cpu, line);
+            self.charge_read(vms, slot, cpu, addr, &outcome.access);
+            self.energy.record(
+                EnergyEvent::CoherenceMessage,
+                u64::from(outcome.invalidated_sharers.count()),
+            );
+            // Ordinary data writes never hit page-table lines (workload data
+            // regions and page-table frames are disjoint), so no translation
+            // coherence is needed here.
+        } else {
+            let outcome = self.caches.read(cpu, line);
+            self.charge_read(vms, slot, cpu, addr, &outcome);
+        }
+    }
+
+    fn charge_read(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        cpu: CpuId,
+        addr: SystemPhysAddr,
+        outcome: &AccessOutcome,
+    ) {
+        let lat = &self.latencies;
+        let cycles = match outcome.level {
+            HitLevel::L1 => {
+                self.energy.record(EnergyEvent::L1Access, 1);
+                lat.l1_hit
+            }
+            HitLevel::L2 => {
+                self.energy.record(EnergyEvent::L2Access, 1);
+                lat.l2_hit
+            }
+            HitLevel::Llc => {
+                self.energy.record(EnergyEvent::LlcAccess, 1);
+                self.energy.record(EnergyEvent::DirectoryAccess, 1);
+                lat.llc_hit
+            }
+            HitLevel::Memory => {
+                self.energy.record(EnergyEvent::LlcAccess, 1);
+                self.energy.record(EnergyEvent::DirectoryAccess, 1);
+                let frame = addr.frame(hatric_types::PageSize::Base);
+                let kind = self.memory.kind_of(frame);
+                self.energy.record(
+                    match kind {
+                        MemoryKind::DieStacked => EnergyEvent::DramAccessFast,
+                        MemoryKind::OffChip => EnergyEvent::DramAccessSlow,
+                    },
+                    1,
+                );
+                let now = self.cycles[cpu.index()];
+                lat.llc_hit + self.memory.access(frame, now)
+            }
+        };
+        self.charge_occupant(vms, cpu, cycles);
+        self.handle_back_invalidations(vms, slot, &outcome.back_invalidated);
+    }
+
+    // ----- mapping management ----------------------------------------------
+
+    /// Data pages use an identity GVP→GPP layout (each guest address space
+    /// occupies a disjoint slice of guest-virtual space, so identity is
+    /// collision-free).
+    fn ensure_guest_mapping(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        cpu: CpuId,
+        gvp: GuestVirtPage,
+    ) -> GuestFrame {
+        if let Some(gpp) = vms[slot].guest_page_table().translate(gvp) {
+            return gpp;
+        }
+        let gpp = GuestFrame::new(gvp.number());
+        let outcome = vms[slot].guest_pt_mut().map(gvp, gpp);
+        // Give every new guest page-table node a nested mapping in the
+        // hypervisor's page-table reserve region.
+        let mut nodes = outcome.allocated_nodes;
+        if vms[slot]
+            .nested_page_table()
+            .translate(GuestFrame::new(GUEST_PT_GPP_BASE))
+            .is_none()
+        {
+            nodes.push(GuestFrame::new(GUEST_PT_GPP_BASE));
+        }
+        for node in nodes {
+            if vms[slot].nested_page_table().translate(node).is_none() {
+                let backing = SystemFrame::new(vms[slot].next_pt_backing_frame());
+                vms[slot].nested_pt_mut().map(node, backing);
+            }
+        }
+        vms[slot].faults_mut().first_touch_faults += 1;
+        self.charge_occupant(vms, cpu, self.latencies.first_touch_cycles);
+        gpp
+    }
+
+    fn ensure_nested_mapping(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        cpu: CpuId,
+        gpp: GuestFrame,
+    ) {
+        if vms[slot].nested_page_table().translate(gpp).is_some() {
+            return;
+        }
+        // First touch of a brand-new page: no stale translations exist, so no
+        // translation coherence is needed.  The hypervisor backs the page
+        // with die-stacked memory while there is room (first-touch placement)
+        // and with off-chip memory once the fast device is full — from then
+        // on pages only enter die-stacked memory through the demand-migration
+        // path, which is what triggers translation coherence.
+        let spp = if vms[slot].paging_enabled() && vms[slot].paging().free_pages() > 0 {
+            match self.memory.allocate(MemoryKind::DieStacked) {
+                Ok(f) => {
+                    vms[slot].paging_mut().commit_promotion(gpp);
+                    f
+                }
+                Err(_) => self
+                    .memory
+                    .allocate(MemoryKind::OffChip)
+                    .unwrap_or_else(|_| SystemFrame::new(vms[slot].next_pt_backing_frame())),
+            }
+        } else {
+            self.memory
+                .allocate(MemoryKind::OffChip)
+                .unwrap_or_else(|_| SystemFrame::new(vms[slot].next_pt_backing_frame()))
+        };
+        vms[slot].nested_pt_mut().map(gpp, spp);
+        self.charge_occupant(vms, cpu, self.latencies.first_touch_cycles);
+    }
+
+    fn current_kind(&self, vm: &VmInstance, gpp: GuestFrame) -> Option<MemoryKind> {
+        vm.nested_page_table()
+            .translate(gpp)
+            .map(|spp| self.memory.kind_of(spp))
+    }
+
+    // ----- demand paging ----------------------------------------------------
+
+    fn handle_demand_fault(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        cpu: CpuId,
+        gpp: GuestFrame,
+    ) {
+        // The faulting access takes an EPT-violation VM exit regardless of
+        // the translation-coherence mechanism.
+        vms[slot].faults_mut().demand_faults += 1;
+        self.charge_occupant(vms, cpu, self.costs.vm_exit_cycles);
+        self.energy.record(EnergyEvent::VmExit, 1);
+
+        let decision = vms[slot].paging_mut().on_slow_access(gpp);
+        for victim in decision.evictions.clone() {
+            self.migrate(vms, slot, cpu, victim, MemoryKind::OffChip, false);
+        }
+        if vms[slot].paging().daemon_should_run() {
+            for victim in vms[slot].paging_mut().run_daemon() {
+                self.migrate(vms, slot, cpu, victim, MemoryKind::OffChip, false);
+            }
+        }
+        for (i, promo) in decision.promotions.iter().enumerate() {
+            if vms[slot].nested_page_table().translate(*promo).is_none() {
+                // Prefetch candidate that the guest has never touched: skip.
+                continue;
+            }
+            if self.current_kind(&vms[slot], *promo) == Some(MemoryKind::OffChip) {
+                let on_critical_path = i == 0;
+                if self.migrate(
+                    vms,
+                    slot,
+                    cpu,
+                    *promo,
+                    MemoryKind::DieStacked,
+                    on_critical_path,
+                ) {
+                    vms[slot].paging_mut().commit_promotion(*promo);
+                }
+            } else {
+                vms[slot].paging_mut().commit_promotion(*promo);
+            }
+        }
+    }
+
+    /// Moves `gpp` of VM `slot` to the `to` device.  Returns `true` if a
+    /// migration actually happened.
+    fn migrate(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        initiator: CpuId,
+        gpp: GuestFrame,
+        to: MemoryKind,
+        critical: bool,
+    ) -> bool {
+        let Some(old_spp) = vms[slot].nested_page_table().translate(gpp) else {
+            return false;
+        };
+        if self.memory.kind_of(old_spp) == to {
+            return false;
+        }
+        let Ok(new_spp) = self.memory.allocate(to) else {
+            return false;
+        };
+        let now = self.cycles[initiator.index()];
+        let copy = self.memory.page_copy_cycles(old_spp, new_spp, now);
+        if critical {
+            self.charge_occupant(vms, initiator, copy);
+        }
+        self.energy.record(EnergyEvent::PageCopy, 1);
+        self.memory.free(old_spp);
+        let pte_addr = vms[slot]
+            .nested_pt_mut()
+            .remap(gpp, new_spp)
+            .expect("translate() above guarantees the mapping exists");
+        match to {
+            MemoryKind::DieStacked => vms[slot].faults_mut().pages_promoted += 1,
+            MemoryKind::OffChip => vms[slot].faults_mut().pages_demoted += 1,
+        }
+        self.remap_coherence(vms, slot, initiator, pte_addr);
+        true
+    }
+
+    // ----- translation coherence -------------------------------------------
+
+    /// Performs the hypervisor's store to a nested page-table entry of VM
+    /// `slot` and the resulting translation-coherence activity.
+    ///
+    /// Software shootdowns target every physical CPU the remapping VM has
+    /// ever run on; whoever occupies those CPUs *now* eats the VM exit and
+    /// the flush, and if that occupant belongs to a different VM the stolen
+    /// cycles are recorded as cross-VM interference.  Hardware mechanisms
+    /// touch only the directory's sharer list, without disrupting occupants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `initiator` is out of range.
+    pub fn remap_coherence(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        initiator: CpuId,
+        pte_addr: SystemPhysAddr,
+    ) {
+        vms[slot].coherence_mut().remaps += 1;
+        let line = pte_addr.cache_line();
+        let write = self.caches.write(initiator, line);
+        self.charge_read(vms, slot, initiator, pte_addr, &write.access);
+        self.energy.record(
+            EnergyEvent::CoherenceMessage,
+            u64::from(write.invalidated_sharers.count()),
+        );
+
+        // The initiator's own translation structures snoop the store locally
+        // (the directory's sharer list excludes the writer), so it is always
+        // part of the hardware-coherence target set.
+        let mut sharers = write.invalidated_sharers;
+        sharers.add(initiator);
+        let running_guest = self.occupied_cpus();
+        let ctx = RemapContext {
+            initiator,
+            vm: vms[slot].id(),
+            vm_cpus: vms[slot].vm().cpus_ever_used().to_vec(),
+            running_guest,
+            sharers,
+        };
+        let plan = self.protocol.plan_remap(&ctx);
+        // Invariant, not a runtime branch: today every planner copies
+        // ctx.vm verbatim, but plans may some day be queued/batched and
+        // replayed, and this is the seam where a wrong-tenant replay would
+        // be caught.  Debug-only to keep it off the remap hot path.
+        debug_assert_eq!(
+            plan.vm,
+            vms[slot].id(),
+            "coherence plan must be executed on behalf of the VM that remapped"
+        );
+        self.charge_occupant(vms, initiator, plan.initiator_cycles);
+        vms[slot].coherence_mut().ipis += plan.ipis_sent;
+        vms[slot].coherence_mut().hw_messages += plan.hw_messages;
+        self.energy.record(EnergyEvent::Ipi, plan.ipis_sent);
+        self.energy
+            .record(EnergyEvent::CoherenceMessage, plan.hw_messages);
+
+        let cotag = CoTag::from_pte_addr(pte_addr, self.cotag_bytes);
+        for target in &plan.targets {
+            let disruptive = target.vm_exit || target.action == TargetAction::FlushAll;
+            if disruptive {
+                self.charge_occupant(vms, target.cpu, target.target_cycles);
+                if let Some((occ_slot, _)) = self.occupancy[target.cpu.index()] {
+                    if occ_slot != slot {
+                        let victim = vms[occ_slot].interference_mut();
+                        victim.disrupted_cycles += target.target_cycles;
+                        victim.disruptions_received += 1;
+                        vms[slot].interference_mut().inflicted_cycles += target.target_cycles;
+                    }
+                }
+            } else {
+                // Co-tag matches run in the translation-structure port and
+                // never stall the occupant.
+                self.charge_hardware(target.cpu, target.target_cycles);
+            }
+            if target.vm_exit {
+                vms[slot].coherence_mut().coherence_vm_exits += 1;
+                self.energy.record(EnergyEvent::VmExit, 1);
+            }
+            match target.action {
+                TargetAction::FlushAll => {
+                    let counts = self.structures[target.cpu.index()].flush_all();
+                    vms[slot].coherence_mut().full_flushes += 1;
+                    vms[slot].coherence_mut().entries_flushed += counts.total();
+                }
+                TargetAction::InvalidateCotag => {
+                    self.energy.record(EnergyEvent::CotagMatch, 1);
+                    let counts = self.structures[target.cpu.index()].invalidate_cotag(cotag);
+                    vms[slot].coherence_mut().entries_selectively_invalidated += counts.total();
+                    self.energy
+                        .record(EnergyEvent::TranslationInvalidation, counts.total());
+                    if counts.total() == 0 && !self.caches.cpu_holds_line(target.cpu, line) {
+                        vms[slot].coherence_mut().spurious_messages += 1;
+                        self.caches.demote_sharer(line, target.cpu);
+                    }
+                }
+                TargetAction::InvalidateCotagTlbOnly => {
+                    self.energy.record(EnergyEvent::UnitdCamSearch, 1);
+                    let counts =
+                        self.structures[target.cpu.index()].invalidate_cotag_tlb_only(cotag);
+                    vms[slot].coherence_mut().entries_selectively_invalidated += counts.tlb;
+                    vms[slot].coherence_mut().entries_flushed += counts.mmu_cache + counts.ntlb;
+                    self.energy
+                        .record(EnergyEvent::TranslationInvalidation, counts.total());
+                    if counts.total() == 0 && !self.caches.cpu_holds_line(target.cpu, line) {
+                        vms[slot].coherence_mut().spurious_messages += 1;
+                        self.caches.demote_sharer(line, target.cpu);
+                    }
+                }
+                TargetAction::None => {}
+            }
+        }
+        // Directory-energy premium of the fancier design variants (Fig. 12).
+        let extra_factor = self.variant.directory_energy_factor() - 1.0;
+        if extra_factor > 0.0 {
+            let extra = ((plan.targets.len() as f64) * extra_factor).ceil() as u64;
+            self.energy.record(EnergyEvent::DirectoryAccess, extra);
+        }
+    }
+
+    fn handle_back_invalidations(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        back: &[(CacheLineAddr, SharerSet, Option<PtKind>)],
+    ) {
+        for (line, sharers, pt) in back {
+            if pt.is_none() {
+                continue;
+            }
+            let cotag = CoTag::from_line(*line, self.cotag_bytes);
+            for cpu in sharers.iter() {
+                let counts = self.structures[cpu.index()].invalidate_cotag(cotag);
+                vms[slot].coherence_mut().back_invalidated_entries += counts.total();
+                self.energy
+                    .record(EnergyEvent::TranslationInvalidation, counts.total());
+            }
+        }
+    }
+}

@@ -1,31 +1,31 @@
-//! The system simulator: ties the translation structures, cache hierarchy,
-//! page tables, memory devices, hypervisor paging and translation-coherence
-//! protocol together and drives them with workload access streams.
+//! The single-VM system simulator: one [`VmInstance`] driven over a
+//! dedicated [`Platform`].
+//!
+//! Historically this type owned the whole pipeline; the per-VM translation
+//! state now lives in [`VmInstance`] and the shared hardware plus the
+//! per-access pipeline in [`Platform`], so a consolidated host
+//! (`hatric-host`) can run many VMs over one platform.  [`System`] is the
+//! single-VM special case: it pins vCPU *i* to physical CPU *i* and keeps
+//! the exact per-access behaviour (and cycle accounting) of the original
+//! simulator.  One deliberate reporting change rode along with the
+//! refactor: [`System::reset_measurements`] now clears the hypervisor
+//! paging statistics too, so `SimReport::paging` covers the measured phase
+//! only — previously it leaked warmup-phase counts and disagreed with
+//! `SimReport::faults` in the same report.
 
-use hatric_cache::{
-    AccessOutcome, CacheHierarchy, CacheHierarchyConfig, HitLevel, PrivateCacheConfig, PtKind,
-    SharerSet,
-};
-use hatric_cache::DirectoryConfig;
-use hatric_coherence::{RemapContext, TargetAction, TranslationCoherence};
-use hatric_energy::{EnergyEvent, EnergyModel};
-use hatric_hypervisor::{PagingConfig, PagingManager, VirtualMachine, VmConfig};
-use hatric_memory::{MemoryKind, MemorySystem};
-use hatric_pagetable::{GuestPageTable, NestedPageTable, TwoDimWalker};
-use hatric_tlb::{TlbLevel, TranslationStatsSnapshot, TranslationStructures};
-use hatric_types::{
-    AddressSpaceId, CacheLineAddr, CoTag, CpuId, GuestFrame, GuestVirtPage, Result, SystemFrame,
-    SystemPhysAddr, VcpuId, VmId,
-};
+use hatric_cache::CacheHierarchy;
+use hatric_hypervisor::{PagingManager, VirtualMachine, VmConfig};
+use hatric_memory::MemoryKind;
+use hatric_pagetable::{GuestPageTable, NestedPageTable};
+use hatric_tlb::TranslationStructures;
+use hatric_types::{AddressSpaceId, CpuId, Result, SystemPhysAddr, VcpuId, VmId};
 use hatric_workloads::Access;
 
-use crate::config::{CoherenceMechanismExt, MemoryMode, SystemConfig};
+use crate::config::{MemoryMode, SystemConfig};
 use crate::driver::WorkloadDriver;
-use crate::metrics::{CoherenceActivity, FaultActivity, SimReport};
-
-/// Guest-physical frame number where the guest page table's own nodes live
-/// (far above any data frame the workloads touch).
-const GUEST_PT_GPP_BASE: u64 = 1 << 30;
+use crate::metrics::SimReport;
+use crate::platform::Platform;
+use crate::vm_instance::{VmInstance, VmPagingParams};
 
 /// The simulated system.
 ///
@@ -36,20 +36,8 @@ const GUEST_PT_GPP_BASE: u64 = 1 << 30;
 #[derive(Debug)]
 pub struct System {
     config: SystemConfig,
-    memory: MemorySystem,
-    caches: CacheHierarchy,
-    structures: Vec<TranslationStructures>,
-    guest_pt: GuestPageTable,
-    nested_pt: NestedPageTable,
-    vm: VirtualMachine,
-    paging: PagingManager,
-    protocol: Box<dyn TranslationCoherence>,
-    energy: EnergyModel,
-    cycles: Vec<u64>,
-    coherence: CoherenceActivity,
-    faults: FaultActivity,
-    accesses: u64,
-    pt_backing_next: u64,
+    platform: Platform,
+    vm: VmInstance,
 }
 
 impl System {
@@ -59,62 +47,30 @@ impl System {
     ///
     /// Returns an error if the configuration is invalid.
     pub fn new(config: SystemConfig) -> Result<Self> {
-        config.validate()?;
-        let memory = MemorySystem::new(config.effective_memory());
-        let directory = if config.variant.unbounded_directory() {
-            DirectoryConfig::unbounded()
-        } else {
-            DirectoryConfig {
-                max_entries: ((config.llc_bytes / 64) as usize * 2).max(1024),
-            }
-        };
-        let caches = CacheHierarchy::new(CacheHierarchyConfig {
-            num_cpus: config.num_cpus,
-            l1: PrivateCacheConfig::l1_default(),
-            l2: PrivateCacheConfig::l2_default(),
-            llc_bytes: config.llc_bytes,
-            llc_ways: 16,
-            directory,
-            eager_pt_directory_update: config.variant.eager_directory_update(),
-        });
-        let sizes = config.structure_sizes.scaled(config.structure_scale);
-        let structures = (0..config.num_cpus)
-            .map(|_| TranslationStructures::new(&sizes, config.cotag_bytes))
-            .collect();
-        let guest_pt = GuestPageTable::new(GuestFrame::new(GUEST_PT_GPP_BASE));
-        let nested_pt = NestedPageTable::new(memory.reserve_base());
-        let vm = VirtualMachine::new(VmConfig {
-            vm: VmId::new(0),
-            vcpus: config.vcpus,
-            first_cpu: CpuId::new(0),
-        });
-        let fast_capacity = memory.total_frames(MemoryKind::DieStacked);
-        let paging = PagingManager::new(PagingConfig {
-            policy: config.paging.policy,
-            fast_capacity_pages: fast_capacity,
-            migration_daemon: config.paging.migration_daemon,
-            daemon_free_target: (fast_capacity / 256).max(2).min(fast_capacity.max(1)),
-            prefetch_pages: config.paging.prefetch_pages,
-        });
-        let protocol = config.mechanism.build(config.costs);
-        let energy = EnergyModel::new(config.mechanism.energy_params(config.cotag_bytes));
-        let pt_backing_next = memory.reserve_base().number() + (1 << 24);
-        Ok(Self {
-            cycles: vec![0; config.num_cpus],
-            structures,
-            memory,
-            caches,
-            guest_pt,
-            nested_pt,
-            vm,
+        let mut platform = Platform::new(&config)?;
+        let fast_capacity = platform.memory().total_frames(MemoryKind::DieStacked);
+        let paging = VmPagingParams::for_quota(
+            &config.paging,
+            fast_capacity,
+            config.memory_mode != MemoryMode::NoHbm,
+        );
+        let vm = VmInstance::new(
+            0,
+            VmConfig {
+                vm: VmId::new(0),
+                vcpus: config.vcpus,
+                first_cpu: CpuId::new(0),
+            },
             paging,
-            protocol,
-            energy,
-            coherence: CoherenceActivity::default(),
-            faults: FaultActivity::default(),
-            accesses: 0,
-            pt_backing_next,
+            platform.memory(),
+        );
+        for i in 0..config.vcpus {
+            platform.set_occupant(CpuId::new(i as u32), Some((0, VcpuId::new(i as u32))));
+        }
+        Ok(Self {
             config,
+            platform,
+            vm,
         })
     }
 
@@ -127,8 +83,7 @@ impl System {
     /// Whether hypervisor paging between the DRAM levels is active.
     #[must_use]
     pub fn paging_enabled(&self) -> bool {
-        self.config.memory_mode != MemoryMode::NoHbm
-            && self.memory.total_frames(MemoryKind::DieStacked) > 0
+        self.vm.paging_enabled()
     }
 
     /// Drives `driver` for `warmup` accesses per thread (unmeasured, to
@@ -153,8 +108,11 @@ impl System {
 
     fn issue(&mut self, driver: &mut WorkloadDriver, thread: usize) {
         let access = driver.next_access(thread);
-        let cpu = self.vm.cpu_of(VcpuId::new(thread as u32));
-        let asid = self.vm.address_space(driver.address_space_index(thread));
+        let cpu = self.vm.vm().cpu_of(VcpuId::new(thread as u32));
+        let asid = self
+            .vm
+            .vm()
+            .address_space(driver.address_space_index(thread));
         self.step(cpu, asid, access);
     }
 
@@ -162,424 +120,66 @@ impl System {
     /// keeping the architectural state (page tables, caches, TLB contents,
     /// resident set) intact.  Called between the warmup and measured phases.
     pub fn reset_measurements(&mut self) {
-        for c in &mut self.cycles {
-            *c = 0;
-        }
-        self.memory.reset_timing();
-        self.coherence = CoherenceActivity::default();
-        self.faults = FaultActivity::default();
-        self.accesses = 0;
-        self.caches.reset_stats();
-        for s in &mut self.structures {
-            s.reset_stats();
-        }
-        self.energy = EnergyModel::new(self.config.mechanism.energy_params(self.config.cotag_bytes));
+        self.platform.reset_measurements();
+        self.vm.reset_measurements();
     }
 
     /// Produces a report of everything measured since the last reset.
     #[must_use]
     pub fn report(&self) -> SimReport {
-        let mut translation = TranslationStatsSnapshot::default();
-        for s in &self.structures {
-            let snap = s.stats();
-            translation.l1_tlb.merge(snap.l1_tlb);
-            translation.l2_tlb.merge(snap.l2_tlb);
-            translation.mmu_cache.merge(snap.mmu_cache);
-            translation.ntlb.merge(snap.ntlb);
-        }
+        let vm = self.vm.report();
         SimReport {
-            cycles_per_cpu: self.cycles.clone(),
-            accesses: self.accesses,
-            coherence: self.coherence,
-            faults: self.faults,
-            paging: self.paging.stats(),
-            translation,
-            cache: self.caches.stats(),
-            energy: self.energy.report(
-                self.cycles.iter().copied().max().unwrap_or(0),
-                self.config.num_cpus,
-            ),
+            cycles_per_cpu: self.platform.cycles_per_cpu().to_vec(),
+            accesses: vm.accesses,
+            coherence: vm.coherence,
+            faults: vm.faults,
+            interference: vm.interference,
+            paging: vm.paging,
+            translation: self.platform.translation_snapshot(),
+            cache: self.platform.cache_snapshot(),
+            energy: self.platform.energy_report(),
         }
     }
 
-    // ----- single-access pipeline ------------------------------------------------
+    // ----- single-access pipeline ------------------------------------------
 
     /// Simulates one guest memory access on `cpu`.
     pub fn step(&mut self, cpu: CpuId, asid: AddressSpaceId, access: Access) {
-        self.accesses += 1;
-        self.cycles[cpu.index()] += u64::from(access.compute_cycles);
-        let vm_id = self.vm.id();
-        let gvp = access.gvp;
-
-        self.energy.record(EnergyEvent::TlbLookup, 1);
-        if let Some(hit) = self.structures[cpu.index()].lookup_data(vm_id, asid, gvp) {
-            let extra = match hit.level {
-                TlbLevel::L1 => 0,
-                TlbLevel::L2 => self.config.latencies.l2_tlb_hit_extra,
-            };
-            self.cycles[cpu.index()] += extra;
-            if self.paging_enabled() {
-                if let Some(gpp) = self.guest_pt.translate(gvp) {
-                    self.paging.on_fast_access(gpp);
-                }
-            }
-            self.data_access(cpu, hit.spp, access.line_in_page, access.is_write);
-            return;
-        }
-
-        // TLB miss: make sure the page is mapped, resident where the
-        // hypervisor wants it, then walk.
-        self.energy.record(EnergyEvent::MmuCacheLookup, 1);
-        self.energy.record(EnergyEvent::NtlbLookup, 1);
-        let gpp = self.ensure_guest_mapping(cpu, gvp);
-        self.ensure_nested_mapping(cpu, gpp);
-
-        if self.paging_enabled() {
-            if self.paging.is_resident(gpp) {
-                self.paging.on_fast_access(gpp);
-            } else if self.current_kind(gpp) == Some(MemoryKind::OffChip) {
-                self.handle_demand_fault(cpu, gpp);
-            }
-        }
-
-        let walk = match TwoDimWalker::walk(gvp, &self.guest_pt, &self.nested_pt) {
-            Ok(walk) => walk,
-            Err(_) => return,
-        };
-        let accessed_clear = self.nested_pt.mark_used(gpp, access.is_write).unwrap_or(false);
-        if accessed_clear {
-            // The walker informs the directory that this line now feeds
-            // translation structures (Sec. 4.2).
-            self.caches
-                .mark_pt_line(walk.nested_leaf_pte_addr().cache_line(), PtKind::Nested);
-            self.caches
-                .mark_pt_line(walk.guest_leaf_pte_addr().cache_line(), PtKind::Guest);
-            self.energy.record(EnergyEvent::DirectoryAccess, 1);
-        }
-        let assist = self.structures[cpu.index()].service_miss(vm_id, asid, &walk, accessed_clear);
-        self.energy
-            .record(EnergyEvent::PageWalkStep, assist.refs.len() as u64);
-        let refs = assist.refs;
-        for addr in refs {
-            let outcome = self.caches.read(cpu, addr.cache_line());
-            self.charge_read(cpu, addr, &outcome);
-        }
-
-        self.data_access(cpu, walk.spp, access.line_in_page, access.is_write);
+        self.platform
+            .step(std::slice::from_mut(&mut self.vm), 0, cpu, asid, access);
     }
-
-    fn data_access(&mut self, cpu: CpuId, spp: SystemFrame, line_in_page: u8, is_write: bool) {
-        let addr = spp.addr_at(u64::from(line_in_page) * 64);
-        let line = addr.cache_line();
-        if is_write {
-            let outcome = self.caches.write(cpu, line);
-            self.charge_read(cpu, addr, &outcome.access);
-            self.energy.record(
-                EnergyEvent::CoherenceMessage,
-                u64::from(outcome.invalidated_sharers.count()),
-            );
-            // Ordinary data writes never hit page-table lines (workload data
-            // regions and page-table frames are disjoint), so no translation
-            // coherence is needed here.
-        } else {
-            let outcome = self.caches.read(cpu, line);
-            self.charge_read(cpu, addr, &outcome);
-        }
-    }
-
-    fn charge_read(&mut self, cpu: CpuId, addr: SystemPhysAddr, outcome: &AccessOutcome) {
-        let lat = &self.config.latencies;
-        let cycles = match outcome.level {
-            HitLevel::L1 => {
-                self.energy.record(EnergyEvent::L1Access, 1);
-                lat.l1_hit
-            }
-            HitLevel::L2 => {
-                self.energy.record(EnergyEvent::L2Access, 1);
-                lat.l2_hit
-            }
-            HitLevel::Llc => {
-                self.energy.record(EnergyEvent::LlcAccess, 1);
-                self.energy.record(EnergyEvent::DirectoryAccess, 1);
-                lat.llc_hit
-            }
-            HitLevel::Memory => {
-                self.energy.record(EnergyEvent::LlcAccess, 1);
-                self.energy.record(EnergyEvent::DirectoryAccess, 1);
-                let frame = addr.frame(hatric_types::PageSize::Base);
-                let kind = self.memory.kind_of(frame);
-                self.energy.record(
-                    match kind {
-                        MemoryKind::DieStacked => EnergyEvent::DramAccessFast,
-                        MemoryKind::OffChip => EnergyEvent::DramAccessSlow,
-                    },
-                    1,
-                );
-                let now = self.cycles[cpu.index()];
-                lat.llc_hit + self.memory.access(frame, now)
-            }
-        };
-        self.cycles[cpu.index()] += cycles;
-        self.handle_back_invalidations(&outcome.back_invalidated);
-    }
-
-    // ----- mapping management ----------------------------------------------------
-
-    /// Data pages use an identity GVP→GPP layout (each guest address space
-    /// occupies a disjoint slice of guest-virtual space, so identity is
-    /// collision-free).
-    fn ensure_guest_mapping(&mut self, cpu: CpuId, gvp: GuestVirtPage) -> GuestFrame {
-        if let Some(gpp) = self.guest_pt.translate(gvp) {
-            return gpp;
-        }
-        let gpp = GuestFrame::new(gvp.number());
-        let outcome = self.guest_pt.map(gvp, gpp);
-        // Give every new guest page-table node a nested mapping in the
-        // hypervisor's page-table reserve region.
-        let mut nodes = outcome.allocated_nodes;
-        if self.nested_pt.translate(GuestFrame::new(GUEST_PT_GPP_BASE)).is_none() {
-            nodes.push(GuestFrame::new(GUEST_PT_GPP_BASE));
-        }
-        for node in nodes {
-            if self.nested_pt.translate(node).is_none() {
-                let backing = SystemFrame::new(self.pt_backing_next);
-                self.pt_backing_next += 1;
-                self.nested_pt.map(node, backing);
-            }
-        }
-        self.faults.first_touch_faults += 1;
-        self.cycles[cpu.index()] += self.config.latencies.first_touch_cycles;
-        gpp
-    }
-
-    fn ensure_nested_mapping(&mut self, cpu: CpuId, gpp: GuestFrame) {
-        if self.nested_pt.translate(gpp).is_some() {
-            return;
-        }
-        // First touch of a brand-new page: no stale translations exist, so no
-        // translation coherence is needed.  The hypervisor backs the page
-        // with die-stacked memory while there is room (first-touch placement)
-        // and with off-chip memory once the fast device is full — from then
-        // on pages only enter die-stacked memory through the demand-migration
-        // path, which is what triggers translation coherence.
-        let spp = if self.paging_enabled() && self.paging.free_pages() > 0 {
-            match self.memory.allocate(MemoryKind::DieStacked) {
-                Ok(f) => {
-                    self.paging.commit_promotion(gpp);
-                    f
-                }
-                Err(_) => self
-                    .memory
-                    .allocate(MemoryKind::OffChip)
-                    .unwrap_or_else(|_| SystemFrame::new(self.bump_reserve())),
-            }
-        } else {
-            self.memory
-                .allocate(MemoryKind::OffChip)
-                .unwrap_or_else(|_| SystemFrame::new(self.bump_reserve()))
-        };
-        self.nested_pt.map(gpp, spp);
-        self.cycles[cpu.index()] += self.config.latencies.first_touch_cycles;
-    }
-
-    fn bump_reserve(&mut self) -> u64 {
-        let frame = self.pt_backing_next;
-        self.pt_backing_next += 1;
-        frame
-    }
-
-    fn current_kind(&self, gpp: GuestFrame) -> Option<MemoryKind> {
-        self.nested_pt.translate(gpp).map(|spp| self.memory.kind_of(spp))
-    }
-
-    // ----- demand paging ----------------------------------------------------------
-
-    fn handle_demand_fault(&mut self, cpu: CpuId, gpp: GuestFrame) {
-        // The faulting access takes an EPT-violation VM exit regardless of
-        // the translation-coherence mechanism.
-        self.faults.demand_faults += 1;
-        self.cycles[cpu.index()] += self.config.costs.vm_exit_cycles;
-        self.energy.record(EnergyEvent::VmExit, 1);
-
-        let decision = self.paging.on_slow_access(gpp);
-        for victim in decision.evictions.clone() {
-            self.migrate(cpu, victim, MemoryKind::OffChip, false);
-        }
-        if self.paging.daemon_should_run() {
-            for victim in self.paging.run_daemon() {
-                self.migrate(cpu, victim, MemoryKind::OffChip, false);
-            }
-        }
-        for (i, promo) in decision.promotions.iter().enumerate() {
-            if self.nested_pt.translate(*promo).is_none() {
-                // Prefetch candidate that the guest has never touched: skip.
-                continue;
-            }
-            if self.current_kind(*promo) == Some(MemoryKind::OffChip) {
-                let on_critical_path = i == 0;
-                if self.migrate(cpu, *promo, MemoryKind::DieStacked, on_critical_path) {
-                    self.paging.commit_promotion(*promo);
-                }
-            } else {
-                self.paging.commit_promotion(*promo);
-            }
-        }
-    }
-
-    /// Moves `gpp` to the `to` device.  Returns `true` if a migration
-    /// actually happened.
-    fn migrate(&mut self, initiator: CpuId, gpp: GuestFrame, to: MemoryKind, critical: bool) -> bool {
-        let Some(old_spp) = self.nested_pt.translate(gpp) else {
-            return false;
-        };
-        if self.memory.kind_of(old_spp) == to {
-            return false;
-        }
-        let Ok(new_spp) = self.memory.allocate(to) else {
-            return false;
-        };
-        let now = self.cycles[initiator.index()];
-        let copy = self.memory.page_copy_cycles(old_spp, new_spp, now);
-        if critical {
-            self.cycles[initiator.index()] += copy;
-        }
-        self.energy.record(EnergyEvent::PageCopy, 1);
-        self.memory.free(old_spp);
-        let pte_addr = self
-            .nested_pt
-            .remap(gpp, new_spp)
-            .expect("translate() above guarantees the mapping exists");
-        match to {
-            MemoryKind::DieStacked => self.faults.pages_promoted += 1,
-            MemoryKind::OffChip => self.faults.pages_demoted += 1,
-        }
-        self.remap_coherence(initiator, pte_addr);
-        true
-    }
-
-    // ----- translation coherence ---------------------------------------------------
 
     /// Performs the hypervisor's store to a nested page-table entry and the
     /// resulting translation-coherence activity.
     pub fn remap_coherence(&mut self, initiator: CpuId, pte_addr: SystemPhysAddr) {
-        self.coherence.remaps += 1;
-        let line = pte_addr.cache_line();
-        let write = self.caches.write(initiator, line);
-        self.charge_read(initiator, pte_addr, &write.access);
-        self.energy.record(
-            EnergyEvent::CoherenceMessage,
-            u64::from(write.invalidated_sharers.count()),
-        );
-
-        // The initiator's own translation structures snoop the store locally
-        // (the directory's sharer list excludes the writer), so it is always
-        // part of the hardware-coherence target set.
-        let mut sharers = write.invalidated_sharers;
-        sharers.add(initiator);
-        let ctx = RemapContext {
-            initiator,
-            vm_cpus: self.vm.cpus_ever_used().to_vec(),
-            running_guest: self.vm.running_guest().to_vec(),
-            sharers,
-        };
-        let plan = self.protocol.plan_remap(&ctx);
-        self.cycles[initiator.index()] += plan.initiator_cycles;
-        self.coherence.ipis += plan.ipis_sent;
-        self.coherence.hw_messages += plan.hw_messages;
-        self.energy.record(EnergyEvent::Ipi, plan.ipis_sent);
-        self.energy
-            .record(EnergyEvent::CoherenceMessage, plan.hw_messages);
-
-        let cotag = CoTag::from_pte_addr(pte_addr, self.config.cotag_bytes);
-        for target in &plan.targets {
-            self.cycles[target.cpu.index()] += target.target_cycles;
-            if target.vm_exit {
-                self.coherence.coherence_vm_exits += 1;
-                self.energy.record(EnergyEvent::VmExit, 1);
-            }
-            match target.action {
-                TargetAction::FlushAll => {
-                    let counts = self.structures[target.cpu.index()].flush_all();
-                    self.coherence.full_flushes += 1;
-                    self.coherence.entries_flushed += counts.total();
-                }
-                TargetAction::InvalidateCotag => {
-                    self.energy.record(EnergyEvent::CotagMatch, 1);
-                    let counts = self.structures[target.cpu.index()].invalidate_cotag(cotag);
-                    self.coherence.entries_selectively_invalidated += counts.total();
-                    self.energy
-                        .record(EnergyEvent::TranslationInvalidation, counts.total());
-                    if counts.total() == 0 && !self.caches.cpu_holds_line(target.cpu, line) {
-                        self.coherence.spurious_messages += 1;
-                        self.caches.demote_sharer(line, target.cpu);
-                    }
-                }
-                TargetAction::InvalidateCotagTlbOnly => {
-                    self.energy.record(EnergyEvent::UnitdCamSearch, 1);
-                    let counts =
-                        self.structures[target.cpu.index()].invalidate_cotag_tlb_only(cotag);
-                    self.coherence.entries_selectively_invalidated += counts.tlb;
-                    self.coherence.entries_flushed += counts.mmu_cache + counts.ntlb;
-                    self.energy
-                        .record(EnergyEvent::TranslationInvalidation, counts.total());
-                    if counts.total() == 0 && !self.caches.cpu_holds_line(target.cpu, line) {
-                        self.coherence.spurious_messages += 1;
-                        self.caches.demote_sharer(line, target.cpu);
-                    }
-                }
-                TargetAction::None => {}
-            }
-        }
-        // Directory-energy premium of the fancier design variants (Fig. 12).
-        let extra_factor = self.config.variant.directory_energy_factor() - 1.0;
-        if extra_factor > 0.0 {
-            let extra = ((plan.targets.len() as f64) * extra_factor).ceil() as u64;
-            self.energy.record(EnergyEvent::DirectoryAccess, extra);
-        }
+        self.platform
+            .remap_coherence(std::slice::from_mut(&mut self.vm), 0, initiator, pte_addr);
     }
 
-    fn handle_back_invalidations(
-        &mut self,
-        back: &[(CacheLineAddr, SharerSet, Option<PtKind>)],
-    ) {
-        for (line, sharers, pt) in back {
-            if pt.is_none() {
-                continue;
-            }
-            let cotag = CoTag::from_line(*line, self.config.cotag_bytes);
-            for cpu in sharers.iter() {
-                let counts = self.structures[cpu.index()].invalidate_cotag(cotag);
-                self.coherence.back_invalidated_entries += counts.total();
-                self.energy
-                    .record(EnergyEvent::TranslationInvalidation, counts.total());
-            }
-        }
-    }
-
-    // ----- inspection helpers (used by tests and examples) -------------------------
+    // ----- inspection helpers (used by tests and examples) ------------------
 
     /// Per-CPU cycle counters for the current measurement phase.
     #[must_use]
     pub fn cycles_per_cpu(&self) -> &[u64] {
-        &self.cycles
+        self.platform.cycles_per_cpu()
     }
 
     /// The hypervisor paging manager (for inspection).
     #[must_use]
     pub fn paging(&self) -> &PagingManager {
-        &self.paging
+        self.vm.paging()
     }
 
     /// The nested page table (for inspection).
     #[must_use]
     pub fn nested_page_table(&self) -> &NestedPageTable {
-        &self.nested_pt
+        self.vm.nested_page_table()
     }
 
     /// The guest page table (for inspection).
     #[must_use]
     pub fn guest_page_table(&self) -> &GuestPageTable {
-        &self.guest_pt
+        self.vm.guest_page_table()
     }
 
     /// Translation structures of one CPU (for inspection).
@@ -589,13 +189,19 @@ impl System {
     /// Panics if `cpu` is out of range.
     #[must_use]
     pub fn translation_structures(&self, cpu: CpuId) -> &TranslationStructures {
-        &self.structures[cpu.index()]
+        self.platform.translation_structures(cpu)
     }
 
     /// The cache hierarchy (for inspection).
     #[must_use]
     pub fn caches(&self) -> &CacheHierarchy {
-        &self.caches
+        self.platform.caches()
+    }
+
+    /// The VM's placement bookkeeping (for inspection).
+    #[must_use]
+    pub fn virtual_machine(&self) -> &VirtualMachine {
+        self.vm.vm()
     }
 }
 
@@ -613,7 +219,12 @@ mod tests {
     fn run(mechanism: CoherenceMechanism) -> SimReport {
         let config = tiny_config(mechanism);
         let mut system = System::new(config.clone()).unwrap();
-        let wl = Workload::build(WorkloadKind::DataCaching, 4, config.fast_capacity_pages(), 3);
+        let wl = Workload::build(
+            WorkloadKind::DataCaching,
+            4,
+            config.fast_capacity_pages(),
+            3,
+        );
         let mut driver = WorkloadDriver::from(wl);
         system.run(&mut driver, 2_000, 2_000)
     }
@@ -684,7 +295,11 @@ mod tests {
     fn infinite_hbm_is_fastest_memory_mode() {
         let base = tiny_config(CoherenceMechanism::Software).with_paging(PagingKnobs::best());
         let mut runtimes = Vec::new();
-        for mode in [MemoryMode::NoHbm, MemoryMode::Paged, MemoryMode::InfiniteHbm] {
+        for mode in [
+            MemoryMode::NoHbm,
+            MemoryMode::Paged,
+            MemoryMode::InfiniteHbm,
+        ] {
             let config = base.clone().with_memory_mode(mode);
             let mut system = System::new(config.clone()).unwrap();
             let wl = Workload::build(WorkloadKind::Graph500, 4, 256, 3);
@@ -712,5 +327,33 @@ mod tests {
         let report = run(CoherenceMechanism::Hatric);
         assert!(report.translation.l1_tlb.total() > 0);
         assert!(report.translation.l1_tlb.hit_rate() > 0.3);
+    }
+
+    #[test]
+    fn single_vm_runs_record_no_interference() {
+        let report = run(CoherenceMechanism::Software);
+        assert_eq!(report.interference.disrupted_cycles, 0);
+        assert_eq!(report.interference.inflicted_cycles, 0);
+    }
+
+    #[test]
+    fn vcpu_attribution_matches_per_cpu_cycles_for_pinned_vm() {
+        // In the single-VM system vCPU i occupies CPU i, so the per-vCPU
+        // attribution and the platform's per-CPU counters must agree for
+        // every disruptive charge (they may differ by hardware-only co-tag
+        // work, which is charged to the CPU but stalls no vCPU).
+        let config = tiny_config(CoherenceMechanism::Software);
+        let mut system = System::new(config.clone()).unwrap();
+        let wl = Workload::build(
+            WorkloadKind::DataCaching,
+            4,
+            config.fast_capacity_pages(),
+            3,
+        );
+        let mut driver = WorkloadDriver::from(wl);
+        system.run(&mut driver, 500, 500);
+        let platform_cycles: Vec<u64> = system.cycles_per_cpu().to_vec();
+        let vcpu_cycles = system.vm.vcpu_cycles();
+        assert_eq!(platform_cycles, vcpu_cycles);
     }
 }

@@ -195,7 +195,11 @@ impl EnergyParams {
         self.core_leakage_mw
             + self.structure_leakage_mw
             + self.cotag_leakage_mw
-            + if self.unitd_cam_present { self.unitd_cam_leakage_mw } else { 0.0 }
+            + if self.unitd_cam_present {
+                self.unitd_cam_leakage_mw
+            } else {
+                0.0
+            }
     }
 }
 
@@ -286,7 +290,9 @@ mod tests {
     fn cotags_cost_lookup_energy() {
         let with = EnergyParams::haswell_like(2);
         let without = EnergyParams::haswell_like(0);
-        assert!(with.dynamic_pj(EnergyEvent::TlbLookup) > without.dynamic_pj(EnergyEvent::TlbLookup));
+        assert!(
+            with.dynamic_pj(EnergyEvent::TlbLookup) > without.dynamic_pj(EnergyEvent::TlbLookup)
+        );
         assert!(with.leakage_mw_per_cpu() > without.leakage_mw_per_cpu());
     }
 
@@ -301,7 +307,10 @@ mod tests {
     #[test]
     fn unitd_cam_is_more_expensive_than_cotag_match() {
         let p = EnergyParams::unitd_like();
-        assert!(p.dynamic_pj(EnergyEvent::UnitdCamSearch) > p.dynamic_pj(EnergyEvent::CotagMatch) * 10.0);
+        assert!(
+            p.dynamic_pj(EnergyEvent::UnitdCamSearch)
+                > p.dynamic_pj(EnergyEvent::CotagMatch) * 10.0
+        );
         assert!(p.leakage_mw_per_cpu() > EnergyParams::haswell_like(2).leakage_mw_per_cpu());
     }
 

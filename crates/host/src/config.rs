@@ -1,0 +1,268 @@
+//! Configuration of a consolidated host: the shared platform plus one
+//! [`VmSpec`] per co-located virtual machine.
+
+use serde::{Deserialize, Serialize};
+
+use hatric::{MemoryMode, PagingKnobs, SystemConfig, DEFAULT_SEED};
+use hatric_coherence::{CoherenceMechanism, DesignVariant};
+use hatric_hypervisor::SchedPolicy;
+use hatric_types::{Result, SimError};
+use hatric_workloads::WorkloadKind;
+
+/// One virtual machine on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Number of vCPUs (one guest thread each).
+    pub vcpus: usize,
+    /// Workload the VM runs.
+    pub workload: WorkloadKind,
+    /// Scale handed to the workload generator: the VM's data footprint is
+    /// `workload.footprint_vs_fast() * workload_scale_pages` 4 KiB pages.
+    pub workload_scale_pages: u64,
+    /// This VM's quota of die-stacked DRAM in 4 KiB pages.  The hypervisor
+    /// partitions the fast device between VMs; a VM whose footprint exceeds
+    /// its quota pages continuously (and generates remaps), one whose
+    /// footprint fits is left alone after warmup.
+    pub fast_quota_pages: u64,
+    /// Paging-policy knobs for this VM's quota.
+    pub paging: PagingKnobs,
+}
+
+impl VmSpec {
+    /// An *aggressor*: a big-memory workload whose footprint far exceeds its
+    /// die-stacked quota, so the hypervisor remaps pages continuously and
+    /// the translation-coherence mechanism is exercised hard.
+    #[must_use]
+    pub fn aggressor(vcpus: usize, fast_quota_pages: u64) -> Self {
+        Self {
+            vcpus,
+            workload: WorkloadKind::DataCaching,
+            workload_scale_pages: fast_quota_pages,
+            fast_quota_pages,
+            paging: PagingKnobs::best(),
+        }
+    }
+
+    /// A *victim*: a small-footprint workload that fits entirely inside its
+    /// quota and performs no remaps of its own — any coherence cycles it
+    /// records were inflicted by other VMs.
+    #[must_use]
+    pub fn victim(vcpus: usize, fast_quota_pages: u64) -> Self {
+        Self {
+            vcpus,
+            workload: WorkloadKind::SmallFootprint,
+            workload_scale_pages: fast_quota_pages,
+            fast_quota_pages,
+            paging: PagingKnobs::best(),
+        }
+    }
+
+    /// Footprint of this VM in 4 KiB pages — delegated to the workload
+    /// generator's own formula so the two can never drift.
+    #[must_use]
+    pub fn footprint_pages(&self) -> u64 {
+        self.workload
+            .footprint_pages(self.workload_scale_pages, self.vcpus)
+    }
+
+    /// Whether this VM's footprint exceeds its quota (it will page).
+    #[must_use]
+    pub fn expects_paging(&self) -> bool {
+        self.footprint_pages() > self.fast_quota_pages
+    }
+}
+
+/// The complete configuration of a consolidated host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostConfig {
+    /// Number of physical CPUs the VMs share.
+    pub num_pcpus: usize,
+    /// Total die-stacked capacity in 4 KiB pages (the VM quotas partition
+    /// this; their sum must not exceed it).
+    pub fast_pages: u64,
+    /// Translation-coherence mechanism under test (host-wide: the machine
+    /// either has HATRIC hardware or it does not).
+    pub mechanism: CoherenceMechanism,
+    /// Coherence-directory design variant.
+    pub variant: DesignVariant,
+    /// Co-tag width in bytes.
+    pub cotag_bytes: u8,
+    /// How the two-level memory is used.
+    pub memory_mode: MemoryMode,
+    /// vCPU→pCPU scheduling policy.
+    pub sched: SchedPolicy,
+    /// Guest memory accesses each scheduled vCPU issues per time slice.
+    pub slice_accesses: u64,
+    /// Master random seed (per-VM workload seeds derive from it).
+    pub seed: u64,
+    /// The co-located VMs, indexed by slot.
+    pub vms: Vec<VmSpec>,
+}
+
+impl HostConfig {
+    /// A host with `num_pcpus` CPUs and `fast_pages` pages of die-stacked
+    /// DRAM, no VMs yet (add them with [`HostConfig::with_vm`]).
+    #[must_use]
+    pub fn scaled(num_pcpus: usize, fast_pages: u64) -> Self {
+        Self {
+            num_pcpus,
+            fast_pages,
+            mechanism: CoherenceMechanism::Software,
+            variant: DesignVariant::Baseline,
+            cotag_bytes: 2,
+            memory_mode: MemoryMode::Paged,
+            sched: SchedPolicy::Pinned,
+            slice_accesses: 50,
+            seed: DEFAULT_SEED,
+            vms: Vec::new(),
+        }
+    }
+
+    /// Adds a VM to the host.
+    #[must_use]
+    pub fn with_vm(mut self, spec: VmSpec) -> Self {
+        self.vms.push(spec);
+        self
+    }
+
+    /// Returns a copy using the given coherence mechanism.
+    #[must_use]
+    pub fn with_mechanism(mut self, mechanism: CoherenceMechanism) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Returns a copy using the given scheduling policy.
+    #[must_use]
+    pub fn with_sched(mut self, sched: SchedPolicy) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Returns a copy using the given memory mode.
+    #[must_use]
+    pub fn with_memory_mode(mut self, mode: MemoryMode) -> Self {
+        self.memory_mode = mode;
+        self
+    }
+
+    /// Returns a copy with the given accesses per vCPU per slice.
+    #[must_use]
+    pub fn with_slice_accesses(mut self, accesses: u64) -> Self {
+        self.slice_accesses = accesses;
+        self
+    }
+
+    /// Returns a copy with the given master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total vCPUs across all VMs.
+    #[must_use]
+    pub fn total_vcpus(&self) -> usize {
+        self.vms.iter().map(|v| v.vcpus).sum()
+    }
+
+    /// Whether more vCPUs exist than physical CPUs.
+    #[must_use]
+    pub fn is_oversubscribed(&self) -> bool {
+        self.total_vcpus() > self.num_pcpus
+    }
+
+    /// The platform-wide part of the configuration, in the shape
+    /// [`hatric::Platform::new`] expects.  The per-VM fields of the template
+    /// (`vcpus`, paging knobs) are unused by the platform.
+    #[must_use]
+    pub fn platform_config(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::scaled(self.num_pcpus, self.fast_pages)
+            .with_mechanism(self.mechanism)
+            .with_memory_mode(self.memory_mode)
+            .with_cotag_bytes(self.cotag_bytes)
+            .with_variant(self.variant);
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error if the host cannot be simulated.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_pcpus == 0 {
+            // platform_config() would silently clamp this to 1 CPU and the
+            // scheduler would panic; reject it up front instead.
+            return Err(SimError::config("a host needs at least one physical CPU"));
+        }
+        if self.vms.is_empty() {
+            return Err(SimError::config("a host needs at least one VM"));
+        }
+        if self.vms.iter().any(|v| v.vcpus == 0) {
+            return Err(SimError::config("every VM needs at least one vCPU"));
+        }
+        if self.slice_accesses == 0 {
+            return Err(SimError::config("slice_accesses must be nonzero"));
+        }
+        let quota_sum: u64 = self.vms.iter().map(|v| v.fast_quota_pages).sum();
+        if self.memory_mode == MemoryMode::Paged && quota_sum > self.fast_pages {
+            return Err(SimError::config(
+                "VM die-stacked quotas exceed the fast device capacity",
+            ));
+        }
+        self.platform_config().validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggressor_pages_and_victim_does_not() {
+        assert!(VmSpec::aggressor(2, 128).expects_paging());
+        assert!(!VmSpec::victim(2, 128).expects_paging());
+    }
+
+    #[test]
+    fn footprint_honours_the_workload_generators_per_thread_floor() {
+        // Workload::build floors the footprint at 16 pages per thread; a
+        // tiny-quota "victim" therefore pages after all, and expects_paging
+        // must say so rather than promising a remap-free VM.
+        let tiny = VmSpec::victim(2, 24);
+        assert_eq!(tiny.footprint_pages(), 32);
+        assert!(tiny.expects_paging());
+    }
+
+    #[test]
+    fn quota_oversubscription_is_rejected() {
+        let cfg = HostConfig::scaled(4, 256)
+            .with_vm(VmSpec::aggressor(2, 200))
+            .with_vm(VmSpec::victim(2, 100));
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn a_reasonable_host_validates() {
+        let cfg = HostConfig::scaled(4, 256)
+            .with_vm(VmSpec::aggressor(2, 128))
+            .with_vm(VmSpec::victim(2, 128));
+        cfg.validate().unwrap();
+        assert_eq!(cfg.total_vcpus(), 4);
+        assert!(!cfg.is_oversubscribed());
+    }
+
+    #[test]
+    fn empty_host_is_rejected() {
+        assert!(HostConfig::scaled(4, 256).validate().is_err());
+    }
+
+    #[test]
+    fn zero_pcpu_host_is_rejected_not_panicking() {
+        let cfg = HostConfig::scaled(0, 256).with_vm(VmSpec::victim(1, 64));
+        assert!(cfg.validate().is_err());
+        assert!(crate::ConsolidatedHost::new(cfg).is_err());
+    }
+}

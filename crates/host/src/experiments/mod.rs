@@ -1,0 +1,5 @@
+//! Experiment runners built on the consolidated host.
+
+pub mod multivm;
+
+pub use multivm::{MultiVmParams, MultiVmRow};

@@ -1,0 +1,241 @@
+//! The consolidated host: N virtual machines scheduled over one shared
+//! [`Platform`].
+
+use hatric::metrics::{HostReport, SimReport};
+use hatric::{Platform, VmInstance, VmPagingParams, WorkloadDriver};
+use hatric_hypervisor::{Placement, Scheduler, VmConfig};
+use hatric_memory::MemoryKind;
+use hatric_types::{Result, VmId};
+use hatric_workloads::Workload;
+
+use crate::config::HostConfig;
+
+/// A host running `config.vms.len()` virtual machines concurrently over one
+/// cache hierarchy, one HATRIC directory, one memory system and a pool of
+/// physical CPUs.
+///
+/// Time advances in scheduler slices: each slice, the scheduler places up
+/// to `num_pcpus` vCPUs, and every placed vCPU issues
+/// `config.slice_accesses` guest memory accesses through the shared
+/// pipeline.  Hypervisor paging inside any VM triggers translation
+/// coherence on the shared platform, where its cost lands on whoever
+/// occupies the targeted CPUs — the cross-VM interference this subsystem
+/// exists to measure.
+#[derive(Debug)]
+pub struct ConsolidatedHost {
+    config: HostConfig,
+    platform: Platform,
+    vms: Vec<VmInstance>,
+    drivers: Vec<WorkloadDriver>,
+    scheduler: Scheduler,
+    current_slice: Vec<Placement>,
+    slices_run: u64,
+}
+
+impl ConsolidatedHost {
+    /// Builds the host from its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn new(config: HostConfig) -> Result<Self> {
+        config.validate()?;
+        let platform = Platform::new(&config.platform_config())?;
+        let device_pages = platform.memory().total_frames(MemoryKind::DieStacked);
+        let mut vms = Vec::with_capacity(config.vms.len());
+        let mut drivers = Vec::with_capacity(config.vms.len());
+        for (slot, spec) in config.vms.iter().enumerate() {
+            // Quotas partition the real device; the no-HBM and infinite-HBM
+            // operating modes override them host-wide.
+            let quota = match config.memory_mode {
+                hatric::MemoryMode::NoHbm => 0,
+                hatric::MemoryMode::InfiniteHbm => device_pages,
+                hatric::MemoryMode::Paged => spec.fast_quota_pages.min(device_pages),
+            };
+            let paging = VmPagingParams::for_quota(&spec.paging, quota, quota > 0);
+            vms.push(VmInstance::unplaced(
+                slot,
+                VmConfig {
+                    vm: VmId::new(slot as u32),
+                    vcpus: spec.vcpus,
+                    first_cpu: hatric_types::CpuId::new(0),
+                },
+                paging,
+                platform.memory(),
+            ));
+            let workload_seed = config
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(slot as u64 + 1));
+            drivers.push(WorkloadDriver::from(Workload::build(
+                spec.workload,
+                spec.vcpus,
+                spec.workload_scale_pages,
+                workload_seed,
+            )));
+        }
+        let vcpu_counts: Vec<usize> = config.vms.iter().map(|v| v.vcpus).collect();
+        let scheduler = Scheduler::new(config.sched, config.num_pcpus, &vcpu_counts);
+        Ok(Self {
+            config,
+            platform,
+            vms,
+            drivers,
+            scheduler,
+            current_slice: Vec::new(),
+            slices_run: 0,
+        })
+    }
+
+    /// The configuration this host was built with.
+    #[must_use]
+    pub fn config(&self) -> &HostConfig {
+        &self.config
+    }
+
+    /// The shared platform (for inspection).
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The VM in host slot `slot` (for inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn vm(&self, slot: usize) -> &VmInstance {
+        &self.vms[slot]
+    }
+
+    /// Scheduler slices executed so far (warmup included).
+    #[must_use]
+    pub fn slices_run(&self) -> u64 {
+        self.slices_run
+    }
+
+    /// Runs `warmup_slices` unmeasured slices (to populate page tables,
+    /// caches and the resident sets), clears the measurement counters, runs
+    /// `measured_slices` measured slices and returns the report.
+    pub fn run(&mut self, warmup_slices: u64, measured_slices: u64) -> HostReport {
+        self.run_slices(warmup_slices);
+        self.reset_measurements();
+        self.run_slices(measured_slices);
+        self.report()
+    }
+
+    /// Executes `n` scheduler slices.
+    pub fn run_slices(&mut self, n: u64) {
+        for _ in 0..n {
+            self.run_one_slice();
+        }
+    }
+
+    fn run_one_slice(&mut self) {
+        let placements = self.scheduler.next_slice();
+        // Context switch: clear last slice's occupants, install this one's.
+        for p in self.current_slice.drain(..) {
+            self.vms[p.vm_slot].vm_mut().deschedule(p.vcpu);
+            self.platform.set_occupant(p.pcpu, None);
+        }
+        for p in &placements {
+            self.vms[p.vm_slot].vm_mut().place(p.vcpu, p.pcpu);
+            self.platform
+                .set_occupant(p.pcpu, Some((p.vm_slot, p.vcpu)));
+        }
+        for p in &placements {
+            let thread = p.vcpu.index();
+            for _ in 0..self.config.slice_accesses {
+                let access = self.drivers[p.vm_slot].next_access(thread);
+                let asid = self.vms[p.vm_slot]
+                    .vm()
+                    .address_space(self.drivers[p.vm_slot].address_space_index(thread));
+                self.platform
+                    .step(&mut self.vms, p.vm_slot, p.pcpu, asid, access);
+            }
+        }
+        self.current_slice = placements;
+        self.slices_run += 1;
+    }
+
+    /// Clears all measurement state (platform statistics and per-VM
+    /// counters) while keeping architectural state intact.
+    pub fn reset_measurements(&mut self) {
+        self.platform.reset_measurements();
+        for vm in &mut self.vms {
+            vm.reset_measurements();
+        }
+    }
+
+    /// Produces the host report: one [`SimReport`] per VM plus the
+    /// host-wide aggregate.
+    #[must_use]
+    pub fn report(&self) -> HostReport {
+        let per_vm: Vec<SimReport> = self.vms.iter().map(VmInstance::report).collect();
+        let mut host = SimReport {
+            cycles_per_cpu: self.platform.cycles_per_cpu().to_vec(),
+            translation: self.platform.translation_snapshot(),
+            cache: self.platform.cache_snapshot(),
+            energy: self.platform.energy_report(),
+            ..SimReport::default()
+        };
+        for vm in &per_vm {
+            host.accesses += vm.accesses;
+            host.coherence.merge(&vm.coherence);
+            host.faults.merge(&vm.faults);
+            host.interference.merge(&vm.interference);
+            host.paging.merge(&vm.paging);
+        }
+        HostReport { per_vm, host }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VmSpec;
+    use hatric_coherence::CoherenceMechanism;
+    use hatric_hypervisor::SchedPolicy;
+
+    fn tiny_host(mechanism: CoherenceMechanism) -> ConsolidatedHost {
+        let cfg = HostConfig::scaled(4, 512)
+            .with_mechanism(mechanism)
+            .with_sched(SchedPolicy::RoundRobin)
+            .with_vm(VmSpec::aggressor(2, 256))
+            .with_vm(VmSpec::victim(2, 128))
+            .with_vm(VmSpec::victim(2, 128));
+        ConsolidatedHost::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn host_runs_and_reports_per_vm() {
+        let mut host = tiny_host(CoherenceMechanism::Software);
+        let report = host.run(150, 150);
+        assert_eq!(report.per_vm.len(), 3);
+        for vm in &report.per_vm {
+            assert!(vm.accesses > 0, "every VM must make progress");
+        }
+        assert_eq!(
+            report.host.accesses,
+            report.per_vm.iter().map(|r| r.accesses).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn aggressor_remaps_victims_do_not() {
+        let mut host = tiny_host(CoherenceMechanism::Software);
+        let report = host.run(400, 400);
+        assert!(
+            report.per_vm[0].coherence.remaps > 0,
+            "the aggressor must page"
+        );
+        assert_eq!(report.per_vm[1].coherence.remaps, 0);
+        assert_eq!(report.per_vm[2].coherence.remaps, 0);
+    }
+
+    #[test]
+    fn oversubscription_shares_cpus_between_vms() {
+        let host = tiny_host(CoherenceMechanism::Software);
+        assert!(host.config().is_oversubscribed());
+    }
+}

@@ -38,9 +38,9 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod paging;
+pub mod scheduler;
 pub mod vm;
 
-pub use paging::{
-    MigrationDecision, PagingConfig, PagingManager, PagingPolicyKind, PagingStats,
-};
+pub use paging::{MigrationDecision, PagingConfig, PagingManager, PagingPolicyKind, PagingStats};
+pub use scheduler::{Placement, SchedPolicy, Scheduler};
 pub use vm::{HypervisorKind, VirtualMachine, VmConfig};

@@ -110,6 +110,17 @@ pub struct PagingStats {
     pub daemon_runs: Counter,
 }
 
+impl PagingStats {
+    /// Accumulates `other` into `self` (used when summing per-VM reports).
+    pub fn merge(&mut self, other: &PagingStats) {
+        self.demand_faults.add(other.demand_faults.get());
+        self.promotions.add(other.promotions.get());
+        self.evictions.add(other.evictions.get());
+        self.prefetches.add(other.prefetches.get());
+        self.daemon_runs.add(other.daemon_runs.get());
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct ResidentInfo {
     referenced: bool,
@@ -157,13 +168,21 @@ impl PagingManager {
     /// Free fast-memory pages remaining.
     #[must_use]
     pub fn free_pages(&self) -> u64 {
-        self.config.fast_capacity_pages.saturating_sub(self.resident_pages())
+        self.config
+            .fast_capacity_pages
+            .saturating_sub(self.resident_pages())
     }
 
     /// Accumulated statistics.
     #[must_use]
     pub fn stats(&self) -> PagingStats {
         self.stats
+    }
+
+    /// Clears the statistics while keeping the resident set and policy
+    /// state intact (called between warmup and measured phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = PagingStats::default();
     }
 
     /// Notes an access to a page already resident in fast memory (sets its
@@ -238,15 +257,24 @@ impl PagingManager {
         if needed > capacity {
             promotions.truncate(capacity as usize);
         }
-        self.stats.prefetches.add(promotions.len().saturating_sub(1) as u64);
-        MigrationDecision { promotions, evictions }
+        self.stats
+            .prefetches
+            .add(promotions.len().saturating_sub(1) as u64);
+        MigrationDecision {
+            promotions,
+            evictions,
+        }
     }
 
     /// Records that a promoted page now resides in fast memory.  The page
     /// starts with a clear reference bit; demand accesses set it via
     /// [`PagingManager::on_fast_access`].
     pub fn commit_promotion(&mut self, gpp: GuestFrame) {
-        if self.resident.insert(gpp, ResidentInfo { referenced: false }).is_none() {
+        if self
+            .resident
+            .insert(gpp, ResidentInfo { referenced: false })
+            .is_none()
+        {
             self.queue.push_back(gpp);
             self.stats.promotions.incr();
         }
@@ -345,7 +373,11 @@ mod tests {
         let d = m.on_slow_access(GuestFrame::new(10));
         assert_eq!(
             d.promotions,
-            vec![GuestFrame::new(10), GuestFrame::new(11), GuestFrame::new(12)]
+            vec![
+                GuestFrame::new(10),
+                GuestFrame::new(11),
+                GuestFrame::new(12)
+            ]
         );
         assert_eq!(m.stats().prefetches.get(), 2);
     }

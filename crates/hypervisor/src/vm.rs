@@ -37,6 +37,9 @@ pub struct VirtualMachine {
     cpus_ever_used: Vec<CpuId>,
     /// Physical CPUs currently executing a vCPU in guest mode.
     running_guest: Vec<CpuId>,
+    /// Where each vCPU currently executes (`None` while descheduled).  A
+    /// freshly created VM starts with the static affine placement.
+    placement: Vec<Option<CpuId>>,
 }
 
 impl VirtualMachine {
@@ -48,7 +51,22 @@ impl VirtualMachine {
             .collect();
         Self {
             cpus_ever_used: cpus.clone(),
+            placement: cpus.iter().copied().map(Some).collect(),
             running_guest: cpus,
+            config,
+        }
+    }
+
+    /// Creates a VM with no vCPU placed anywhere yet — the starting state on
+    /// a scheduled host, where a scheduler assigns CPUs slice by slice via
+    /// [`VirtualMachine::place`].  `config.first_cpu` is kept only as the
+    /// static-affinity fallback of [`VirtualMachine::cpu_of`].
+    #[must_use]
+    pub fn unplaced(config: VmConfig) -> Self {
+        Self {
+            cpus_ever_used: Vec::new(),
+            running_guest: Vec::new(),
+            placement: vec![None; config.vcpus],
             config,
         }
     }
@@ -65,7 +83,9 @@ impl VirtualMachine {
         self.config.vcpus
     }
 
-    /// The physical CPU that `vcpu` runs on.
+    /// The physical CPU that `vcpu` is statically pinned to (the affine
+    /// placement a freshly created VM starts with).  On a scheduled host the
+    /// *current* position is [`VirtualMachine::current_cpu_of`].
     ///
     /// # Panics
     ///
@@ -76,15 +96,68 @@ impl VirtualMachine {
         CpuId::new(self.config.first_cpu.raw() + vcpu.raw())
     }
 
-    /// The vCPU running on physical CPU `cpu`, if it belongs to this VM.
+    /// The physical CPU `vcpu` currently executes on, or `None` while it is
+    /// descheduled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpu` is out of range.
+    #[must_use]
+    pub fn current_cpu_of(&self, vcpu: VcpuId) -> Option<CpuId> {
+        assert!(vcpu.index() < self.config.vcpus, "unknown {vcpu}");
+        self.placement[vcpu.index()]
+    }
+
+    /// Schedules `vcpu` onto `cpu` for the coming time slice, remembering
+    /// the CPU in the ever-used set software shootdowns target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpu` is out of range.
+    pub fn place(&mut self, vcpu: VcpuId, cpu: CpuId) {
+        assert!(vcpu.index() < self.config.vcpus, "unknown {vcpu}");
+        if let Some(old) = self.placement[vcpu.index()].replace(cpu) {
+            if old != cpu {
+                self.forget_running(old);
+            }
+        }
+        if !self.running_guest.contains(&cpu) {
+            self.running_guest.push(cpu);
+        }
+        if !self.cpus_ever_used.contains(&cpu) {
+            self.cpus_ever_used.push(cpu);
+        }
+    }
+
+    /// Takes `vcpu` off its CPU at the end of a time slice.  The CPU stays
+    /// in the ever-used set (software coherence still has to IPI it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpu` is out of range.
+    pub fn deschedule(&mut self, vcpu: VcpuId) {
+        assert!(vcpu.index() < self.config.vcpus, "unknown {vcpu}");
+        if let Some(cpu) = self.placement[vcpu.index()].take() {
+            self.forget_running(cpu);
+        }
+    }
+
+    /// Drops `cpu` from `running_guest` unless another vCPU still sits there.
+    fn forget_running(&mut self, cpu: CpuId) {
+        if !self.placement.contains(&Some(cpu)) {
+            self.running_guest.retain(|&c| c != cpu);
+        }
+    }
+
+    /// The vCPU currently placed on physical CPU `cpu`, if any belongs to
+    /// this VM.  Answers from the live placement, so it stays correct on a
+    /// scheduled host where vCPUs migrate off their static pins.
     #[must_use]
     pub fn vcpu_on(&self, cpu: CpuId) -> Option<VcpuId> {
-        let first = self.config.first_cpu.raw();
-        if cpu.raw() >= first && cpu.raw() < first + self.config.vcpus as u32 {
-            Some(VcpuId::new(cpu.raw() - first))
-        } else {
-            None
-        }
+        self.placement
+            .iter()
+            .position(|p| *p == Some(cpu))
+            .map(|i| VcpuId::new(i as u32))
     }
 
     /// Physical CPUs this VM has ever executed on (software coherence
@@ -174,5 +247,38 @@ mod tests {
     #[should_panic(expected = "unknown")]
     fn out_of_range_vcpu_panics() {
         let _ = vm().cpu_of(VcpuId::new(9));
+    }
+
+    #[test]
+    fn placement_migration_accumulates_ever_used_cpus() {
+        let mut vm = vm();
+        assert_eq!(vm.current_cpu_of(VcpuId::new(0)), Some(CpuId::new(8)));
+        vm.place(VcpuId::new(0), CpuId::new(30));
+        assert_eq!(vm.current_cpu_of(VcpuId::new(0)), Some(CpuId::new(30)));
+        // The old CPU is no longer running this VM but stays targetable.
+        assert!(!vm.running_guest().contains(&CpuId::new(8)));
+        assert!(vm.cpus_ever_used().contains(&CpuId::new(8)));
+        assert!(vm.cpus_ever_used().contains(&CpuId::new(30)));
+    }
+
+    #[test]
+    fn deschedule_clears_placement_but_not_targeting() {
+        let mut vm = vm();
+        vm.deschedule(VcpuId::new(2));
+        assert_eq!(vm.current_cpu_of(VcpuId::new(2)), None);
+        assert!(!vm.running_guest().contains(&CpuId::new(10)));
+        assert!(vm.cpus_ever_used().contains(&CpuId::new(10)));
+        assert_eq!(vm.cpus_ever_used().len(), 4);
+    }
+
+    #[test]
+    fn shared_cpu_stays_running_until_both_vcpus_leave() {
+        let mut vm = vm();
+        // Move vCPU 1 onto vCPU 0's CPU, then deschedule one of them.
+        vm.place(VcpuId::new(1), CpuId::new(8));
+        vm.deschedule(VcpuId::new(0));
+        assert!(vm.running_guest().contains(&CpuId::new(8)));
+        vm.deschedule(VcpuId::new(1));
+        assert!(!vm.running_guest().contains(&CpuId::new(8)));
     }
 }

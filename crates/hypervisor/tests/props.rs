@@ -1,0 +1,80 @@
+//! Property-based tests for the vCPU scheduler: under any mix of VM sizes,
+//! CPU counts and policies, a slice never double-books a physical CPU and
+//! never schedules the same vCPU twice.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use hatric_hypervisor::{SchedPolicy, Scheduler};
+
+fn policy_strategy() -> impl Strategy<Value = SchedPolicy> {
+    prop_oneof![
+        (0u8..1).prop_map(|_| SchedPolicy::Pinned),
+        (0u8..1).prop_map(|_| SchedPolicy::RoundRobin),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole invariant: no two runnable vCPUs share a pCPU within a
+    /// slice, and no vCPU runs on two pCPUs at once.
+    #[test]
+    fn slices_never_double_book(
+        policy in policy_strategy(),
+        num_pcpus in 1usize..16,
+        vcpu_counts in proptest::collection::vec(1usize..5, 1..6),
+        slices in 1usize..40,
+    ) {
+        let mut sched = Scheduler::new(policy, num_pcpus, &vcpu_counts);
+        for _ in 0..slices {
+            let placements = sched.next_slice();
+            prop_assert!(placements.len() <= num_pcpus);
+            let cpus: HashSet<_> = placements.iter().map(|p| p.pcpu).collect();
+            prop_assert_eq!(cpus.len(), placements.len(), "pCPU double-booked");
+            let vcpus: HashSet<_> =
+                placements.iter().map(|p| (p.vm_slot, p.vcpu)).collect();
+            prop_assert_eq!(vcpus.len(), placements.len(), "vCPU scheduled twice");
+            for p in &placements {
+                prop_assert!(p.pcpu.index() < num_pcpus);
+                prop_assert!(p.vm_slot < vcpu_counts.len());
+                prop_assert!(p.vcpu.index() < vcpu_counts[p.vm_slot]);
+            }
+        }
+    }
+
+    /// Work conservation: as long as runnable vCPUs exist, either every
+    /// pCPU is busy or every vCPU is placed.
+    #[test]
+    fn slices_are_work_conserving(
+        policy in policy_strategy(),
+        num_pcpus in 1usize..12,
+        vcpu_counts in proptest::collection::vec(1usize..4, 1..5),
+    ) {
+        let total: usize = vcpu_counts.iter().sum();
+        let mut sched = Scheduler::new(policy, num_pcpus, &vcpu_counts);
+        for _ in 0..8 {
+            let placements = sched.next_slice();
+            prop_assert_eq!(placements.len(), total.min(num_pcpus));
+        }
+    }
+
+    /// Over enough slices every vCPU gets CPU time (no starvation).
+    #[test]
+    fn no_vcpu_starves(
+        policy in policy_strategy(),
+        num_pcpus in 1usize..8,
+        vcpu_counts in proptest::collection::vec(1usize..4, 1..5),
+    ) {
+        let total: usize = vcpu_counts.iter().sum();
+        let mut sched = Scheduler::new(policy, num_pcpus, &vcpu_counts);
+        let mut ran: HashSet<(usize, u32)> = HashSet::new();
+        // Enough slices for the slowest rotation to cycle through.
+        for _ in 0..(2 * total + 4) {
+            for p in sched.next_slice() {
+                ran.insert((p.vm_slot, p.vcpu.raw()));
+            }
+        }
+        prop_assert_eq!(ran.len(), total, "some vCPU never ran");
+    }
+}

@@ -40,8 +40,8 @@ pub use device::{DeviceConfig, DeviceStats, MemoryDevice, MemoryKind};
 
 use serde::{Deserialize, Serialize};
 
-use hatric_types::{Result, SimError, SystemFrame, PAGE_SIZE_4K};
 use hatric_types::consts::CACHE_LINE_BYTES;
+use hatric_types::{Result, SimError, SystemFrame, PAGE_SIZE_4K};
 
 /// Configuration of the whole two-level memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -227,8 +227,12 @@ impl MemorySystem {
         let mut cycles = self.config.page_copy_overhead_cycles;
         // Streaming transfers pipeline well; charge the occupancy of both
         // devices but only the larger of the two as serialised latency.
-        let src_cost: u64 = (0..lines).map(|i| self.device_mut(src).occupy(now + i)).sum();
-        let dst_cost: u64 = (0..lines).map(|i| self.device_mut(dst).occupy(now + i)).sum();
+        let src_cost: u64 = (0..lines)
+            .map(|i| self.device_mut(src).occupy(now + i))
+            .sum();
+        let dst_cost: u64 = (0..lines)
+            .map(|i| self.device_mut(dst).occupy(now + i))
+            .sum();
         cycles += src_cost.max(dst_cost);
         cycles
     }
@@ -265,7 +269,10 @@ mod tests {
     fn layout_regions_do_not_overlap() {
         let mem = MemorySystem::new(MemorySystemConfig::paper_default());
         assert_eq!(mem.total_frames(MemoryKind::OffChip), 8 * 1024 * 1024 / 4);
-        assert_eq!(mem.total_frames(MemoryKind::DieStacked), 2 * 1024 * 1024 / 4);
+        assert_eq!(
+            mem.total_frames(MemoryKind::DieStacked),
+            2 * 1024 * 1024 / 4
+        );
         assert_eq!(mem.kind_of(SystemFrame::new(0)), MemoryKind::OffChip);
         assert_eq!(mem.kind_of(mem.die_stacked_base()), MemoryKind::DieStacked);
         assert_eq!(mem.kind_of(mem.reserve_base()), MemoryKind::OffChip);

@@ -33,7 +33,9 @@ impl GuestPageTable {
 
     /// Removes the mapping for `gvp`.
     pub fn unmap(&mut self, gvp: GuestVirtPage) -> Option<GuestFrame> {
-        self.table.unmap(gvp.number()).map(|pte| GuestFrame::new(pte.frame))
+        self.table
+            .unmap(gvp.number())
+            .map(|pte| GuestFrame::new(pte.frame))
     }
 
     /// Redirects an existing mapping to `new_gpp`, returning the
@@ -62,7 +64,9 @@ impl GuestPageTable {
     /// Guest-physical address of the leaf entry for `gvp`.
     #[must_use]
     pub fn leaf_entry_addr(&self, gvp: GuestVirtPage) -> Option<GuestPhysAddr> {
-        self.table.leaf_entry_addr(gvp.number()).map(GuestPhysAddr::new)
+        self.table
+            .leaf_entry_addr(gvp.number())
+            .map(GuestPhysAddr::new)
     }
 
     /// Marks the leaf entry for `gvp` accessed/dirty; returns whether the
@@ -93,7 +97,11 @@ impl GuestPageTable {
     /// Guest-physical frames occupied by the table's own radix nodes.
     #[must_use]
     pub fn node_frames(&self) -> Vec<GuestFrame> {
-        self.table.node_frames().into_iter().map(GuestFrame::new).collect()
+        self.table
+            .node_frames()
+            .into_iter()
+            .map(GuestFrame::new)
+            .collect()
     }
 }
 
@@ -109,7 +117,11 @@ pub struct GuestMapOutcome {
 impl GuestMapOutcome {
     fn from_raw(raw: MapOutcome) -> Self {
         Self {
-            allocated_nodes: raw.allocated_nodes.into_iter().map(GuestFrame::new).collect(),
+            allocated_nodes: raw
+                .allocated_nodes
+                .into_iter()
+                .map(GuestFrame::new)
+                .collect(),
             replaced: raw.replaced,
         }
     }
@@ -150,7 +162,9 @@ mod tests {
     fn remap_reports_store_address() {
         let mut gpt = GuestPageTable::new(GuestFrame::new(0x500));
         gpt.map(GuestVirtPage::new(7), GuestFrame::new(9));
-        let addr = gpt.remap(GuestVirtPage::new(7), GuestFrame::new(10)).unwrap();
+        let addr = gpt
+            .remap(GuestVirtPage::new(7), GuestFrame::new(10))
+            .unwrap();
         assert_eq!(gpt.leaf_entry_addr(GuestVirtPage::new(7)), Some(addr));
     }
 }

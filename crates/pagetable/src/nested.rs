@@ -36,7 +36,9 @@ impl NestedPageTable {
 
     /// Removes the mapping for `gpp`, returning the old system frame.
     pub fn unmap(&mut self, gpp: GuestFrame) -> Option<SystemFrame> {
-        self.table.unmap(gpp.number()).map(|pte| SystemFrame::new(pte.frame))
+        self.table
+            .unmap(gpp.number())
+            .map(|pte| SystemFrame::new(pte.frame))
     }
 
     /// Redirects an existing mapping to `new_spp`, returning the
@@ -66,7 +68,9 @@ impl NestedPageTable {
     /// System-physical address of the leaf (nL1) entry for `gpp`.
     #[must_use]
     pub fn leaf_entry_addr(&self, gpp: GuestFrame) -> Option<SystemPhysAddr> {
-        self.table.leaf_entry_addr(gpp.number()).map(SystemPhysAddr::new)
+        self.table
+            .leaf_entry_addr(gpp.number())
+            .map(SystemPhysAddr::new)
     }
 
     /// Marks the leaf entry accessed/dirty; returns whether the accessed bit
@@ -97,7 +101,11 @@ impl NestedPageTable {
     /// System-physical frames occupied by the table's own radix nodes.
     #[must_use]
     pub fn node_frames(&self) -> Vec<SystemFrame> {
-        self.table.node_frames().into_iter().map(SystemFrame::new).collect()
+        self.table
+            .node_frames()
+            .into_iter()
+            .map(SystemFrame::new)
+            .collect()
     }
 }
 
@@ -113,7 +121,11 @@ pub struct NestedMapOutcome {
 impl NestedMapOutcome {
     fn from_raw(raw: MapOutcome) -> Self {
         Self {
-            allocated_nodes: raw.allocated_nodes.into_iter().map(SystemFrame::new).collect(),
+            allocated_nodes: raw
+                .allocated_nodes
+                .into_iter()
+                .map(SystemFrame::new)
+                .collect(),
             replaced: raw.replaced,
         }
     }
@@ -140,9 +152,14 @@ mod tests {
         let mut npt = NestedPageTable::new(SystemFrame::new(0x9000));
         npt.map(GuestFrame::new(8), SystemFrame::new(5));
         let leaf = npt.leaf_entry_addr(GuestFrame::new(8)).unwrap();
-        let store_addr = npt.remap(GuestFrame::new(8), SystemFrame::new(512)).unwrap();
+        let store_addr = npt
+            .remap(GuestFrame::new(8), SystemFrame::new(512))
+            .unwrap();
         assert_eq!(leaf, store_addr);
-        assert_eq!(npt.translate(GuestFrame::new(8)), Some(SystemFrame::new(512)));
+        assert_eq!(
+            npt.translate(GuestFrame::new(8)),
+            Some(SystemFrame::new(512))
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! and for HATRIC's co-tags (which record the address of the nested leaf
 //! entry).
 
-use hatric_types::{GuestFrame, GuestVirtPage, PageSize, Result, SimError, SystemFrame, SystemPhysAddr};
+use hatric_types::{
+    GuestFrame, GuestVirtPage, PageSize, Result, SimError, SystemFrame, SystemPhysAddr,
+};
 
 use crate::guest::GuestPageTable;
 use crate::nested::NestedPageTable;
@@ -118,7 +120,10 @@ impl TwoDimWalk {
                     *addr,
                 ));
             }
-            out.push((WalkStepKind::Guest { level: step.level }, step.guest_pte_addr));
+            out.push((
+                WalkStepKind::Guest { level: step.level },
+                step.guest_pte_addr,
+            ));
         }
         for (i, addr) in self.data_segment.step_addrs.iter().enumerate() {
             out.push((
@@ -166,9 +171,9 @@ impl TwoDimWalker {
     /// Returns [`SimError::UnmappedGuestFrame`] if any nested level is
     /// missing.
     pub fn nested_walk(gpp: GuestFrame, nested: &NestedPageTable) -> Result<NestedWalkSegment> {
-        let (steps, spp) = nested
-            .walk(gpp)
-            .ok_or(SimError::UnmappedGuestFrame { frame: gpp.number() })?;
+        let (steps, spp) = nested.walk(gpp).ok_or(SimError::UnmappedGuestFrame {
+            frame: gpp.number(),
+        })?;
         Ok(NestedWalkSegment {
             gpp,
             step_addrs: steps.into_iter().map(|(_, addr)| addr).collect(),
@@ -226,7 +231,11 @@ mod tests {
     use super::*;
     use hatric_types::consts::TWO_DIM_WALK_REFS;
 
-    fn build_tables(gvp: GuestVirtPage, gpp: GuestFrame, spp: SystemFrame) -> (GuestPageTable, NestedPageTable) {
+    fn build_tables(
+        gvp: GuestVirtPage,
+        gpp: GuestFrame,
+        spp: SystemFrame,
+    ) -> (GuestPageTable, NestedPageTable) {
         let mut guest = GuestPageTable::new(GuestFrame::new(0x10_000));
         let mut nested = NestedPageTable::new(SystemFrame::new(0x80_000));
         let out = guest.map(gvp, gpp);
@@ -260,7 +269,10 @@ mod tests {
         for (i, (kind, _)) in steps.iter().take(4).enumerate() {
             assert_eq!(
                 *kind,
-                WalkStepKind::Nested { for_guest_level: 4, nested_level: 4 - i as u8 }
+                WalkStepKind::Nested {
+                    for_guest_level: 4,
+                    nested_level: 4 - i as u8
+                }
             );
         }
         assert_eq!(steps[4].0, WalkStepKind::Guest { level: 4 });
@@ -268,7 +280,10 @@ mod tests {
         for (i, (kind, _)) in steps.iter().rev().take(4).rev().enumerate() {
             assert_eq!(
                 *kind,
-                WalkStepKind::Nested { for_guest_level: 0, nested_level: 4 - i as u8 }
+                WalkStepKind::Nested {
+                    for_guest_level: 0,
+                    nested_level: 4 - i as u8
+                }
             );
         }
     }
@@ -286,7 +301,11 @@ mod tests {
 
     #[test]
     fn unmapped_gvp_errors() {
-        let (guest, nested) = build_tables(GuestVirtPage::new(1), GuestFrame::new(2), SystemFrame::new(3));
+        let (guest, nested) = build_tables(
+            GuestVirtPage::new(1),
+            GuestFrame::new(2),
+            SystemFrame::new(3),
+        );
         let err = TwoDimWalker::walk(GuestVirtPage::new(99), &guest, &nested).unwrap_err();
         assert!(matches!(err, SimError::UnmappedPage { .. }));
     }
@@ -306,7 +325,9 @@ mod tests {
         let gvp = GuestVirtPage::new(3);
         let (guest, mut nested) = build_tables(gvp, GuestFrame::new(8), SystemFrame::new(5));
         let before = TwoDimWalker::walk(gvp, &guest, &nested).unwrap();
-        let store_addr = nested.remap(GuestFrame::new(8), SystemFrame::new(512)).unwrap();
+        let store_addr = nested
+            .remap(GuestFrame::new(8), SystemFrame::new(512))
+            .unwrap();
         let after = TwoDimWalker::walk(gvp, &guest, &nested).unwrap();
         assert_eq!(after.spp, SystemFrame::new(512));
         assert_eq!(before.nested_leaf_pte_addr(), after.nested_leaf_pte_addr());

@@ -35,7 +35,10 @@ impl MmuCacheConfig {
     /// The paper's 48-entry paging-structure cache.
     #[must_use]
     pub fn default_48() -> Self {
-        Self { entries: 48, ways: 4 }
+        Self {
+            entries: 48,
+            ways: 4,
+        }
     }
 
     /// Scales the number of entries by `factor`.
@@ -225,9 +228,13 @@ mod tests {
         let (vm, asid) = (VmId::new(0), AddressSpaceId::new(0));
         // Pages 0 and 1 share the same level-2 prefix (same gL1 table).
         psc.fill(vm, asid, GuestVirtPage::new(0), 2, entry(100, 0x1000));
-        assert!(psc.lookup_longest(vm, asid, GuestVirtPage::new(1)).is_some());
+        assert!(psc
+            .lookup_longest(vm, asid, GuestVirtPage::new(1))
+            .is_some());
         // Page 512 uses a different gL1 table.
-        assert!(psc.lookup_longest(vm, asid, GuestVirtPage::new(512)).is_none());
+        assert!(psc
+            .lookup_longest(vm, asid, GuestVirtPage::new(512))
+            .is_none());
     }
 
     #[test]
@@ -235,7 +242,10 @@ mod tests {
         let mut psc = MmuCache::new(MmuCacheConfig::default_48());
         let (vm, asid) = (VmId::new(0), AddressSpaceId::new(0));
         psc.fill(vm, asid, GuestVirtPage::new(7), 2, entry(1, 0x3000));
-        assert_eq!(psc.invalidate_cotag(CoTag::from_pte_addr(SystemPhysAddr::new(0x3000), 2)), 1);
+        assert_eq!(
+            psc.invalidate_cotag(CoTag::from_pte_addr(SystemPhysAddr::new(0x3000), 2)),
+            1
+        );
         assert!(psc.is_empty());
     }
 

@@ -20,7 +20,10 @@ impl NestedTlbConfig {
     /// The paper's 32-entry nested TLB, fully associative.
     #[must_use]
     pub fn default_32() -> Self {
-        Self { entries: 32, ways: 32 }
+        Self {
+            entries: 32,
+            ways: 32,
+        }
     }
 
     /// Scales the number of entries by `factor`.
@@ -147,7 +150,10 @@ mod tests {
         let mut ntlb = NestedTlb::new(NestedTlbConfig::default_32());
         let vm = VmId::new(0);
         ntlb.fill(vm, GuestFrame::new(8), entry(5, 0x100c00));
-        assert_eq!(ntlb.lookup(vm, GuestFrame::new(8)).unwrap().spp, SystemFrame::new(5));
+        assert_eq!(
+            ntlb.lookup(vm, GuestFrame::new(8)).unwrap().spp,
+            SystemFrame::new(5)
+        );
         assert!(ntlb.lookup(vm, GuestFrame::new(9)).is_none());
     }
 
@@ -165,7 +171,10 @@ mod tests {
 
     #[test]
     fn capacity_enforced() {
-        let mut ntlb = NestedTlb::new(NestedTlbConfig { entries: 4, ways: 4 });
+        let mut ntlb = NestedTlb::new(NestedTlbConfig {
+            entries: 4,
+            ways: 4,
+        });
         let vm = VmId::new(0);
         for i in 0..10 {
             ntlb.fill(vm, GuestFrame::new(i), entry(i, i * 64));

@@ -29,7 +29,7 @@ impl<K: Hash + Eq + Clone, V: Clone> SetAssoc<K, V> {
         assert!(entries > 0, "structure must have at least one entry");
         assert!(ways > 0, "structure must have at least one way");
         assert!(
-            entries % ways == 0,
+            entries.is_multiple_of(ways),
             "ways ({ways}) must divide total entries ({entries})"
         );
         let num_sets = entries / ways;
@@ -76,7 +76,10 @@ impl<K: Hash + Eq + Clone, V: Clone> SetAssoc<K, V> {
     #[must_use]
     pub fn peek(&self, key: &K) -> Option<&V> {
         let set = self.set_index(key);
-        self.sets[set].iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.sets[set]
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// Inserts (or replaces) `key`, returning the evicted victim if the set

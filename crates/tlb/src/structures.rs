@@ -288,14 +288,26 @@ impl TranslationStructures {
             // guest-physical frame through the nTLB or the nested table.
             let first_after_psc = psc_hit.is_some() && step.level == start_level;
             if !first_after_psc {
-                self.ntlb_translate(vm, &step.table_segment, &mut refs, &mut ntlb_hits, &mut ntlb_misses);
+                self.ntlb_translate(
+                    vm,
+                    &step.table_segment,
+                    &mut refs,
+                    &mut ntlb_hits,
+                    &mut ntlb_misses,
+                );
             }
             refs.push(step.guest_pte_addr);
             let _ = idx;
         }
 
         // Final nested walk for the data frame.
-        self.ntlb_translate(vm, &walk.data_segment, &mut refs, &mut ntlb_hits, &mut ntlb_misses);
+        self.ntlb_translate(
+            vm,
+            &walk.data_segment,
+            &mut refs,
+            &mut ntlb_hits,
+            &mut ntlb_misses,
+        );
 
         // Fill the paging-structure cache: an entry at level L points at the
         // guest node of level L-1, whose location the walk just established.
@@ -442,7 +454,10 @@ mod tests {
         let mut nested = NestedPageTable::new(SystemFrame::new(0x80_000));
         for page in [0x42u64, 0x43u64] {
             guest.map(GuestVirtPage::new(page), GuestFrame::new(0x100 + page));
-            nested.map(GuestFrame::new(0x100 + page), SystemFrame::new(0x9000 + page));
+            nested.map(
+                GuestFrame::new(0x100 + page),
+                SystemFrame::new(0x9000 + page),
+            );
         }
         for node in guest.node_frames() {
             nested.map(node, SystemFrame::new(node.number() + 0x100_000));
@@ -458,7 +473,11 @@ mod tests {
         let walk2 = TwoDimWalker::walk(GuestVirtPage::new(0x43), &guest, &nested).unwrap();
         let second = ts.service_miss(vm, asid, &walk2, true);
         assert_eq!(second.psc_hit_level, Some(2));
-        assert!(second.memory_references() <= 5, "got {}", second.memory_references());
+        assert!(
+            second.memory_references() <= 5,
+            "got {}",
+            second.memory_references()
+        );
     }
 
     #[test]
@@ -529,7 +548,10 @@ mod tests {
         let pte_addr = nested.leaf_entry_addr(GuestFrame::new(0x77)).unwrap();
         let counts = ts.invalidate_cotag_tlb_only(CoTag::from_pte_addr(pte_addr, 2));
         assert!(counts.tlb >= 1);
-        assert!(counts.mmu_cache >= 1, "MMU cache should be flushed wholesale");
+        assert!(
+            counts.mmu_cache >= 1,
+            "MMU cache should be flushed wholesale"
+        );
         assert!(counts.ntlb >= 1, "nTLB should be flushed wholesale");
     }
 }

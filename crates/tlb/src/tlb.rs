@@ -19,13 +19,19 @@ impl TlbConfig {
     /// 64-entry, 4-way L1 data TLB (the paper's per-CPU L1 TLB).
     #[must_use]
     pub fn l1_default() -> Self {
-        Self { entries: 64, ways: 4 }
+        Self {
+            entries: 64,
+            ways: 4,
+        }
     }
 
     /// 512-entry, 8-way L2 TLB.
     #[must_use]
     pub fn l2_default() -> Self {
-        Self { entries: 512, ways: 8 }
+        Self {
+            entries: 512,
+            ways: 8,
+        }
     }
 
     /// Scales the number of entries by `factor` (Fig. 9 sweeps 1×/2×/4×).
@@ -90,7 +96,12 @@ impl Tlb {
     }
 
     /// Looks up a translation, recording hit/miss statistics.
-    pub fn lookup(&mut self, vm: VmId, asid: AddressSpaceId, gvp: GuestVirtPage) -> Option<TlbEntry> {
+    pub fn lookup(
+        &mut self,
+        vm: VmId,
+        asid: AddressSpaceId,
+        gvp: GuestVirtPage,
+    ) -> Option<TlbEntry> {
         let key = TlbKey { vm, asid, gvp };
         let result = self.entries.lookup(&key).copied();
         self.stats.record(result.is_some());
@@ -126,9 +137,8 @@ impl Tlb {
     /// returns the number of entries invalidated.  This is the HATRIC
     /// coherence-message path.
     pub fn invalidate_cotag(&mut self, cotag: CoTag) -> u64 {
-        self.entries.invalidate_matching(|_, e| {
-            e.nested_cotag == cotag || e.guest_cotag == Some(cotag)
-        })
+        self.entries
+            .invalidate_matching(|_, e| e.nested_cotag == cotag || e.guest_cotag == Some(cotag))
     }
 
     /// Flushes every entry belonging to `vm`; returns the number flushed.
@@ -194,8 +204,15 @@ mod tests {
     fn different_asid_misses() {
         let mut tlb = Tlb::new(TlbConfig::l1_default());
         let vm = VmId::new(0);
-        tlb.fill(vm, AddressSpaceId::new(0), GuestVirtPage::new(9), entry(5, 0x1000));
-        assert!(tlb.lookup(vm, AddressSpaceId::new(1), GuestVirtPage::new(9)).is_none());
+        tlb.fill(
+            vm,
+            AddressSpaceId::new(0),
+            GuestVirtPage::new(9),
+            entry(5, 0x1000),
+        );
+        assert!(tlb
+            .lookup(vm, AddressSpaceId::new(1), GuestVirtPage::new(9))
+            .is_none());
     }
 
     #[test]
@@ -223,7 +240,10 @@ mod tests {
 
     #[test]
     fn capacity_bounds_occupancy() {
-        let mut tlb = Tlb::new(TlbConfig { entries: 16, ways: 4 });
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 16,
+            ways: 4,
+        });
         let (vm, asid) = (VmId::new(0), AddressSpaceId::new(0));
         for i in 0..100 {
             tlb.fill(vm, asid, GuestVirtPage::new(i), entry(i, i * 64));

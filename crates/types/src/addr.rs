@@ -22,9 +22,12 @@ use serde::{Deserialize, Serialize};
 use crate::consts::{CACHE_LINE_BYTES, PAGE_SIZE_1G, PAGE_SIZE_2M, PAGE_SIZE_4K};
 
 /// Page sizes supported by the simulated architecture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub enum PageSize {
     /// 4 KiB base page.
+    #[default]
     Base,
     /// 2 MiB superpage.
     Large2M,
@@ -53,12 +56,6 @@ impl PageSize {
     #[must_use]
     pub fn base_pages(self) -> u64 {
         self.bytes() / PAGE_SIZE_4K
-    }
-}
-
-impl Default for PageSize {
-    fn default() -> Self {
-        PageSize::Base
     }
 }
 
@@ -286,7 +283,11 @@ impl CacheLineAddr {
     /// Panics in debug builds if `aligned` is not 64-byte aligned.
     #[must_use]
     pub fn new(aligned: u64) -> Self {
-        debug_assert_eq!(aligned % CACHE_LINE_BYTES, 0, "address must be line aligned");
+        debug_assert_eq!(
+            aligned % CACHE_LINE_BYTES,
+            0,
+            "address must be line aligned"
+        );
         Self(aligned)
     }
 
@@ -367,7 +368,11 @@ impl CoTag {
         );
         let bits = u32::from(width_bytes) * 8;
         let shifted = pte_addr.raw() >> Self::LOW_BIT;
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         Self((shifted & mask) as u32)
     }
 

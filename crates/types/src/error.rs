@@ -46,7 +46,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
             SimError::OutOfMemory { device } => write!(f, "out of {device} memory"),
-            SimError::UnmappedPage { page } => write!(f, "guest virtual page {page:#x} is not mapped"),
+            SimError::UnmappedPage { page } => {
+                write!(f, "guest virtual page {page:#x} is not mapped")
+            }
             SimError::UnmappedGuestFrame { frame } => {
                 write!(f, "guest physical frame {frame:#x} has no nested mapping")
             }

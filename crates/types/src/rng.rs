@@ -40,10 +40,7 @@ impl SimRng {
 
     /// Returns the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.state[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.state[1] << 17;
         self.state[2] ^= self.state[0];
         self.state[3] ^= self.state[1];
@@ -106,7 +103,11 @@ impl SimRng {
         // Zipf CDF: P(X <= x) ~ (x/n)^(1-theta) for theta < 1; fall back to a
         // geometric-like skew for theta >= 1.
         let u = self.unit().max(1e-12);
-        let exponent = if theta < 1.0 { 1.0 / (1.0 - theta) } else { 4.0 + theta };
+        let exponent = if theta < 1.0 {
+            1.0 / (1.0 - theta)
+        } else {
+            4.0 + theta
+        };
         let x = (u.powf(exponent) * n as f64) as u64;
         x.min(n - 1)
     }

@@ -68,7 +68,10 @@ impl MixWorkload {
             let params = app.stream_params(fast_capacity_pages, base);
             footprints.push(params.private_pages);
             base += params.private_pages + 64;
-            streams.push(ThreadStream::new(params, seed.wrapping_add(i as u64 * 7919)));
+            streams.push(ThreadStream::new(
+                params,
+                seed.wrapping_add(i as u64 * 7919),
+            ));
         }
         Self {
             mix,

@@ -109,7 +109,11 @@ impl SpecApp {
             SpecApp::GemsFDTD | SpecApp::Leslie3d | SpecApp::Soplex | SpecApp::Omnetpp => 8,
             SpecApp::Gcc | SpecApp::Astar | SpecApp::Sphinx3 | SpecApp::Xalancbmk => 14,
             SpecApp::Bzip2 | SpecApp::Hmmer | SpecApp::H264ref => 22,
-            SpecApp::Perlbench | SpecApp::Gobmk | SpecApp::Sjeng | SpecApp::Namd | SpecApp::Povray => 30,
+            SpecApp::Perlbench
+            | SpecApp::Gobmk
+            | SpecApp::Sjeng
+            | SpecApp::Namd
+            | SpecApp::Povray => 30,
         }
     }
 
@@ -170,7 +174,10 @@ mod tests {
 
     #[test]
     fn footprints_and_intensities_span_a_range() {
-        let footprints: Vec<f64> = SpecApp::all().iter().map(|a| a.footprint_vs_fast()).collect();
+        let footprints: Vec<f64> = SpecApp::all()
+            .iter()
+            .map(|a| a.footprint_vs_fast())
+            .collect();
         let min = footprints.iter().cloned().fold(f64::MAX, f64::min);
         let max = footprints.iter().cloned().fold(0.0, f64::max);
         assert!(min < 0.05);

@@ -114,7 +114,9 @@ impl ThreadStream {
     fn pick_new_page(&mut self) -> u64 {
         self.draws += 1;
         let p = self.params;
-        if p.drift_interval_draws > 0 && self.draws % u64::from(p.drift_interval_draws) == 0 {
+        if p.drift_interval_draws > 0
+            && self.draws.is_multiple_of(u64::from(p.drift_interval_draws))
+        {
             self.window_start += 1;
         }
         let shared = p.shared_pages > 0 && self.rng.chance(p.shared_fraction);
@@ -216,7 +218,11 @@ mod tests {
         for _ in 0..20_000 {
             pages.insert(s.next_access().gvp.number());
         }
-        assert!(pages.len() > 100, "drift should reach new pages, got {}", pages.len());
+        assert!(
+            pages.len() > 100,
+            "drift should reach new pages, got {}",
+            pages.len()
+        );
     }
 
     #[test]

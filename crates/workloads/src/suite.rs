@@ -69,6 +69,16 @@ impl WorkloadKind {
         }
     }
 
+    /// The data footprint (in 4 KiB pages) that [`Workload::build`] will
+    /// generate for this kind at the given scale and thread count — the
+    /// capacity ratio floored at 16 pages per thread.  Exposed so sizing
+    /// code (e.g. per-VM die-stacked quotas on a consolidated host) shares
+    /// one formula with the generator instead of re-deriving it.
+    #[must_use]
+    pub fn footprint_pages(self, fast_capacity_pages: u64, threads: usize) -> u64 {
+        ((fast_capacity_pages as f64 * self.footprint_vs_fast()) as u64).max(threads as u64 * 16)
+    }
+
     /// Zipf skew of page popularity (higher = hotter hot set).
     #[must_use]
     pub fn theta(self) -> f64 {
@@ -213,8 +223,7 @@ impl Workload {
     #[must_use]
     pub fn build(kind: WorkloadKind, threads: usize, fast_capacity_pages: u64, seed: u64) -> Self {
         assert!(threads > 0, "a workload needs at least one thread");
-        let footprint_pages =
-            ((fast_capacity_pages as f64 * kind.footprint_vs_fast()) as u64).max(threads as u64 * 16);
+        let footprint_pages = kind.footprint_pages(fast_capacity_pages, threads);
         // The VM-wide window is split across the shared and private regions
         // in proportion to how accesses are split, so each thread's stream
         // gets a window that collectively covers `window_vs_fast` of fast

@@ -33,9 +33,8 @@ fn main() {
     for row in &rows {
         if row.curr_best > 1.0 {
             println!(
-                "  -> {} is SLOWER with die-stacked DRAM under software coherence ({}x)",
-                row.workload,
-                format!("{:.2}", row.curr_best)
+                "  -> {} is SLOWER with die-stacked DRAM under software coherence ({:.2}x)",
+                row.workload, row.curr_best
             );
         }
         let recovered = (row.curr_best - row.achievable) / (row.curr_best - row.inf_hbm).max(1e-9);

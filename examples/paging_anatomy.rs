@@ -23,8 +23,16 @@ fn main() {
     );
     println!(
         "{:<14} {:>8} {:>8} {:>9} {:>8} {:>9} {:>10} {:>10} {:>8} {:>8}",
-        "workload", "remaps", "ipis", "vm-exits", "flushes", "flushed",
-        "selective", "spurious", "sw-norm", "ha-norm"
+        "workload",
+        "remaps",
+        "ipis",
+        "vm-exits",
+        "flushes",
+        "flushed",
+        "selective",
+        "spurious",
+        "sw-norm",
+        "ha-norm"
     );
     for kind in WorkloadKind::big_memory_suite() {
         let baseline = execute(

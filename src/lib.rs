@@ -1,0 +1,10 @@
+//! Workspace-level umbrella package.
+//!
+//! This package exists to host the repository-level integration tests
+//! (`tests/`) and examples (`examples/`); the simulator itself lives in the
+//! `crates/` workspace members, re-exported here for convenience.
+
+#![deny(missing_docs)]
+
+pub use hatric;
+pub use hatric_host;

@@ -1,0 +1,15 @@
+//! Marker-trait facade for `serde` (offline stand-in).
+//!
+//! See `stubs/README.md`. The workspace derives `Serialize`/`Deserialize`
+//! on its config and report types but never serializes, so the traits are
+//! empty markers with blanket implementations and the derives are no-ops.
+
+/// Marker for types that could be serialized.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that could be deserialized.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace only ever *derives* the serde traits (configs and reports
+//! are `#[derive(Serialize, Deserialize)]` so downstream users could dump
+//! them); no code path in the repository serializes anything. The stand-in
+//! derives therefore expand to nothing — the marker traits in the `serde`
+//! stub have blanket implementations.
+
+use proc_macro::TokenStream;
+
+/// Derives `serde::Serialize` (expands to nothing; the trait is blanket-implemented).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives `serde::Deserialize` (expands to nothing; the trait is blanket-implemented).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -49,7 +49,9 @@ fn check_no_stale_translation(mechanism: CoherenceMechanism) {
     for cpu in 0..4u32 {
         let ts = system.translation_structures(CpuId::new(cpu));
         let mut probe = ts.clone();
-        if let Some(hit) = probe.lookup_data(hatric_types::VmId::new(0), AddressSpaceId::new(0), gvp) {
+        if let Some(hit) =
+            probe.lookup_data(hatric_types::VmId::new(0), AddressSpaceId::new(0), gvp)
+        {
             assert_ne!(
                 hit.spp, old_spp,
                 "{mechanism:?}: cpu{cpu} still translates to the stale frame"
@@ -86,7 +88,10 @@ fn hatric_spares_unrelated_translations() {
     touch(&mut system, 0, 0x400 + 512);
     let gvp_other = GuestVirtPage::new(0x400 + 512);
 
-    let gpp = system.guest_page_table().translate(GuestVirtPage::new(0x400)).unwrap();
+    let gpp = system
+        .guest_page_table()
+        .translate(GuestVirtPage::new(0x400))
+        .unwrap();
     let pte_addr = system.nested_page_table().leaf_entry_addr(gpp).unwrap();
     system.remap_coherence(CpuId::new(0), pte_addr);
 
@@ -94,7 +99,11 @@ fn hatric_spares_unrelated_translations() {
     let mut probe = system.translation_structures(CpuId::new(0)).clone();
     assert!(
         probe
-            .lookup_data(hatric_types::VmId::new(0), AddressSpaceId::new(0), gvp_other)
+            .lookup_data(
+                hatric_types::VmId::new(0),
+                AddressSpaceId::new(0),
+                gvp_other
+            )
             .is_some(),
         "HATRIC must not invalidate unrelated translations"
     );
@@ -107,14 +116,21 @@ fn software_flushes_unrelated_translations_too() {
     touch(&mut system, 0, 0x400 + 512);
     let gvp_other = GuestVirtPage::new(0x400 + 512);
 
-    let gpp = system.guest_page_table().translate(GuestVirtPage::new(0x400)).unwrap();
+    let gpp = system
+        .guest_page_table()
+        .translate(GuestVirtPage::new(0x400))
+        .unwrap();
     let pte_addr = system.nested_page_table().leaf_entry_addr(gpp).unwrap();
     system.remap_coherence(CpuId::new(0), pte_addr);
 
     let mut probe = system.translation_structures(CpuId::new(0)).clone();
     assert!(
         probe
-            .lookup_data(hatric_types::VmId::new(0), AddressSpaceId::new(0), gvp_other)
+            .lookup_data(
+                hatric_types::VmId::new(0),
+                AddressSpaceId::new(0),
+                gvp_other
+            )
             .is_none(),
         "the software path flushes everything, including unrelated entries"
     );

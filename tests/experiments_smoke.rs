@@ -2,7 +2,9 @@
 //! at a tiny scale and its results have the qualitative shape the paper
 //! reports.  (The benchmark harness regenerates the full-size tables.)
 
-use hatric::experiments::{fig10, fig11, fig12, fig13, fig2, fig7, fig8, fig9, xen, ExperimentParams};
+use hatric::experiments::{
+    fig10, fig11, fig12, fig13, fig2, fig7, fig8, fig9, xen, ExperimentParams,
+};
 
 fn tiny() -> ExperimentParams {
     ExperimentParams {
@@ -20,7 +22,12 @@ fn fig2_shape_paging_potential() {
     assert_eq!(rows.len(), 5);
     for row in &rows {
         // Infinite die-stacked DRAM always helps.
-        assert!(row.inf_hbm < 1.0, "{}: inf-hbm {}", row.workload, row.inf_hbm);
+        assert!(
+            row.inf_hbm < 1.0,
+            "{}: inf-hbm {}",
+            row.workload,
+            row.inf_hbm
+        );
         // Ideal coherence is at least as good as software coherence.
         assert!(
             row.achievable <= row.curr_best + 0.02,
@@ -81,7 +88,10 @@ fn fig11_cotag_sweep_has_three_points_and_sane_ratios() {
     let rows = fig11::run_cotag_sweep(&tiny());
     assert_eq!(rows.len(), 3);
     for row in &rows {
-        assert!(row.runtime_ratio > 0.0 && row.runtime_ratio <= 1.05, "{row:?}");
+        assert!(
+            row.runtime_ratio > 0.0 && row.runtime_ratio <= 1.05,
+            "{row:?}"
+        );
         assert!(row.energy_ratio > 0.0, "{row:?}");
     }
 }
@@ -101,7 +111,10 @@ fn fig12_variants_are_close_to_baseline_hatric() {
     assert_eq!(rows.len(), 5);
     let baseline = rows.iter().find(|r| r.variant == "HATRIC").unwrap();
     for row in &rows {
-        assert!((row.runtime_ratio - baseline.runtime_ratio).abs() < 0.2, "{row:?}");
+        assert!(
+            (row.runtime_ratio - baseline.runtime_ratio).abs() < 0.2,
+            "{row:?}"
+        );
     }
 }
 

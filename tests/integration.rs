@@ -1,10 +1,8 @@
 //! Cross-crate integration tests: drive the full simulator end-to-end and
 //! check that the substrate crates compose correctly.
 
-use hatric::{
-    CoherenceMechanism, MemoryMode, PagingKnobs, System, SystemConfig, WorkloadDriver,
-};
-use hatric_workloads::{SpecMix, MixWorkload, Workload, WorkloadKind};
+use hatric::{CoherenceMechanism, MemoryMode, PagingKnobs, System, SystemConfig, WorkloadDriver};
+use hatric_workloads::{MixWorkload, SpecMix, Workload, WorkloadKind};
 
 fn small_config(mechanism: CoherenceMechanism) -> SystemConfig {
     SystemConfig::scaled(4, 256).with_mechanism(mechanism)

@@ -1,0 +1,126 @@
+//! End-to-end tests of the consolidated-host subsystem: report consistency
+//! between per-VM and host-level views, and the central interference claim
+//! (software shootdowns disturb remap-free victims, HATRIC does not).
+
+use hatric_host::{
+    CoherenceMechanism, ConsolidatedHost, HostConfig, HostReport, SchedPolicy, VmSpec,
+};
+
+fn four_vm_host(mechanism: CoherenceMechanism, sched: SchedPolicy) -> ConsolidatedHost {
+    // 8 vCPUs over 4 pCPUs: VMs genuinely time-share CPUs, so shootdown
+    // IPIs land on innocent bystanders.
+    let cfg = HostConfig::scaled(4, 512)
+        .with_mechanism(mechanism)
+        .with_sched(sched)
+        .with_seed(0xc0_ffee)
+        .with_vm(VmSpec::aggressor(2, 256))
+        .with_vm(VmSpec::victim(2, 96))
+        .with_vm(VmSpec::victim(2, 96))
+        .with_vm(VmSpec::victim(2, 64));
+    ConsolidatedHost::new(cfg).unwrap()
+}
+
+fn run(mechanism: CoherenceMechanism, sched: SchedPolicy) -> HostReport {
+    four_vm_host(mechanism, sched).run(300, 400)
+}
+
+#[test]
+fn per_vm_reports_sum_to_host_totals() {
+    for mechanism in [CoherenceMechanism::Software, CoherenceMechanism::Hatric] {
+        let report = run(mechanism, SchedPolicy::RoundRobin);
+        assert_eq!(report.per_vm.len(), 4);
+        let sum = |f: &dyn Fn(&hatric_host::SimReport) -> u64| -> u64 {
+            report.per_vm.iter().map(f).sum()
+        };
+        assert_eq!(report.host.accesses, sum(&|r| r.accesses));
+        assert_eq!(report.host.coherence.remaps, sum(&|r| r.coherence.remaps));
+        assert_eq!(report.host.coherence.ipis, sum(&|r| r.coherence.ipis));
+        assert_eq!(
+            report.host.coherence.coherence_vm_exits,
+            sum(&|r| r.coherence.coherence_vm_exits)
+        );
+        assert_eq!(
+            report.host.faults.demand_faults,
+            sum(&|r| r.faults.demand_faults)
+        );
+        assert_eq!(
+            report.host.interference.disrupted_cycles,
+            sum(&|r| r.interference.disrupted_cycles)
+        );
+        // Every cycle attributed to a vCPU was consumed on some pCPU.
+        let vcpu_total: u64 = sum(&|r| r.cycles_per_cpu.iter().sum());
+        let pcpu_total: u64 = report.host.cycles_per_cpu.iter().sum();
+        assert!(
+            vcpu_total <= pcpu_total,
+            "vCPU cycles {vcpu_total} cannot exceed pCPU cycles {pcpu_total}"
+        );
+    }
+}
+
+#[test]
+fn victims_record_zero_coherence_cycles_under_hatric_but_not_shootdown() {
+    let software = run(CoherenceMechanism::Software, SchedPolicy::RoundRobin);
+    let hatric = run(CoherenceMechanism::Hatric, SchedPolicy::RoundRobin);
+
+    // The aggressor pages in both runs; the victims never do.
+    assert!(software.per_vm[0].coherence.remaps > 0);
+    assert!(hatric.per_vm[0].coherence.remaps > 0);
+    for victim in 1..4 {
+        assert_eq!(software.per_vm[victim].coherence.remaps, 0);
+        assert_eq!(hatric.per_vm[victim].coherence.remaps, 0);
+        // Under HATRIC a remap-free victim records zero coherence-induced
+        // cycles; under software shootdowns it is collateral damage.
+        assert_eq!(hatric.per_vm[victim].interference.disrupted_cycles, 0);
+    }
+    let software_victim_damage: u64 = software.per_vm[1..]
+        .iter()
+        .map(|r| r.interference.disrupted_cycles)
+        .sum();
+    assert!(
+        software_victim_damage > 0,
+        "software shootdowns must steal victim cycles on a shared host"
+    );
+    // The damage is visible in the host-level metric too.
+    assert!(software.total_disrupted_cycles() >= software_victim_damage);
+    assert!(software.interference_fraction() > 0.0);
+    assert_eq!(hatric.interference_fraction(), 0.0);
+}
+
+#[test]
+fn pinned_scheduling_confines_shootdowns_to_fewer_cpus() {
+    // With static pinning the aggressor's cpus-ever-used set stays minimal,
+    // so software shootdowns send fewer IPIs per remap than under
+    // round-robin migration (where the set grows to every CPU).
+    let pinned = run(CoherenceMechanism::Software, SchedPolicy::Pinned);
+    let rr = run(CoherenceMechanism::Software, SchedPolicy::RoundRobin);
+    let ipis_per_remap =
+        |r: &HostReport| r.host.coherence.ipis as f64 / r.host.coherence.remaps.max(1) as f64;
+    assert!(pinned.host.coherence.remaps > 0);
+    assert!(rr.host.coherence.remaps > 0);
+    assert!(
+        ipis_per_remap(&pinned) < ipis_per_remap(&rr),
+        "pinned {} vs round-robin {}",
+        ipis_per_remap(&pinned),
+        ipis_per_remap(&rr)
+    );
+}
+
+#[test]
+fn hatric_victims_stay_near_the_ideal_bound() {
+    let hatric = run(CoherenceMechanism::Hatric, SchedPolicy::RoundRobin);
+    let ideal = run(CoherenceMechanism::Ideal, SchedPolicy::RoundRobin);
+    for victim in 1..4 {
+        let slowdown = hatric.vm_slowdown_vs(&ideal, victim);
+        assert!(
+            slowdown < 1.05,
+            "victim {victim} slowdown {slowdown} exceeds 5% of ideal"
+        );
+    }
+}
+
+#[test]
+fn reports_are_deterministic_for_a_fixed_seed() {
+    let a = run(CoherenceMechanism::Software, SchedPolicy::RoundRobin);
+    let b = run(CoherenceMechanism::Software, SchedPolicy::RoundRobin);
+    assert_eq!(a, b);
+}
