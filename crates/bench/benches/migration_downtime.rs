@@ -1,0 +1,49 @@
+//! Live-migration downtime and co-located-victim slowdown under each
+//! translation-coherence mechanism, over three migration scenarios
+//! (plain pre-copy, slow link, migration + balloon).
+//!
+//! Besides the Criterion-timed kernels, this bench emits its results as
+//! JSON (`BENCH_migration.json`, or `$HATRIC_BENCH_MIGRATION_JSON` if
+//! set) so the repository accumulates a downtime trajectory the CI
+//! regression gate (`bench_check`) compares against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric_bench::{collect_migration_records, skip_tables, write_migration_json};
+use hatric_host::experiments::migration_storm::MigrationStormParams;
+use hatric_host::ConsolidatedHost;
+
+fn bench(c: &mut Criterion) {
+    let records = if skip_tables() {
+        Vec::new()
+    } else {
+        collect_migration_records(true)
+    };
+
+    let mut group = c.benchmark_group("migration");
+    group.sample_size(10);
+    for mechanism in [
+        hatric_host::CoherenceMechanism::Software,
+        hatric_host::CoherenceMechanism::Hatric,
+    ] {
+        let label = format!("storm_4vm_{mechanism:?}_kernel");
+        group.bench_function(label, move |b| {
+            b.iter(|| {
+                let params = MigrationStormParams::quick();
+                let mut host = ConsolidatedHost::new(params.host_config(mechanism))
+                    .expect("bench configurations are valid");
+                host.run(params.warmup_slices, params.measured_slices)
+            })
+        });
+    }
+    group.finish();
+
+    if !records.is_empty() {
+        match write_migration_json(&records) {
+            Ok(path) => println!("\nwrote {} migration records to {path}", records.len()),
+            Err(err) => eprintln!("could not write migration JSON: {err}"),
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

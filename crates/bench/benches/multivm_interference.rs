@@ -7,52 +7,19 @@
 //! repository accumulates a perf trajectory for the host subsystem.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hatric_bench::{multivm_quick_params, skip_tables, write_multivm_json, MultiVmJsonRecord};
-use hatric_host::experiments::multivm::{self, MultiVmParams};
+use hatric_bench::{
+    collect_multivm_records, multivm_quick_params, skip_tables, write_multivm_json,
+};
 use hatric_host::ConsolidatedHost;
 
-/// The aggressor pressure sweep: the machine and the victims stay fixed
-/// while the aggressor's footprint-to-quota ratio grows, so its remap rate
-/// rises from mild to severe.
-fn pressure_sweep() -> Vec<(&'static str, MultiVmParams)> {
-    let base = MultiVmParams::default_scale();
-    vec![
-        ("mild", base.with_aggressor_footprint_factor(0.4)),
-        ("moderate", base),
-        ("severe", base.with_aggressor_footprint_factor(2.0)),
-    ]
-}
-
-fn regenerate_tables() -> Vec<MultiVmJsonRecord> {
-    let mut records = Vec::new();
-    for (pressure, params) in pressure_sweep() {
-        let rows = multivm::run(&params);
-        println!(
-            "\naggressor pressure: {pressure} (fast_pages = {})",
-            params.fast_pages
-        );
-        println!("{}", multivm::format_table(&rows));
-        for row in &rows {
-            records.push(MultiVmJsonRecord {
-                pressure: pressure.to_string(),
-                mechanism: format!("{:?}", row.mechanism),
-                victim_slowdown_vs_ideal: row.victim_slowdown_vs_ideal,
-                victim_disrupted_cycles: row.victim_disrupted_cycles,
-                aggressor_remaps: row.aggressor_remaps,
-                ipis: row.report.host.coherence.ipis,
-                coherence_vm_exits: row.report.host.coherence.coherence_vm_exits,
-                host_runtime_cycles: row.report.host.runtime_cycles(),
-            });
-        }
-    }
-    records
-}
-
 fn bench(c: &mut Criterion) {
+    // The pressure sweep itself lives in `hatric_bench` so the CI
+    // regression gate (`bench_check`) re-runs exactly what this bench
+    // committed as its baseline.
     let records = if skip_tables() {
         Vec::new()
     } else {
-        regenerate_tables()
+        collect_multivm_records(true)
     };
 
     let mut group = c.benchmark_group("multivm");

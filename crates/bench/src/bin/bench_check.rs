@@ -1,0 +1,177 @@
+//! CI regression gate over the committed bench baselines.
+//!
+//! Re-runs the multi-VM interference sweep (`BENCH_multivm.json`) and the
+//! migration-storm scenarios (`BENCH_migration.json`) at the exact scale
+//! and seeds the benches use, then compares the fresh numbers against the
+//! committed baselines:
+//!
+//! * victim slowdown vs ideal may not regress by more than 10% on any
+//!   (pressure|scenario, mechanism) row;
+//! * migration downtime may not regress by more than 10% on any row.
+//!
+//! The simulator is bit-deterministic for a fixed seed, so on an unchanged
+//! tree the fresh numbers equal the baselines exactly; the 10% headroom is
+//! for intentional model changes, which must re-commit the JSON files when
+//! they move a metric past it.  The gate fails closed: a fresh row with no
+//! committed baseline (missing/corrupt JSON, renamed scenario) is an error
+//! too — re-run the benches and commit the regenerated files.
+//!
+//! Run with: `cargo run --release -p hatric-bench --bin bench_check`
+
+use hatric_bench::{
+    collect_migration_records, collect_multivm_records, migration_json_path, multivm_json_path,
+    parse_json_records, record_field,
+};
+
+/// Allowed relative regression before the gate fails.
+const TOLERANCE: f64 = 0.10;
+
+/// One comparison: a labelled metric, its baseline and its fresh value.
+struct Check {
+    label: String,
+    baseline: f64,
+    current: f64,
+}
+
+impl Check {
+    /// A regression is `current` exceeding `baseline` by more than the
+    /// tolerance.  Metrics where smaller is better (slowdowns, downtime)
+    /// all fit this shape.  Tiny baselines (ideal rows are exactly 1.0,
+    /// downtime is always positive) need no absolute-epsilon special case.
+    fn regressed(&self) -> bool {
+        self.current > self.baseline * (1.0 + TOLERANCE)
+    }
+}
+
+fn baseline_records(path: &str) -> Vec<Vec<(String, String)>> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse_json_records(&text),
+        Err(err) => {
+            eprintln!("bench_check: cannot read baseline {path}: {err}");
+            Vec::new()
+        }
+    }
+}
+
+fn find_baseline<'a>(
+    baselines: &'a [Vec<(String, String)>],
+    key_field: &str,
+    key: &str,
+    mechanism: &str,
+) -> Option<&'a [(String, String)]> {
+    baselines
+        .iter()
+        .find(|r| {
+            record_field(r, key_field) == Some(key)
+                && record_field(r, "mechanism") == Some(mechanism)
+        })
+        .map(Vec::as_slice)
+}
+
+fn main() {
+    let mut checks: Vec<Check> = Vec::new();
+    let mut missing: Vec<String> = Vec::new();
+
+    // ----- multi-VM interference sweep vs BENCH_multivm.json ---------------
+    let multivm_baseline = baseline_records(&multivm_json_path());
+    for record in collect_multivm_records(false) {
+        let label = format!("multivm/{}/{}", record.pressure, record.mechanism);
+        match find_baseline(
+            &multivm_baseline,
+            "pressure",
+            &record.pressure,
+            &record.mechanism,
+        )
+        .and_then(|b| record_field(b, "victim_slowdown_vs_ideal"))
+        .and_then(|v| v.parse::<f64>().ok())
+        {
+            Some(baseline) => checks.push(Check {
+                label: format!("{label} victim-slowdown"),
+                baseline,
+                current: record.victim_slowdown_vs_ideal,
+            }),
+            None => missing.push(label),
+        }
+    }
+
+    // ----- migration storm vs BENCH_migration.json -------------------------
+    let migration_baseline = baseline_records(&migration_json_path());
+    for record in collect_migration_records(false) {
+        let label = format!("migration/{}/{}", record.scenario, record.mechanism);
+        let baseline = find_baseline(
+            &migration_baseline,
+            "scenario",
+            &record.scenario,
+            &record.mechanism,
+        );
+        let slowdown = baseline
+            .and_then(|b| record_field(b, "victim_slowdown_vs_ideal"))
+            .and_then(|v| v.parse::<f64>().ok());
+        let downtime = baseline
+            .and_then(|b| record_field(b, "downtime_cycles"))
+            .and_then(|v| v.parse::<f64>().ok());
+        match (slowdown, downtime) {
+            (Some(slowdown), Some(downtime)) => {
+                checks.push(Check {
+                    label: format!("{label} victim-slowdown"),
+                    baseline: slowdown,
+                    current: record.victim_slowdown_vs_ideal,
+                });
+                checks.push(Check {
+                    label: format!("{label} downtime-cycles"),
+                    baseline: downtime,
+                    current: record.downtime_cycles as f64,
+                });
+            }
+            _ => missing.push(label),
+        }
+    }
+
+    // ----- verdict ---------------------------------------------------------
+    let mut regressions = 0;
+    for check in &checks {
+        let delta = if check.baseline == 0.0 {
+            0.0
+        } else {
+            (check.current / check.baseline - 1.0) * 100.0
+        };
+        let verdict = if check.regressed() {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:>9}  {:<48} baseline {:>14.3}  current {:>14.3}  ({delta:+.1}%)",
+            check.label, check.baseline, check.current
+        );
+    }
+    for label in &missing {
+        println!("  MISSING  {label}: no committed baseline row");
+    }
+    if !missing.is_empty() {
+        // Fail closed: a missing row means a baseline file is absent or
+        // stale (e.g. a renamed scenario), which would otherwise silently
+        // disable that part of the gate.
+        eprintln!(
+            "bench_check: {} row(s) have no committed baseline — regenerate with \
+             `cargo bench -p hatric-bench --bench multivm_interference --bench migration_downtime` \
+             and commit BENCH_multivm.json / BENCH_migration.json",
+            missing.len()
+        );
+        std::process::exit(1);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_check: {regressions} metric(s) regressed beyond {:.0}% — \
+             investigate, or re-commit the baselines if the change is intended",
+            TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_check: {} metrics within {:.0}% of committed baselines",
+        checks.len(),
+        TOLERANCE * 100.0
+    );
+}

@@ -61,8 +61,10 @@ pub use config::{
 };
 pub use driver::WorkloadDriver;
 pub use experiments::{ExperimentParams, RunSpec};
-pub use metrics::{CoherenceActivity, FaultActivity, HostReport, InterferenceActivity, SimReport};
-pub use platform::Platform;
+pub use metrics::{
+    CoherenceActivity, FaultActivity, HostReport, InterferenceActivity, MigrationStats, SimReport,
+};
+pub use platform::{Platform, WriteObserver};
 pub use system::System;
 pub use vm_instance::{VmInstance, VmPagingParams};
 

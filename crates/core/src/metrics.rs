@@ -105,6 +105,50 @@ impl FaultActivity {
     }
 }
 
+/// Live-migration and ballooning activity observed during a run
+/// (hypervisor-driven remap storms beyond die-stacked paging — Sec. 7's
+/// future-work scenarios, modeled by the `hatric-migration` crate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationStats {
+    /// Live migrations that began (entered pre-copy).
+    pub migrations_started: u64,
+    /// Live migrations that reached the end of stop-and-copy.
+    pub migrations_completed: u64,
+    /// Pre-copy rounds executed across all migrations.
+    pub precopy_rounds: u64,
+    /// Pages transferred (initial copy + re-copies + stop-and-copy).
+    pub pages_copied: u64,
+    /// Pages found dirty at the end of a copy round (they must be re-sent;
+    /// the pre-copy convergence criterion watches this number).
+    pub pages_redirtied: u64,
+    /// Cycles the migrating VM was fully paused during stop-and-copy — the
+    /// migration's downtime, the figure of merit mechanisms compete on.
+    pub downtime_cycles: u64,
+    /// Nested-page-table writes issued by migration (write-protects during
+    /// pre-copy, final hand-off stores), each of which triggered
+    /// translation coherence.
+    pub migration_remaps: u64,
+    /// Die-stacked capacity pages reclaimed by balloon inflation.
+    pub balloon_reclaimed_pages: u64,
+    /// Die-stacked capacity pages granted by balloon deflation.
+    pub balloon_granted_pages: u64,
+}
+
+impl MigrationStats {
+    /// Accumulates `other` into `self` (used when summing engine reports).
+    pub fn merge(&mut self, other: &MigrationStats) {
+        self.migrations_started += other.migrations_started;
+        self.migrations_completed += other.migrations_completed;
+        self.precopy_rounds += other.precopy_rounds;
+        self.pages_copied += other.pages_copied;
+        self.pages_redirtied += other.pages_redirtied;
+        self.downtime_cycles += other.downtime_cycles;
+        self.migration_remaps += other.migration_remaps;
+        self.balloon_reclaimed_pages += other.balloon_reclaimed_pages;
+        self.balloon_granted_pages += other.balloon_granted_pages;
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -201,6 +245,9 @@ pub struct HostReport {
     pub per_vm: Vec<SimReport>,
     /// Host-wide aggregate (cycles per physical CPU; summed activity).
     pub host: SimReport,
+    /// Live-migration and ballooning activity (all-zero on a host without
+    /// migration events).
+    pub migration: MigrationStats,
 }
 
 impl HostReport {

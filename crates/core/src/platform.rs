@@ -34,6 +34,21 @@ use hatric_workloads::Access;
 use crate::config::{CoherenceMechanismExt, LatencyConfig, SystemConfig};
 use crate::vm_instance::{VmInstance, GUEST_PT_GPP_BASE};
 
+/// Observes guest stores as the pipeline executes them.
+///
+/// The hook fires once per guest write access, *after* the written
+/// guest-physical frame is known, with the host slot of the VM that issued
+/// the store.  It models the dirty-page tracking hardware/hypervisor hooks
+/// (EPT dirty bits, KVM's dirty ring) that live VM migration builds on:
+/// the `hatric-migration` crate installs a [`WriteObserver`] to feed its
+/// pre-copy dirty bitmap.  Observation is architectural bookkeeping and
+/// charges no cycles.
+pub trait WriteObserver: std::fmt::Debug {
+    /// Called for every guest write by VM `slot` to guest-physical frame
+    /// `gpp`.
+    fn on_guest_write(&mut self, slot: usize, gpp: GuestFrame);
+}
+
 /// The hardware every VM on the host shares, plus the execution pipeline.
 #[derive(Debug)]
 pub struct Platform {
@@ -53,6 +68,8 @@ pub struct Platform {
     cycles: Vec<u64>,
     /// Which (VM slot, vCPU) currently occupies each physical CPU.
     occupancy: Vec<Option<(usize, VcpuId)>>,
+    /// Dirty-page tracking hook (installed while a live migration runs).
+    write_observer: Option<Box<dyn WriteObserver>>,
 }
 
 impl Platform {
@@ -104,7 +121,36 @@ impl Platform {
             energy,
             cycles: vec![0; config.num_cpus],
             occupancy: vec![None; config.num_cpus],
+            write_observer: None,
         })
+    }
+
+    // ----- dirty-page tracking ----------------------------------------------
+
+    /// Installs a write observer; subsequent guest writes report the written
+    /// guest-physical frame to it.  Replaces any previous observer (at most
+    /// one live migration tracks dirty pages at a time).
+    pub fn set_write_observer(&mut self, observer: Box<dyn WriteObserver>) {
+        self.write_observer = Some(observer);
+    }
+
+    /// Removes the write observer (dirty-page tracking stops).
+    pub fn clear_write_observer(&mut self) {
+        self.write_observer = None;
+    }
+
+    /// Whether a write observer is currently installed.
+    #[must_use]
+    pub fn has_write_observer(&self) -> bool {
+        self.write_observer.is_some()
+    }
+
+    fn observe_write(&mut self, slot: usize, gpp: GuestFrame, is_write: bool) {
+        if is_write {
+            if let Some(observer) = self.write_observer.as_mut() {
+                observer.on_guest_write(slot, gpp);
+            }
+        }
     }
 
     // ----- occupancy and inspection ----------------------------------------
@@ -234,6 +280,18 @@ impl Platform {
         self.cycles[cpu.index()] += cycles;
     }
 
+    /// Charges `cycles` of hypervisor work executing on `cpu` to that CPU
+    /// and to whichever vCPU currently occupies it (migration threads,
+    /// balloon workers).  The caller declares the occupant first via
+    /// [`Platform::set_occupant`] so the stolen time lands on the right VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn charge_hypervisor_cycles(&mut self, vms: &mut [VmInstance], cpu: CpuId, cycles: u64) {
+        self.charge_occupant(vms, cpu, cycles);
+    }
+
     // ----- single-access pipeline ------------------------------------------
 
     /// Simulates one guest memory access by VM `slot` on physical CPU `cpu`.
@@ -265,9 +323,14 @@ impl Platform {
             };
             let spp = hit.spp;
             self.charge_occupant(vms, cpu, extra);
-            if vms[slot].paging_enabled() {
+            let needs_gpp =
+                vms[slot].paging_enabled() || (access.is_write && self.write_observer.is_some());
+            if needs_gpp {
                 if let Some(gpp) = vms[slot].guest_page_table().translate(gvp) {
-                    vms[slot].paging_mut().on_fast_access(gpp);
+                    if vms[slot].paging_enabled() {
+                        vms[slot].paging_mut().on_fast_access(gpp);
+                    }
+                    self.observe_write(slot, gpp, access.is_write);
                 }
             }
             self.data_access(vms, slot, cpu, spp, access.line_in_page, access.is_write);
@@ -280,6 +343,7 @@ impl Platform {
         self.energy.record(EnergyEvent::NtlbLookup, 1);
         let gpp = self.ensure_guest_mapping(vms, slot, cpu, gvp);
         self.ensure_nested_mapping(vms, slot, cpu, gpp);
+        self.observe_write(slot, gpp, access.is_write);
 
         if vms[slot].paging_enabled() {
             if vms[slot].paging().is_resident(gpp) {
@@ -561,6 +625,49 @@ impl Platform {
             MemoryKind::DieStacked => vms[slot].faults_mut().pages_promoted += 1,
             MemoryKind::OffChip => vms[slot].faults_mut().pages_demoted += 1,
         }
+        self.remap_coherence(vms, slot, initiator, pte_addr);
+        true
+    }
+
+    /// Evicts VM `slot`'s guest-physical page `gpp` from die-stacked to
+    /// off-chip memory off the critical path (balloon reclaim, forced
+    /// demotions), with the page copy, the nested-page-table remap and the
+    /// resulting translation coherence.  Returns `true` if the page moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `initiator` is out of range.
+    pub fn demote_to_slow(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        initiator: CpuId,
+        gpp: GuestFrame,
+    ) -> bool {
+        self.migrate(vms, slot, initiator, gpp, MemoryKind::OffChip, false)
+    }
+
+    /// Performs a hypervisor store to VM `slot`'s nested leaf entry for
+    /// `gpp` *without* changing the translation — a permission change such
+    /// as the write-protect live migration uses for dirty tracking, or the
+    /// final ownership hand-off of stop-and-copy.  Stale translations must
+    /// still be invalidated, so the store triggers the full
+    /// translation-coherence machinery.  Returns `false` if `gpp` has no
+    /// nested mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `initiator` is out of range.
+    pub fn hypervisor_pte_write(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        initiator: CpuId,
+        gpp: GuestFrame,
+    ) -> bool {
+        let Some(pte_addr) = vms[slot].nested_page_table().leaf_entry_addr(gpp) else {
+            return false;
+        };
         self.remap_coherence(vms, slot, initiator, pte_addr);
         true
     }

@@ -178,6 +178,13 @@ impl VmInstance {
         &self.paging
     }
 
+    /// Mutable access to the paging manager — for hypervisor-side drivers
+    /// (balloon inflation/deflation) that adjust a VM's capacity or
+    /// resident set outside the per-access pipeline.
+    pub fn paging_manager_mut(&mut self) -> &mut PagingManager {
+        &mut self.paging
+    }
+
     /// Whether hypervisor paging is active for this VM.
     #[must_use]
     pub fn paging_enabled(&self) -> bool {

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use hatric::{MemoryMode, PagingKnobs, SystemConfig, DEFAULT_SEED};
 use hatric_coherence::{CoherenceMechanism, DesignVariant};
 use hatric_hypervisor::SchedPolicy;
+use hatric_migration::HostEvent;
 use hatric_types::{Result, SimError};
 use hatric_workloads::WorkloadKind;
 
@@ -97,6 +98,10 @@ pub struct HostConfig {
     pub seed: u64,
     /// The co-located VMs, indexed by slot.
     pub vms: Vec<VmSpec>,
+    /// Scheduled hypervisor operations (live migrations, balloons), fired
+    /// when `slices_run` reaches each event's `start_slice` (absolute,
+    /// warmup included).
+    pub events: Vec<HostEvent>,
 }
 
 impl HostConfig {
@@ -115,6 +120,7 @@ impl HostConfig {
             slice_accesses: 50,
             seed: DEFAULT_SEED,
             vms: Vec::new(),
+            events: Vec::new(),
         }
     }
 
@@ -122,6 +128,13 @@ impl HostConfig {
     #[must_use]
     pub fn with_vm(mut self, spec: VmSpec) -> Self {
         self.vms.push(spec);
+        self
+    }
+
+    /// Schedules a hypervisor operation (live migration or balloon).
+    #[must_use]
+    pub fn with_event(mut self, event: HostEvent) -> Self {
+        self.events.push(event);
         self
     }
 
@@ -212,7 +225,53 @@ impl HostConfig {
                 "VM die-stacked quotas exceed the fast device capacity",
             ));
         }
+        self.validate_events()?;
         self.platform_config().validate()
+    }
+
+    fn validate_events(&self) -> Result<()> {
+        let mut balloon_drain = vec![0u64; self.vms.len()];
+        for event in &self.events {
+            match event {
+                HostEvent::Migrate(p) => {
+                    if p.vm_slot >= self.vms.len() {
+                        return Err(SimError::config("migration targets an unknown VM slot"));
+                    }
+                    if p.copy_pages_per_slice == 0 {
+                        return Err(SimError::config("a migration needs nonzero copy bandwidth"));
+                    }
+                    if p.max_rounds == 0 {
+                        return Err(SimError::config(
+                            "a migration needs at least one pre-copy round",
+                        ));
+                    }
+                }
+                HostEvent::Balloon(p) => {
+                    if p.from_slot >= self.vms.len() || p.to_slot >= self.vms.len() {
+                        return Err(SimError::config("balloon targets an unknown VM slot"));
+                    }
+                    if p.from_slot == p.to_slot {
+                        return Err(SimError::config(
+                            "a balloon must move capacity between two distinct VMs",
+                        ));
+                    }
+                    if p.pages == 0 || p.pages_per_slice == 0 {
+                        return Err(SimError::config(
+                            "a balloon needs nonzero size and inflation rate",
+                        ));
+                    }
+                    balloon_drain[p.from_slot] += p.pages;
+                }
+            }
+        }
+        for (slot, drained) in balloon_drain.iter().enumerate() {
+            if *drained > self.vms[slot].fast_quota_pages {
+                return Err(SimError::config(
+                    "balloons reclaim more capacity than the VM's die-stacked quota",
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

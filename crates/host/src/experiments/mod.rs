@@ -1,5 +1,7 @@
 //! Experiment runners built on the consolidated host.
 
+pub mod migration_storm;
 pub mod multivm;
 
+pub use migration_storm::{MigrationStormParams, MigrationStormRow};
 pub use multivm::{MultiVmParams, MultiVmRow};

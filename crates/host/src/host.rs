@@ -1,14 +1,21 @@
 //! The consolidated host: N virtual machines scheduled over one shared
 //! [`Platform`].
 
-use hatric::metrics::{HostReport, SimReport};
+use hatric::metrics::{HostReport, MigrationStats, SimReport};
 use hatric::{Platform, VmInstance, VmPagingParams, WorkloadDriver};
 use hatric_hypervisor::{Placement, Scheduler, VmConfig};
 use hatric_memory::MemoryKind;
-use hatric_types::{Result, VmId};
+use hatric_migration::{BalloonDriver, HostEvent, MigrationEngine, MigrationPhase};
+use hatric_types::{CpuId, Result, VcpuId, VmId};
 use hatric_workloads::Workload;
 
 use crate::config::HostConfig;
+
+/// Physical CPU the hypervisor's migration/balloon worker threads run on.
+/// Their cycles are charged to the VM each operation serves (the host
+/// temporarily declares that VM the CPU's occupant), so any fixed choice
+/// is equivalent; CPU 0 keeps runs reproducible.
+const HYPERVISOR_WORKER_CPU: CpuId = CpuId::new(0);
 
 /// A host running `config.vms.len()` virtual machines concurrently over one
 /// cache hierarchy, one HATRIC directory, one memory system and a pool of
@@ -30,6 +37,15 @@ pub struct ConsolidatedHost {
     scheduler: Scheduler,
     current_slice: Vec<Placement>,
     slices_run: u64,
+    /// Events not yet started (a migration due while another is in flight
+    /// is deferred until the slot frees up).
+    pending_events: Vec<HostEvent>,
+    /// The in-flight (or most recently completed) live migration.
+    migration: Option<MigrationEngine>,
+    /// In-flight and completed balloon operations.
+    balloons: Vec<BalloonDriver>,
+    /// Stats of migrations already replaced by a newer one.
+    finished_migration_stats: MigrationStats,
 }
 
 impl ConsolidatedHost {
@@ -75,6 +91,7 @@ impl ConsolidatedHost {
         }
         let vcpu_counts: Vec<usize> = config.vms.iter().map(|v| v.vcpus).collect();
         let scheduler = Scheduler::new(config.sched, config.num_pcpus, &vcpu_counts);
+        let pending_events = config.events.clone();
         Ok(Self {
             config,
             platform,
@@ -83,6 +100,10 @@ impl ConsolidatedHost {
             scheduler,
             current_slice: Vec::new(),
             slices_run: 0,
+            pending_events,
+            migration: None,
+            balloons: Vec::new(),
+            finished_migration_stats: MigrationStats::default(),
         })
     }
 
@@ -132,6 +153,7 @@ impl ConsolidatedHost {
     }
 
     fn run_one_slice(&mut self) {
+        self.start_due_events();
         let placements = self.scheduler.next_slice();
         // Context switch: clear last slice's occupants, install this one's.
         for p in self.current_slice.drain(..) {
@@ -155,15 +177,111 @@ impl ConsolidatedHost {
             }
         }
         self.current_slice = placements;
+        self.advance_events();
         self.slices_run += 1;
     }
 
-    /// Clears all measurement state (platform statistics and per-VM
-    /// counters) while keeping architectural state intact.
+    // ----- hypervisor events (live migration, ballooning) -------------------
+
+    /// Fires events whose start slice has arrived.  A migration due while
+    /// another is still in flight stays pending until the engine frees up.
+    fn start_due_events(&mut self) {
+        let now = self.slices_run;
+        let mut still_pending = Vec::new();
+        for event in std::mem::take(&mut self.pending_events) {
+            if event.start_slice() > now {
+                still_pending.push(event);
+                continue;
+            }
+            match event {
+                HostEvent::Migrate(params) => {
+                    let busy = self.migration.as_ref().is_some_and(|e| !e.is_complete());
+                    if busy {
+                        still_pending.push(event);
+                        continue;
+                    }
+                    if let Some(done) = self.migration.take() {
+                        self.finished_migration_stats.merge(&done.stats());
+                    }
+                    let engine = MigrationEngine::new(params, &self.vms);
+                    self.platform.set_write_observer(engine.observer());
+                    self.migration = Some(engine);
+                }
+                HostEvent::Balloon(params) => {
+                    self.balloons.push(BalloonDriver::new(params));
+                }
+            }
+        }
+        self.pending_events = still_pending;
+    }
+
+    /// Runs the hypervisor's worker threads for this slice: balloon
+    /// batches, then the migration engine.  Each worker executes on
+    /// [`HYPERVISOR_WORKER_CPU`] with the served VM declared as the CPU's
+    /// occupant, so its cycles (and any coherence backlash) are charged to
+    /// that VM rather than to whichever guest happened to run there.
+    fn advance_events(&mut self) {
+        let cpu = HYPERVISOR_WORKER_CPU;
+        let saved = self.platform.occupant(cpu);
+        for balloon in &mut self.balloons {
+            if balloon.is_complete() {
+                continue;
+            }
+            self.platform
+                .set_occupant(cpu, Some((balloon.params().from_slot, VcpuId::new(0))));
+            balloon.advance(&mut self.platform, &mut self.vms, cpu);
+        }
+        if let Some(engine) = &mut self.migration {
+            if !engine.is_complete() {
+                self.platform
+                    .set_occupant(cpu, Some((engine.vm_slot(), VcpuId::new(0))));
+                engine.advance(&mut self.platform, &mut self.vms, cpu);
+                self.scheduler
+                    .set_vm_paused(engine.vm_slot(), engine.wants_vm_paused());
+                if engine.is_complete() {
+                    self.platform.clear_write_observer();
+                }
+            }
+        }
+        self.platform.set_occupant(cpu, saved);
+    }
+
+    /// Phase of the in-flight (or last) migration, if any was started.
+    #[must_use]
+    pub fn migration_phase(&self) -> Option<MigrationPhase> {
+        self.migration.as_ref().map(MigrationEngine::phase)
+    }
+
+    /// Whether VM `slot` is currently fully paused (stop-and-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn is_vm_paused(&self, slot: usize) -> bool {
+        self.scheduler.vm_paused(slot)
+    }
+
+    /// The placements of the most recently executed slice.
+    #[must_use]
+    pub fn last_placements(&self) -> &[Placement] {
+        &self.current_slice
+    }
+
+    /// Clears all measurement state (platform statistics, per-VM counters,
+    /// migration/balloon statistics) while keeping architectural state —
+    /// including in-flight event progress — intact.
     pub fn reset_measurements(&mut self) {
         self.platform.reset_measurements();
         for vm in &mut self.vms {
             vm.reset_measurements();
+        }
+        self.finished_migration_stats = MigrationStats::default();
+        if let Some(engine) = &mut self.migration {
+            engine.reset_stats();
+        }
+        for balloon in &mut self.balloons {
+            balloon.reset_stats();
         }
     }
 
@@ -186,7 +304,18 @@ impl ConsolidatedHost {
             host.interference.merge(&vm.interference);
             host.paging.merge(&vm.paging);
         }
-        HostReport { per_vm, host }
+        let mut migration = self.finished_migration_stats;
+        if let Some(engine) = &self.migration {
+            migration.merge(&engine.stats());
+        }
+        for balloon in &self.balloons {
+            migration.merge(&balloon.stats());
+        }
+        HostReport {
+            per_vm,
+            host,
+            migration,
+        }
     }
 }
 
@@ -204,7 +333,8 @@ mod tests {
             .with_vm(VmSpec::aggressor(2, 256))
             .with_vm(VmSpec::victim(2, 128))
             .with_vm(VmSpec::victim(2, 128));
-        ConsolidatedHost::new(cfg).unwrap()
+        ConsolidatedHost::new(cfg)
+            .expect("tiny_host config must validate: 4 pCPUs, 3 VMs within the 512-page quota")
     }
 
     #[test]
@@ -237,5 +367,16 @@ mod tests {
     fn oversubscription_shares_cpus_between_vms() {
         let host = tiny_host(CoherenceMechanism::Software);
         assert!(host.config().is_oversubscribed());
+    }
+
+    #[test]
+    fn zero_vcpu_vm_yields_err_not_panic() {
+        let cfg = HostConfig::scaled(4, 512).with_vm(VmSpec {
+            vcpus: 0,
+            ..VmSpec::victim(1, 128)
+        });
+        let err = cfg.validate().expect_err("a 0-vCPU VM must be rejected");
+        assert!(err.to_string().contains("vCPU"), "unexpected error: {err}");
+        assert!(ConsolidatedHost::new(cfg).is_err());
     }
 }

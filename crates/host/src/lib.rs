@@ -54,6 +54,7 @@ pub use host::ConsolidatedHost;
 
 // Re-export the vocabulary needed to drive a host without importing every
 // substrate crate explicitly.
-pub use hatric::metrics::{HostReport, InterferenceActivity, SimReport};
+pub use hatric::metrics::{HostReport, InterferenceActivity, MigrationStats, SimReport};
 pub use hatric_coherence::CoherenceMechanism;
 pub use hatric_hypervisor::{Placement, SchedPolicy, Scheduler};
+pub use hatric_migration::{BalloonParams, HostEvent, MigrationParams, MigrationPhase};

@@ -108,6 +108,10 @@ pub struct PagingStats {
     pub prefetches: Counter,
     /// Eviction batches performed by the migration daemon.
     pub daemon_runs: Counter,
+    /// Die-stacked capacity pages taken from this VM by balloon inflation.
+    pub balloon_reclaimed: Counter,
+    /// Die-stacked capacity pages granted to this VM by balloon deflation.
+    pub balloon_granted: Counter,
 }
 
 impl PagingStats {
@@ -118,6 +122,8 @@ impl PagingStats {
         self.evictions.add(other.evictions.get());
         self.prefetches.add(other.prefetches.get());
         self.daemon_runs.add(other.daemon_runs.get());
+        self.balloon_reclaimed.add(other.balloon_reclaimed.get());
+        self.balloon_granted.add(other.balloon_granted.get());
     }
 }
 
@@ -239,19 +245,7 @@ impl PagingManager {
             }
         }
         let needed = promotions.len() as u64;
-        let mut evictions = Vec::new();
-        while self.free_pages() + (evictions.len() as u64) < needed {
-            match self.select_victim() {
-                Some(victim) => {
-                    evictions.push(victim);
-                }
-                None => break,
-            }
-        }
-        for victim in &evictions {
-            self.resident.remove(victim);
-            self.stats.evictions.incr();
-        }
+        let evictions = self.evict_victims(needed.saturating_sub(self.free_pages()));
         // Trim promotions if memory is extremely small.
         let capacity = self.config.fast_capacity_pages;
         if needed > capacity {
@@ -280,6 +274,33 @@ impl PagingManager {
         }
     }
 
+    // ----- ballooning -------------------------------------------------------
+
+    /// Balloon inflation: permanently shrinks this VM's die-stacked
+    /// capacity by up to `pages` (clamped to the current capacity) and
+    /// selects the victims that must leave fast memory to fit under the new
+    /// ceiling.  The caller migrates the victims out (each one an
+    /// unmap+remap with translation coherence) and hands the reclaimed
+    /// capacity to another VM via [`PagingManager::balloon_grant`].
+    /// Returns the evicted frames.
+    pub fn balloon_reclaim(&mut self, pages: u64) -> Vec<GuestFrame> {
+        let reclaimed = pages.min(self.config.fast_capacity_pages);
+        self.config.fast_capacity_pages -= reclaimed;
+        self.stats.balloon_reclaimed.add(reclaimed);
+        let overage = self
+            .resident_pages()
+            .saturating_sub(self.config.fast_capacity_pages);
+        self.evict_victims(overage)
+    }
+
+    /// Balloon deflation: grows this VM's die-stacked capacity by `pages`.
+    /// The new room fills through the ordinary demand-promotion path (each
+    /// promotion a remap with translation coherence).
+    pub fn balloon_grant(&mut self, pages: u64) {
+        self.config.fast_capacity_pages += pages;
+        self.stats.balloon_granted.add(pages);
+    }
+
     /// Whether the migration daemon should run (free pool below target).
     #[must_use]
     pub fn daemon_should_run(&self) -> bool {
@@ -295,8 +316,16 @@ impl PagingManager {
         }
         self.stats.daemon_runs.incr();
         let deficit = self.config.daemon_free_target - self.free_pages();
+        self.evict_victims(deficit)
+    }
+
+    /// Selects, removes and counts up to `count` eviction victims (fewer
+    /// if the policy runs out of candidates).  Every eviction path —
+    /// demand replacement, the migration daemon, balloon reclaim —
+    /// funnels through here so their bookkeeping can never drift apart.
+    fn evict_victims(&mut self, count: u64) -> Vec<GuestFrame> {
         let mut victims = Vec::new();
-        for _ in 0..deficit {
+        for _ in 0..count {
             match self.select_victim() {
                 Some(victim) => {
                     self.resident.remove(&victim);
@@ -407,6 +436,81 @@ mod tests {
         let mut m = manager(0, PagingPolicyKind::ClockLru);
         let d = m.on_slow_access(GuestFrame::new(1));
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn balloon_reclaim_shrinks_capacity_and_evicts_to_fit() {
+        let mut m = manager(8, PagingPolicyKind::Fifo);
+        for i in 0..8 {
+            m.on_slow_access(GuestFrame::new(i));
+            m.commit_promotion(GuestFrame::new(i));
+        }
+        let victims = m.balloon_reclaim(3);
+        assert_eq!(m.config().fast_capacity_pages, 5);
+        assert_eq!(
+            victims,
+            vec![GuestFrame::new(0), GuestFrame::new(1), GuestFrame::new(2)]
+        );
+        assert_eq!(m.resident_pages(), 5);
+        assert_eq!(m.stats().balloon_reclaimed.get(), 3);
+        assert_eq!(m.stats().evictions.get(), 3);
+        // Reclaim is clamped to what is left.
+        let victims = m.balloon_reclaim(100);
+        assert_eq!(m.config().fast_capacity_pages, 0);
+        assert_eq!(victims.len(), 5);
+        assert_eq!(m.stats().balloon_reclaimed.get(), 8);
+    }
+
+    #[test]
+    fn balloon_grant_makes_room_without_evictions() {
+        let mut m = manager(1, PagingPolicyKind::ClockLru);
+        m.on_slow_access(GuestFrame::new(1));
+        m.commit_promotion(GuestFrame::new(1));
+        m.balloon_grant(2);
+        assert_eq!(m.config().fast_capacity_pages, 3);
+        assert_eq!(m.free_pages(), 2);
+        assert_eq!(m.stats().balloon_granted.get(), 2);
+        let d = m.on_slow_access(GuestFrame::new(2));
+        assert!(d.evictions.is_empty(), "granted room absorbs the promotion");
+    }
+
+    #[test]
+    fn merge_covers_every_counter_including_balloon_fields() {
+        let mut m = PagingManager::new(PagingConfig {
+            policy: PagingPolicyKind::ClockLru,
+            fast_capacity_pages: 4,
+            migration_daemon: true,
+            daemon_free_target: 2,
+            prefetch_pages: 1,
+        });
+        for i in [0u64, 4, 8, 12] {
+            m.on_slow_access(GuestFrame::new(i));
+            m.commit_promotion(GuestFrame::new(i));
+        }
+        m.run_daemon();
+        m.balloon_reclaim(1);
+        m.balloon_grant(2);
+        let stats = m.stats();
+        let mut merged = PagingStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        // Every field doubles — a field forgotten by merge() stays zero and
+        // fails its own comparison.
+        assert_eq!(merged.demand_faults.get(), 2 * stats.demand_faults.get());
+        assert_eq!(merged.promotions.get(), 2 * stats.promotions.get());
+        assert_eq!(merged.evictions.get(), 2 * stats.evictions.get());
+        assert_eq!(merged.prefetches.get(), 2 * stats.prefetches.get());
+        assert_eq!(merged.daemon_runs.get(), 2 * stats.daemon_runs.get());
+        assert_eq!(
+            merged.balloon_reclaimed.get(),
+            2 * stats.balloon_reclaimed.get()
+        );
+        assert_eq!(
+            merged.balloon_granted.get(),
+            2 * stats.balloon_granted.get()
+        );
+        assert!(stats.balloon_reclaimed.get() > 0 && stats.balloon_granted.get() > 0);
+        assert!(stats.daemon_runs.get() > 0 && stats.prefetches.get() > 0);
     }
 
     #[test]

@@ -60,6 +60,8 @@ pub struct Scheduler {
     queue: VecDeque<(usize, VcpuId)>,
     /// Slices produced so far (drives CPU-assignment rotation).
     slice: u64,
+    /// Fully-paused VMs (stop-and-copy): none of their vCPUs may be placed.
+    paused: Vec<bool>,
 }
 
 impl Scheduler {
@@ -99,7 +101,30 @@ impl Scheduler {
             pinned_next,
             queue: all.into(),
             slice: 0,
+            paused: vec![false; vcpu_counts.len()],
         }
+    }
+
+    /// Fully pauses or resumes VM `vm_slot`: while paused, none of its
+    /// vCPUs is ever placed (the stop-and-copy phase of a live migration
+    /// runs with the VM frozen).  Pausing a VM does not affect other VMs'
+    /// rotation or starvation-freedom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm_slot` is out of range.
+    pub fn set_vm_paused(&mut self, vm_slot: usize, paused: bool) {
+        self.paused[vm_slot] = paused;
+    }
+
+    /// Whether VM `vm_slot` is currently fully paused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm_slot` is out of range.
+    #[must_use]
+    pub fn vm_paused(&self, vm_slot: usize) -> bool {
+        self.paused[vm_slot]
     }
 
     /// The policy in use.
@@ -142,7 +167,12 @@ impl Scheduler {
                     if list.is_empty() {
                         continue;
                     }
-                    let idx = self.pinned_next[p] % list.len();
+                    // First runnable (non-paused) vCPU in rotation order;
+                    // the CPU idles if everything pinned here is paused.
+                    let chosen = (0..list.len())
+                        .map(|k| (self.pinned_next[p] + k) % list.len())
+                        .find(|&idx| !self.paused[list[idx].0]);
+                    let Some(idx) = chosen else { continue };
                     self.pinned_next[p] = (idx + 1) % list.len();
                     let (vm_slot, vcpu) = list[idx];
                     placements.push(Placement {
@@ -154,22 +184,29 @@ impl Scheduler {
                 placements
             }
             SchedPolicy::RoundRobin => {
-                let take = self.num_pcpus.min(self.queue.len());
                 // Rotate the CPU assignment by one each slice: the strict
                 // FIFO queue keeps scheduling starvation-free, while the
                 // rotation makes vCPUs genuinely migrate across CPUs — which
                 // is what inflates a VM's `cpus_ever_used` set and with it
-                // the blast radius of software shootdowns.
+                // the blast radius of software shootdowns.  Paused VMs'
+                // vCPUs keep rotating through the queue but are never
+                // placed; each queue entry is inspected at most once per
+                // slice, so runnable vCPUs stay starvation-free.
                 let offset = (self.slice as usize) % self.num_pcpus;
-                let mut placements = Vec::with_capacity(take);
-                for i in 0..take {
+                let mut placements = Vec::with_capacity(self.num_pcpus);
+                for _ in 0..self.queue.len() {
+                    if placements.len() == self.num_pcpus {
+                        break;
+                    }
                     let (vm_slot, vcpu) =
                         self.queue.pop_front().expect("queue length checked above");
-                    placements.push(Placement {
-                        pcpu: CpuId::new(((i + offset) % self.num_pcpus) as u32),
-                        vm_slot,
-                        vcpu,
-                    });
+                    if !self.paused[vm_slot] {
+                        placements.push(Placement {
+                            pcpu: CpuId::new(((placements.len() + offset) % self.num_pcpus) as u32),
+                            vm_slot,
+                            vcpu,
+                        });
+                    }
                     self.queue.push_back((vm_slot, vcpu));
                 }
                 placements
@@ -251,5 +288,40 @@ mod tests {
     #[should_panic(expected = "at least one vCPU")]
     fn rejects_empty_vm_set() {
         let _ = Scheduler::new(SchedPolicy::Pinned, 2, &[]);
+    }
+
+    #[test]
+    fn paused_vm_is_never_placed_and_resumes_cleanly() {
+        for policy in [SchedPolicy::Pinned, SchedPolicy::RoundRobin] {
+            let mut s = Scheduler::new(policy, 2, &[2, 2]);
+            s.set_vm_paused(0, true);
+            assert!(s.vm_paused(0));
+            for _ in 0..6 {
+                let slice = s.next_slice();
+                assert_valid_slice(&slice);
+                assert!(
+                    slice.iter().all(|p| p.vm_slot != 0),
+                    "{policy:?} placed a vCPU of the paused VM"
+                );
+                // The other VM keeps the host busy.
+                assert!(!slice.is_empty());
+            }
+            s.set_vm_paused(0, false);
+            let mut seen = HashSet::new();
+            for _ in 0..6 {
+                for p in s.next_slice() {
+                    seen.insert(p.vm_slot);
+                }
+            }
+            assert!(seen.contains(&0), "{policy:?} never resumed the VM");
+        }
+    }
+
+    #[test]
+    fn pausing_everything_idles_the_host() {
+        let mut s = Scheduler::new(SchedPolicy::RoundRobin, 2, &[1, 1]);
+        s.set_vm_paused(0, true);
+        s.set_vm_paused(1, true);
+        assert!(s.next_slice().is_empty());
     }
 }

@@ -59,6 +59,57 @@ proptest! {
         }
     }
 
+    /// A fully-paused VM (live migration's stop-and-copy) never runs: under
+    /// any policy, CPU count and oversubscription level, and any pattern of
+    /// pause/resume toggles, no slice ever places a vCPU of a paused VM —
+    /// and non-paused VMs never starve while others are frozen.
+    #[test]
+    fn paused_vms_never_run_under_any_oversubscription(
+        policy in policy_strategy(),
+        num_pcpus in 1usize..8,
+        vcpu_counts in proptest::collection::vec(1usize..5, 2..6),
+        toggles in proptest::collection::vec((0usize..6, 0u8..2), 1..12),
+        slices_between in 1usize..6,
+    ) {
+        let mut sched = Scheduler::new(policy, num_pcpus, &vcpu_counts);
+        for (slot_seed, pause) in toggles {
+            let slot = slot_seed % vcpu_counts.len();
+            sched.set_vm_paused(slot, pause == 1);
+            let paused: Vec<usize> = (0..vcpu_counts.len())
+                .filter(|&s| sched.vm_paused(s))
+                .collect();
+            let runnable: usize = (0..vcpu_counts.len())
+                .filter(|s| !sched.vm_paused(*s))
+                .map(|s| vcpu_counts[s])
+                .sum();
+            let mut ran: HashSet<usize> = HashSet::new();
+            // Enough slices for the slowest rotation to cycle through.
+            for _ in 0..(slices_between * (vcpu_counts.iter().sum::<usize>() + 1)) {
+                let placements = sched.next_slice();
+                for p in &placements {
+                    prop_assert!(
+                        !paused.contains(&p.vm_slot),
+                        "slice ran vCPU {:?} of fully-paused VM {}",
+                        p.vcpu,
+                        p.vm_slot
+                    );
+                    ran.insert(p.vm_slot);
+                }
+                prop_assert!(placements.len() <= num_pcpus);
+                // Work conservation among runnable vCPUs (global queue
+                // only: static pinning legitimately idles a CPU whose whole
+                // pinned list is paused).
+                if policy == SchedPolicy::RoundRobin {
+                    prop_assert_eq!(placements.len(), runnable.min(num_pcpus));
+                }
+            }
+            let expected: HashSet<usize> = (0..vcpu_counts.len())
+                .filter(|s| !sched.vm_paused(*s))
+                .collect();
+            prop_assert_eq!(ran, expected, "a runnable VM starved while others were paused");
+        }
+    }
+
     /// Over enough slices every vCPU gets CPU time (no starvation).
     #[test]
     fn no_vcpu_starves(

@@ -1,0 +1,163 @@
+//! Dirty-page tracking for pre-copy live migration.
+//!
+//! While a migration runs, the hypervisor must know which guest-physical
+//! pages were written since it last copied them (EPT dirty bits / KVM's
+//! dirty ring).  The simulator models this with a [`DirtyTracker`]
+//! installed as the [`Platform`](hatric::Platform)'s write observer: the
+//! per-access pipeline reports every guest store, the tracker filters for
+//! the migrating VM and records the written frame in a [`DirtyBitmap`].
+//! The [`MigrationEngine`](crate::MigrationEngine) drains the bitmap at
+//! the end of each copy round to form the next round's copy set.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use hatric::WriteObserver;
+use hatric_types::GuestFrame;
+
+/// The set of guest-physical frames written since the last drain.
+///
+/// Backed by a `BTreeSet`, so draining yields frames in ascending order —
+/// copy rounds visit pages deterministically, which keeps whole-host runs
+/// bit-reproducible for a fixed seed.
+#[derive(Debug, Default, Clone)]
+pub struct DirtyBitmap {
+    pages: BTreeSet<GuestFrame>,
+    writes_observed: u64,
+}
+
+impl DirtyBitmap {
+    /// Marks `gpp` dirty.
+    pub fn mark(&mut self, gpp: GuestFrame) {
+        self.writes_observed += 1;
+        self.pages.insert(gpp);
+    }
+
+    /// Number of distinct dirty pages.
+    #[must_use]
+    pub fn dirty_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Total guest writes observed (including re-dirties of the same page).
+    #[must_use]
+    pub fn writes_observed(&self) -> u64 {
+        self.writes_observed
+    }
+
+    /// Takes the dirty set, leaving the bitmap clean (ascending order).
+    pub fn drain(&mut self) -> Vec<GuestFrame> {
+        std::mem::take(&mut self.pages).into_iter().collect()
+    }
+
+    /// Unmarks `gpp` without touching the rest of the set.
+    pub fn unmark(&mut self, gpp: GuestFrame) {
+        self.pages.remove(&gpp);
+    }
+}
+
+/// A shared handle to one VM's dirty bitmap.
+///
+/// Clones share state: the engine keeps one handle, and a boxed clone is
+/// installed as the platform's write observer.  The simulator is
+/// single-threaded per host, so `Rc<RefCell<_>>` suffices.
+#[derive(Debug, Clone)]
+pub struct DirtyTracker {
+    vm_slot: usize,
+    bitmap: Rc<RefCell<DirtyBitmap>>,
+}
+
+impl DirtyTracker {
+    /// Creates a tracker that records writes of the VM in host slot
+    /// `vm_slot` and ignores everything else.
+    #[must_use]
+    pub fn new(vm_slot: usize) -> Self {
+        Self {
+            vm_slot,
+            bitmap: Rc::new(RefCell::new(DirtyBitmap::default())),
+        }
+    }
+
+    /// The host slot this tracker watches.
+    #[must_use]
+    pub fn vm_slot(&self) -> usize {
+        self.vm_slot
+    }
+
+    /// A boxed clone suitable for
+    /// [`Platform::set_write_observer`](hatric::Platform::set_write_observer).
+    #[must_use]
+    pub fn observer(&self) -> Box<dyn WriteObserver> {
+        Box::new(self.clone())
+    }
+
+    /// Number of distinct pages currently dirty.
+    #[must_use]
+    pub fn dirty_pages(&self) -> u64 {
+        self.bitmap.borrow().dirty_pages()
+    }
+
+    /// Total writes observed so far.
+    #[must_use]
+    pub fn writes_observed(&self) -> u64 {
+        self.bitmap.borrow().writes_observed()
+    }
+
+    /// Takes the dirty set (ascending), leaving the bitmap clean.
+    pub fn drain(&self) -> Vec<GuestFrame> {
+        self.bitmap.borrow_mut().drain()
+    }
+
+    /// Unmarks `gpp`.  Called when a page is transferred: the copy captures
+    /// its current content, so only stores *after* the copy re-dirty it
+    /// (stores before it were already folded into the transferred bytes).
+    pub fn unmark(&self, gpp: GuestFrame) {
+        self.bitmap.borrow_mut().unmark(gpp);
+    }
+}
+
+impl WriteObserver for DirtyTracker {
+    fn on_guest_write(&mut self, slot: usize, gpp: GuestFrame) {
+        if slot == self.vm_slot {
+            self.bitmap.borrow_mut().mark(gpp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_yields_ascending_distinct_pages() {
+        let mut bitmap = DirtyBitmap::default();
+        for n in [9u64, 3, 9, 1, 3] {
+            bitmap.mark(GuestFrame::new(n));
+        }
+        assert_eq!(bitmap.dirty_pages(), 3);
+        assert_eq!(bitmap.writes_observed(), 5);
+        assert_eq!(
+            bitmap.drain(),
+            vec![GuestFrame::new(1), GuestFrame::new(3), GuestFrame::new(9)]
+        );
+        assert_eq!(bitmap.dirty_pages(), 0);
+        // Writes-observed is cumulative, not reset by draining.
+        assert_eq!(bitmap.writes_observed(), 5);
+    }
+
+    #[test]
+    fn tracker_filters_by_slot_and_shares_state_with_its_observer() {
+        let tracker = DirtyTracker::new(2);
+        let mut observer = tracker.observer();
+        observer.on_guest_write(0, GuestFrame::new(7));
+        observer.on_guest_write(2, GuestFrame::new(8));
+        observer.on_guest_write(2, GuestFrame::new(9));
+        assert_eq!(tracker.dirty_pages(), 2, "other VMs' writes are ignored");
+        assert_eq!(
+            tracker.drain(),
+            vec![GuestFrame::new(8), GuestFrame::new(9)]
+        );
+        assert_eq!(tracker.dirty_pages(), 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Pre-copy live migration over the consolidated host.
+//!
+//! The engine models the classic pre-copy protocol (Clark et al., and the
+//! scenario the paper's Sec. 7 names as the next translation-coherence
+//! stressor):
+//!
+//! 1. **Round 1** snapshots the VM's entire guest-physical image and
+//!    copies it at a configurable per-slice bandwidth.  Every copied page
+//!    is *write-protected* in the nested page table so later guest stores
+//!    are caught — and each write-protect is a PTE store that must
+//!    invalidate stale translations on every CPU that may cache them.
+//!    This is the remap storm: under software shootdowns each store IPIs
+//!    every CPU the VM ever ran on; under HATRIC it touches only the
+//!    directory-listed sharers.
+//! 2. **Rounds 2..n** re-copy the pages the [`DirtyTracker`] caught being
+//!    written during the previous round, until the dirty set shrinks below
+//!    `dirty_page_threshold` (convergence) or `max_rounds` is reached.
+//! 3. **Stop-and-copy** pauses the VM completely (the scheduler stops
+//!    placing its vCPUs), transfers the residual dirty pages and performs
+//!    the final PTE hand-off stores.  The cycles spent here are the
+//!    migration's *downtime* — the figure of merit that hardware
+//!    translation coherence improves directly, because the per-page IPI
+//!    broadcast and ack wait sit on the downtime path.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use hatric::metrics::MigrationStats;
+use hatric::{Platform, VmInstance};
+use hatric_types::{CpuId, GuestFrame};
+
+use crate::dirty::DirtyTracker;
+
+/// Configuration of one live migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationParams {
+    /// Host slot of the VM being migrated.
+    pub vm_slot: usize,
+    /// Scheduler slice (absolute, warmup included) at which pre-copy
+    /// begins.
+    pub start_slice: u64,
+    /// Pages transferred per scheduler slice during pre-copy (the
+    /// migration link bandwidth in pages per slice).
+    pub copy_pages_per_slice: u64,
+    /// Stop-and-copy begins once a round ends with at most this many dirty
+    /// pages (the convergence criterion).
+    pub dirty_page_threshold: u64,
+    /// Forced stop-and-copy after this many pre-copy rounds, converged or
+    /// not (guards against workloads that dirty faster than the link
+    /// copies).
+    pub max_rounds: u32,
+    /// Cycles the migration thread spends transferring one page.
+    pub page_copy_cycles: u64,
+    /// Fixed stop-and-copy overhead: pausing the vCPUs and transferring
+    /// their state to the destination (mechanism-independent).
+    pub pause_resume_cycles: u64,
+}
+
+impl MigrationParams {
+    /// Sensible defaults for a migration of VM `vm_slot` starting at
+    /// `start_slice`: 64 pages per slice, convergence below 32 dirty
+    /// pages, at most 8 rounds, 1500 cycles per page, 10k cycles of
+    /// pause/resume overhead.
+    #[must_use]
+    pub fn at(vm_slot: usize, start_slice: u64) -> Self {
+        Self {
+            vm_slot,
+            start_slice,
+            copy_pages_per_slice: 64,
+            dirty_page_threshold: 32,
+            max_rounds: 8,
+            page_copy_cycles: 1_500,
+            pause_resume_cycles: 10_000,
+        }
+    }
+}
+
+/// Where in the protocol a migration currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// Iterative copy rounds; the VM keeps running.
+    PreCopy,
+    /// The VM is paused; the next advance performs the final transfer.
+    StopAndCopy,
+    /// Migration finished; the VM runs again.
+    Completed,
+}
+
+/// Drives one pre-copy live migration, one scheduler slice at a time.
+#[derive(Debug)]
+pub struct MigrationEngine {
+    params: MigrationParams,
+    phase: MigrationPhase,
+    round: u32,
+    copy_queue: VecDeque<GuestFrame>,
+    /// Residual dirty set carried into stop-and-copy.
+    final_set: Vec<GuestFrame>,
+    tracker: DirtyTracker,
+    stats: MigrationStats,
+}
+
+impl MigrationEngine {
+    /// Starts a migration of `params.vm_slot`: snapshots the VM's complete
+    /// guest-physical image as the round-1 copy set.  The caller installs
+    /// [`MigrationEngine::observer`] on the platform so dirty tracking is
+    /// live from the first copied page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.vm_slot` is out of range.
+    #[must_use]
+    pub fn new(params: MigrationParams, vms: &[VmInstance]) -> Self {
+        let image = vms[params.vm_slot].nested_page_table().mapped_gpps();
+        let stats = MigrationStats {
+            migrations_started: 1,
+            precopy_rounds: 1,
+            ..MigrationStats::default()
+        };
+        Self {
+            params,
+            phase: MigrationPhase::PreCopy,
+            round: 1,
+            copy_queue: image.into(),
+            final_set: Vec::new(),
+            tracker: DirtyTracker::new(params.vm_slot),
+            stats,
+        }
+    }
+
+    /// The configuration this migration runs with.
+    #[must_use]
+    pub fn params(&self) -> &MigrationParams {
+        &self.params
+    }
+
+    /// Host slot of the migrating VM.
+    #[must_use]
+    pub fn vm_slot(&self) -> usize {
+        self.params.vm_slot
+    }
+
+    /// Current protocol phase.
+    #[must_use]
+    pub fn phase(&self) -> MigrationPhase {
+        self.phase
+    }
+
+    /// Current pre-copy round (1-based).
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Whether the VM must be fully paused (stop-and-copy).
+    #[must_use]
+    pub fn wants_vm_paused(&self) -> bool {
+        self.phase == MigrationPhase::StopAndCopy
+    }
+
+    /// Whether the migration has finished.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.phase == MigrationPhase::Completed
+    }
+
+    /// The dirty-tracking observer to install on the platform while this
+    /// migration runs.
+    #[must_use]
+    pub fn observer(&self) -> Box<dyn hatric::WriteObserver> {
+        self.tracker.observer()
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> MigrationStats {
+        self.stats
+    }
+
+    /// Clears the statistics while keeping protocol state (phase, round,
+    /// copy queue) intact — called at the warmup/measured boundary.  A
+    /// migration still in flight re-seeds `migrations_started` (and its
+    /// in-progress round), so a report covering the measured phase keeps
+    /// the `started >= completed` invariant even when the migration began
+    /// during warmup.
+    pub fn reset_stats(&mut self) {
+        self.stats = if self.is_complete() {
+            MigrationStats::default()
+        } else {
+            MigrationStats {
+                migrations_started: 1,
+                precopy_rounds: u64::from(self.phase == MigrationPhase::PreCopy),
+                ..MigrationStats::default()
+            }
+        };
+    }
+
+    /// Advances the migration by one scheduler slice.  The caller runs this
+    /// *after* the slice's guest accesses, with `initiator` declared (via
+    /// [`Platform::set_occupant`]) as occupied by the migrating VM so the
+    /// migration thread's cycles are charged against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's VM slot or `initiator` is out of range.
+    pub fn advance(&mut self, platform: &mut Platform, vms: &mut [VmInstance], initiator: CpuId) {
+        match self.phase {
+            MigrationPhase::PreCopy => self.advance_precopy(platform, vms, initiator),
+            MigrationPhase::StopAndCopy => self.stop_and_copy(platform, vms, initiator),
+            MigrationPhase::Completed => {}
+        }
+    }
+
+    fn advance_precopy(&mut self, platform: &mut Platform, vms: &mut [VmInstance], cpu: CpuId) {
+        for _ in 0..self.params.copy_pages_per_slice {
+            let Some(gpp) = self.copy_queue.pop_front() else {
+                break;
+            };
+            self.copy_page(platform, vms, cpu, gpp);
+        }
+        if !self.copy_queue.is_empty() {
+            return;
+        }
+        // Round over: what did the guest dirty while we copied?
+        let dirty = self.tracker.drain();
+        self.stats.pages_redirtied += dirty.len() as u64;
+        if dirty.len() as u64 <= self.params.dirty_page_threshold
+            || self.round >= self.params.max_rounds
+        {
+            // Converged (or out of patience): freeze the VM and hand the
+            // residue over in one downtime burst.
+            self.final_set = dirty;
+            self.phase = MigrationPhase::StopAndCopy;
+        } else {
+            self.copy_queue = dirty.into();
+            self.round += 1;
+            self.stats.precopy_rounds += 1;
+        }
+    }
+
+    fn stop_and_copy(&mut self, platform: &mut Platform, vms: &mut [VmInstance], cpu: CpuId) {
+        let before = platform.cycles_per_cpu()[cpu.index()];
+        // Pausing the vCPUs and shipping their state is mechanism-
+        // independent fixed cost.
+        platform.charge_hypervisor_cycles(vms, cpu, self.params.pause_resume_cycles);
+        // The residual dirty set.  The extra drain is defensive: under
+        // `ConsolidatedHost` the pause takes effect before the VM runs
+        // again, so it yields nothing — but an external driver whose pause
+        // lags the convergence decision would leak late writes without it.
+        let mut residue = std::mem::take(&mut self.final_set);
+        let late = self.tracker.drain();
+        self.stats.pages_redirtied += late.len() as u64;
+        residue.extend(late);
+        for gpp in residue {
+            self.copy_page(platform, vms, cpu, gpp);
+        }
+        // Final hand-off: the source revokes the VM's nested page table
+        // (KVM's INVEPT on the source side).  One store to the root node's
+        // line — and its translation-coherence bill, which is where the
+        // mechanisms part ways even on a zero-residue migration: a software
+        // host broadcasts IPIs and waits for acks inside the downtime
+        // window; HATRIC sends directory messages.
+        let slot = self.params.vm_slot;
+        let root = vms[slot].nested_page_table().node_frames()[0];
+        platform.remap_coherence(vms, slot, cpu, root.addr_at(0));
+        self.stats.migration_remaps += 1;
+        let after = platform.cycles_per_cpu()[cpu.index()];
+        self.stats.downtime_cycles += after - before;
+        self.stats.migrations_completed += 1;
+        self.phase = MigrationPhase::Completed;
+    }
+
+    /// Transfers one page: the copy itself plus the nested-PTE store
+    /// (write-protect during pre-copy, final hand-off during
+    /// stop-and-copy) with its translation-coherence consequences.
+    fn copy_page(
+        &mut self,
+        platform: &mut Platform,
+        vms: &mut [VmInstance],
+        cpu: CpuId,
+        gpp: GuestFrame,
+    ) {
+        let slot = self.params.vm_slot;
+        if vms[slot].nested_page_table().translate(gpp).is_none() {
+            return;
+        }
+        platform.charge_hypervisor_cycles(vms, cpu, self.params.page_copy_cycles);
+        if platform.hypervisor_pte_write(vms, slot, cpu, gpp) {
+            self.stats.migration_remaps += 1;
+        }
+        // The transfer just captured the page's current content; a mark
+        // left by a store *earlier this round* is satisfied by this copy.
+        // Only stores after this point must force a re-send.
+        self.tracker.unmark(gpp);
+        self.stats.pages_copied += 1;
+    }
+}

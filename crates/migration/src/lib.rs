@@ -1,0 +1,42 @@
+//! # hatric-migration
+//!
+//! Live VM migration and memory ballooning for the consolidated host —
+//! the remap-storm sources the paper's Sec. 7 names beyond die-stacked
+//! paging.  Both are hypervisor-driven bulk page operations whose nested
+//! page-table stores must keep every CPU's translation structures
+//! coherent, so both turn into IPI/VM-exit/flush storms under software
+//! shootdowns and into quiet directory-confined invalidations under
+//! HATRIC:
+//!
+//! * [`MigrationEngine`] — pre-copy live migration: a full-image first
+//!   round, dirty-rate-driven re-copy rounds (fed by a [`DirtyTracker`]
+//!   installed as the platform's write observer), and a stop-and-copy
+//!   phase whose cycles are the migration's *downtime*.
+//! * [`BalloonDriver`] — balloon inflation in one VM and a capacity grant
+//!   to another, demoting evicted residents and refilling through demand
+//!   promotions.
+//! * [`HostEvent`] — the schedulable wrapper `hatric-host` executes
+//!   per slice.
+//!
+//! The engines operate directly on [`hatric::Platform`] +
+//! [`hatric::VmInstance`] and charge every cycle through the same
+//! occupancy-aware accounting the guest pipeline uses, so victim VMs see
+//! migration-induced interference exactly the way they see paging-induced
+//! interference.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod balloon;
+pub mod dirty;
+pub mod engine;
+pub mod event;
+
+pub use balloon::{BalloonDriver, BalloonParams};
+pub use dirty::{DirtyBitmap, DirtyTracker};
+pub use engine::{MigrationEngine, MigrationParams, MigrationPhase};
+pub use event::HostEvent;
+
+// Re-export the stats type engines report with, so callers need not import
+// the core crate for it.
+pub use hatric::metrics::MigrationStats;

@@ -98,6 +98,18 @@ impl NestedPageTable {
         self.table.mapped_pages()
     }
 
+    /// Every mapped guest-physical frame, ascending — the complete memory
+    /// image of the VM (data pages, guest-page-table region, hypervisor
+    /// backing frames), which is what a live migration must transfer.
+    #[must_use]
+    pub fn mapped_gpps(&self) -> Vec<GuestFrame> {
+        self.table
+            .mapped_keys()
+            .into_iter()
+            .map(GuestFrame::new)
+            .collect()
+    }
+
     /// System-physical frames occupied by the table's own radix nodes.
     #[must_use]
     pub fn node_frames(&self) -> Vec<SystemFrame> {

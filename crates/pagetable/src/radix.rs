@@ -114,6 +114,29 @@ impl RadixTable {
         self.nodes.iter().map(|n| n.frame).collect()
     }
 
+    /// Page numbers of every present leaf mapping, in ascending order.
+    /// Live migration snapshots this to build its initial copy set.
+    #[must_use]
+    pub fn mapped_keys(&self) -> Vec<u64> {
+        let mut keys = Vec::with_capacity(self.mapped_pages as usize);
+        self.collect_keys(self.root, 0, &mut keys);
+        keys
+    }
+
+    /// Depth-first, slot-ordered traversal: prefixes grow by 9 bits per
+    /// level, so visiting slots in index order yields ascending page
+    /// numbers (depth is bounded by `RADIX_LEVELS` = 4).
+    fn collect_keys(&self, node: NodeIndex, prefix: u64, out: &mut Vec<u64>) {
+        for (idx, slot) in self.nodes[node].slots.iter().enumerate() {
+            let page = (prefix << RADIX_BITS_PER_LEVEL) | idx as u64;
+            match slot {
+                Slot::Empty => {}
+                Slot::Leaf(_) => out.push(page),
+                Slot::Table(next) => self.collect_keys(*next, page, out),
+            }
+        }
+    }
+
     fn level_index(page: u64, level: u8) -> usize {
         debug_assert!((1..=RADIX_LEVELS as u8).contains(&level));
         ((page >> (RADIX_BITS_PER_LEVEL as u64 * (u64::from(level) - 1)))
@@ -273,6 +296,22 @@ mod tests {
         assert_eq!(table.translate(0xdead).unwrap().frame, 0xbeef);
         assert_eq!(table.translate(0xdeae), None);
         assert_eq!(table.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn mapped_keys_are_complete_and_ascending() {
+        let mut table = RadixTable::new(0x100);
+        // Spread keys across distinct leaf nodes and levels, inserted out
+        // of order.
+        let keys = [1u64 << 30, 7, 0xdead, 512, 42, (1 << 30) + 3];
+        for &k in &keys {
+            table.map(k, k + 1);
+        }
+        table.unmap(42);
+        let mut expected: Vec<u64> = keys.iter().copied().filter(|&k| k != 42).collect();
+        expected.sort_unstable();
+        assert_eq!(table.mapped_keys(), expected);
+        assert_eq!(table.mapped_keys().len() as u64, table.mapped_pages());
     }
 
     #[test]

@@ -8,3 +8,4 @@
 
 pub use hatric;
 pub use hatric_host;
+pub use hatric_migration;

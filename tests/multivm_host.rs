@@ -58,6 +58,39 @@ fn per_vm_reports_sum_to_host_totals() {
 }
 
 #[test]
+fn host_paging_aggregate_equals_explicit_per_vm_sums() {
+    // Guards `PagingStats::merge` completeness (and, transitively, the
+    // PR-1 warmup-reset fix): every field of the host-level paging
+    // aggregate must equal the explicitly-summed per-VM counters.  A field
+    // added to `PagingStats` but forgotten in `merge` diverges here.
+    let report = run(CoherenceMechanism::Software, SchedPolicy::RoundRobin);
+    let sum =
+        |f: &dyn Fn(&hatric_host::SimReport) -> u64| -> u64 { report.per_vm.iter().map(f).sum() };
+    let host = &report.host.paging;
+    assert_eq!(
+        host.demand_faults.get(),
+        sum(&|r| r.paging.demand_faults.get())
+    );
+    assert_eq!(host.promotions.get(), sum(&|r| r.paging.promotions.get()));
+    assert_eq!(host.evictions.get(), sum(&|r| r.paging.evictions.get()));
+    assert_eq!(host.prefetches.get(), sum(&|r| r.paging.prefetches.get()));
+    assert_eq!(host.daemon_runs.get(), sum(&|r| r.paging.daemon_runs.get()));
+    assert_eq!(
+        host.balloon_reclaimed.get(),
+        sum(&|r| r.paging.balloon_reclaimed.get())
+    );
+    assert_eq!(
+        host.balloon_granted.get(),
+        sum(&|r| r.paging.balloon_granted.get())
+    );
+    assert!(host.demand_faults.get() > 0, "the aggressor must page");
+    // The two independent demand-fault counters (pipeline-side
+    // FaultActivity vs policy-side PagingStats) must agree — they drift
+    // if warmup resets ever diverge again.
+    assert_eq!(report.host.faults.demand_faults, host.demand_faults.get());
+}
+
+#[test]
 fn victims_record_zero_coherence_cycles_under_hatric_but_not_shootdown() {
     let software = run(CoherenceMechanism::Software, SchedPolicy::RoundRobin);
     let hatric = run(CoherenceMechanism::Hatric, SchedPolicy::RoundRobin);
