@@ -1,0 +1,54 @@
+//! NUMA multi-socket contention: victim slowdown under each
+//! translation-coherence mechanism, swept over the socket count — and with
+//! it the remote-access ratio that interleaved allocation produces.
+//!
+//! Besides the Criterion-timed kernels, this bench emits its results as
+//! JSON (`BENCH_numa.json`, or `$HATRIC_BENCH_NUMA_JSON` if set) so the
+//! repository accumulates a perf trajectory for the NUMA subsystem.  The
+//! sweep itself asserts the headline claim (HATRIC never worse, gap
+//! widening with the remote ratio), so a model change that breaks it fails
+//! here and in `bench_check`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric_bench::{collect_numa_records, skip_tables, write_numa_json};
+use hatric_host::experiments::NumaContentionParams;
+use hatric_host::ConsolidatedHost;
+
+fn bench(c: &mut Criterion) {
+    // The socket sweep lives in `hatric_bench` so the CI regression gate
+    // (`bench_check`) re-runs exactly what this bench committed as its
+    // baseline.
+    let records = if skip_tables() {
+        Vec::new()
+    } else {
+        collect_numa_records(true)
+    };
+
+    let mut group = c.benchmark_group("numa");
+    group.sample_size(10);
+    for mechanism in [
+        hatric_host::CoherenceMechanism::Software,
+        hatric_host::CoherenceMechanism::Hatric,
+    ] {
+        let label = format!("host_2socket_{mechanism:?}_kernel");
+        group.bench_function(label, move |b| {
+            b.iter(|| {
+                let params = NumaContentionParams::quick().with_sockets(2);
+                let mut host = ConsolidatedHost::new(params.host_config(mechanism))
+                    .expect("bench configurations are valid");
+                host.run(params.warmup_slices, params.measured_slices)
+            })
+        });
+    }
+    group.finish();
+
+    if !records.is_empty() {
+        match write_numa_json(&records) {
+            Ok(path) => println!("\nwrote {} numa records to {path}", records.len()),
+            Err(err) => eprintln!("could not write numa JSON: {err}"),
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

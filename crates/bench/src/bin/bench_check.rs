@@ -1,13 +1,18 @@
 //! CI regression gate over the committed bench baselines.
 //!
-//! Re-runs the multi-VM interference sweep (`BENCH_multivm.json`) and the
-//! migration-storm scenarios (`BENCH_migration.json`) at the exact scale
-//! and seeds the benches use, then compares the fresh numbers against the
-//! committed baselines:
+//! Re-runs the multi-VM interference sweep (`BENCH_multivm.json`), the
+//! migration-storm scenarios (`BENCH_migration.json`) and the NUMA socket
+//! sweep (`BENCH_numa.json`) at the exact scale and seeds the benches use,
+//! then compares the fresh numbers against the committed baselines:
 //!
 //! * victim slowdown vs ideal may not regress by more than 10% on any
-//!   (pressure|scenario, mechanism) row;
+//!   (pressure|scenario|config, mechanism) row;
 //! * migration downtime may not regress by more than 10% on any row.
+//!
+//! The NUMA sweep additionally asserts its headline claim while it runs
+//! (HATRIC victim slowdown ≤ software's in every configuration, gap
+//! widening monotonically with the remote-access ratio) — a model change
+//! that breaks the claim aborts the gate outright.
 //!
 //! The simulator is bit-deterministic for a fixed seed, so on an unchanged
 //! tree the fresh numbers equal the baselines exactly; the 10% headroom is
@@ -19,8 +24,8 @@
 //! Run with: `cargo run --release -p hatric-bench --bin bench_check`
 
 use hatric_bench::{
-    collect_migration_records, collect_multivm_records, migration_json_path, multivm_json_path,
-    parse_json_records, record_field,
+    collect_migration_records, collect_multivm_records, collect_numa_records, migration_json_path,
+    multivm_json_path, numa_json_path, parse_json_records, record_field,
 };
 
 /// Allowed relative regression before the gate fails.
@@ -127,6 +132,23 @@ fn main() {
         }
     }
 
+    // ----- NUMA socket sweep vs BENCH_numa.json ----------------------------
+    let numa_baseline = baseline_records(&numa_json_path());
+    for record in collect_numa_records(false) {
+        let label = format!("numa/{}/{}", record.config, record.mechanism);
+        match find_baseline(&numa_baseline, "config", &record.config, &record.mechanism)
+            .and_then(|b| record_field(b, "victim_slowdown_vs_ideal"))
+            .and_then(|v| v.parse::<f64>().ok())
+        {
+            Some(baseline) => checks.push(Check {
+                label: format!("{label} victim-slowdown"),
+                baseline,
+                current: record.victim_slowdown_vs_ideal,
+            }),
+            None => missing.push(label),
+        }
+    }
+
     // ----- verdict ---------------------------------------------------------
     let mut regressions = 0;
     for check in &checks {
@@ -155,8 +177,9 @@ fn main() {
         // disable that part of the gate.
         eprintln!(
             "bench_check: {} row(s) have no committed baseline — regenerate with \
-             `cargo bench -p hatric-bench --bench multivm_interference --bench migration_downtime` \
-             and commit BENCH_multivm.json / BENCH_migration.json",
+             `cargo bench -p hatric-bench --bench multivm_interference --bench \
+             migration_downtime --bench numa_contention` and commit \
+             BENCH_multivm.json / BENCH_migration.json / BENCH_numa.json",
             missing.len()
         );
         std::process::exit(1);

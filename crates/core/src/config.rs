@@ -4,8 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use hatric_coherence::{CoherenceCosts, CoherenceMechanism, DesignVariant};
 use hatric_energy::EnergyParams;
-use hatric_hypervisor::{HypervisorKind, PagingPolicyKind};
-use hatric_memory::MemorySystemConfig;
+use hatric_hypervisor::{HypervisorKind, NumaPolicy, PagingPolicyKind};
+use hatric_memory::{MemorySystemConfig, NumaConfig};
 use hatric_tlb::StructureSizes;
 use hatric_types::PAGE_SIZE_4K;
 
@@ -44,6 +44,13 @@ pub enum MemoryMode {
 }
 
 /// Fixed hit latencies (cycles) of on-chip structures.
+///
+/// ```
+/// use hatric::LatencyConfig;
+///
+/// let lat = LatencyConfig::haswell_like();
+/// assert!(lat.l1_hit < lat.l2_hit && lat.l2_hit < lat.llc_hit);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyConfig {
     /// L1 data-cache hit.
@@ -80,6 +87,14 @@ impl Default for LatencyConfig {
 }
 
 /// Paging-policy knobs (the Fig. 8 sweep).
+///
+/// ```
+/// use hatric::PagingKnobs;
+///
+/// let best = PagingKnobs::best();
+/// assert!(best.migration_daemon && best.prefetch_pages > 0);
+/// assert_eq!(PagingKnobs::default(), best);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PagingKnobs {
     /// Victim-selection policy.
@@ -135,6 +150,17 @@ impl Default for PagingKnobs {
 }
 
 /// The complete configuration of a simulated system.
+///
+/// ```
+/// use hatric::{CoherenceMechanism, NumaConfig, SystemConfig};
+///
+/// // A scaled-down two-socket HATRIC system: 8 CPUs, 1024 fast pages.
+/// let cfg = SystemConfig::scaled(8, 1_024)
+///     .with_mechanism(CoherenceMechanism::Hatric)
+///     .with_numa(NumaConfig::symmetric(2));
+/// assert!(cfg.validate().is_ok());
+/// assert_eq!(cfg.fast_capacity_pages(), 1_024);
+/// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SystemConfig {
     /// Number of physical CPUs.
@@ -153,10 +179,15 @@ pub struct SystemConfig {
     pub structure_sizes: StructureSizes,
     /// Translation-structure size multiplier (Fig. 9 sweeps 1×/2×/4×).
     pub structure_scale: usize,
-    /// Physical memory devices.
+    /// Physical memory devices and the socket topology they sit on
+    /// (`memory.numa` — [`NumaConfig::uma`] for the classic single-socket
+    /// machine).
     pub memory: MemorySystemConfig,
     /// How the memory is used.
     pub memory_mode: MemoryMode,
+    /// On which socket the hypervisor backs newly allocated guest pages
+    /// (irrelevant on a single-socket host).
+    pub numa_policy: NumaPolicy,
     /// Shared LLC capacity in bytes.
     pub llc_bytes: u64,
     /// Paging-policy knobs.
@@ -187,6 +218,7 @@ impl SystemConfig {
             structure_scale: 1,
             memory: MemorySystemConfig::paper_default(),
             memory_mode: MemoryMode::Paged,
+            numa_policy: NumaPolicy::FirstTouch,
             llc_bytes: 20 * 1024 * 1024,
             paging: PagingKnobs::best(),
             costs: CoherenceCosts::haswell_measured(),
@@ -266,6 +298,20 @@ impl SystemConfig {
         self
     }
 
+    /// Returns a copy with the given socket topology.
+    #[must_use]
+    pub fn with_numa(mut self, numa: NumaConfig) -> Self {
+        self.memory.numa = numa;
+        self
+    }
+
+    /// Returns a copy with the given NUMA memory-placement policy.
+    #[must_use]
+    pub fn with_numa_policy(mut self, policy: NumaPolicy) -> Self {
+        self.numa_policy = policy;
+        self
+    }
+
     /// Returns a copy with the given directory design variant.
     #[must_use]
     pub fn with_variant(mut self, variant: DesignVariant) -> Self {
@@ -307,6 +353,16 @@ impl SystemConfig {
         if self.structure_scale == 0 {
             return Err(hatric_types::SimError::config(
                 "structure_scale must be nonzero",
+            ));
+        }
+        if self.memory.numa.sockets == 0 {
+            return Err(hatric_types::SimError::config(
+                "a host needs at least one socket",
+            ));
+        }
+        if !self.num_cpus.is_multiple_of(self.memory.numa.sockets) {
+            return Err(hatric_types::SimError::config(
+                "num_cpus must split evenly across sockets",
             ));
         }
         Ok(())

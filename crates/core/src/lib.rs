@@ -62,7 +62,8 @@ pub use config::{
 pub use driver::WorkloadDriver;
 pub use experiments::{ExperimentParams, RunSpec};
 pub use metrics::{
-    CoherenceActivity, FaultActivity, HostReport, InterferenceActivity, MigrationStats, SimReport,
+    CoherenceActivity, FaultActivity, HostReport, InterferenceActivity, MigrationStats,
+    NumaActivity, SimReport,
 };
 pub use platform::{Platform, WriteObserver};
 pub use system::System;
@@ -71,8 +72,8 @@ pub use vm_instance::{VmInstance, VmPagingParams};
 // Re-export the vocabulary users need to drive the simulator without
 // importing every substrate crate explicitly.
 pub use hatric_coherence::{CoherenceCosts, CoherenceMechanism, DesignVariant};
-pub use hatric_hypervisor::{HypervisorKind, PagingPolicyKind};
-pub use hatric_memory::MemoryKind;
+pub use hatric_hypervisor::{HypervisorKind, NumaPolicy, PagingPolicyKind};
+pub use hatric_memory::{LinkConfig, MemoryKind, NumaConfig};
 pub use hatric_tlb::StructureSizes;
-pub use hatric_types::{CpuId, GuestFrame, GuestVirtPage, SystemFrame, VcpuId, VmId};
+pub use hatric_types::{CpuId, GuestFrame, GuestVirtPage, SocketId, SystemFrame, VcpuId, VmId};
 pub use hatric_workloads::{SpecMix, Workload, WorkloadKind};

@@ -82,6 +82,66 @@ impl InterferenceActivity {
     }
 }
 
+/// Socket-locality activity on a NUMA host (all-zero on a single-socket
+/// host, where nothing is ever remote).
+///
+/// DRAM accesses and coherence targets are classified against the socket of
+/// the CPU doing (or initiating) the work; allocations against the socket
+/// the hypervisor's placement policy preferred.  The remote-access ratio is
+/// the axis the `numa_contention` experiment sweeps: software shootdowns
+/// whose flushes force victims to refill translations through a congested
+/// inter-socket link lose ground to HATRIC as the ratio rises.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NumaActivity {
+    /// DRAM line accesses served by the accessing CPU's own socket.
+    pub local_dram_accesses: u64,
+    /// DRAM line accesses that crossed the inter-socket link.
+    pub remote_dram_accesses: u64,
+    /// Translation-coherence targets on the initiator's socket.
+    pub local_coherence_targets: u64,
+    /// Translation-coherence targets on another socket (these pay the
+    /// cross-socket shootdown or hardware-message premium).
+    pub remote_coherence_targets: u64,
+    /// Page allocations that could not be satisfied on the preferred socket
+    /// and spilled to a remote one.
+    pub remote_allocations: u64,
+}
+
+impl NumaActivity {
+    /// Accumulates `other` into `self` (used when summing per-VM reports).
+    pub fn merge(&mut self, other: &NumaActivity) {
+        self.local_dram_accesses += other.local_dram_accesses;
+        self.remote_dram_accesses += other.remote_dram_accesses;
+        self.local_coherence_targets += other.local_coherence_targets;
+        self.remote_coherence_targets += other.remote_coherence_targets;
+        self.remote_allocations += other.remote_allocations;
+    }
+
+    /// Fraction of DRAM accesses that crossed the inter-socket link
+    /// (0.0 when no DRAM access happened).
+    #[must_use]
+    pub fn remote_access_ratio(&self) -> f64 {
+        let total = self.local_dram_accesses + self.remote_dram_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_dram_accesses as f64 / total as f64
+        }
+    }
+
+    /// Fraction of coherence targets that sat on another socket than the
+    /// remap's initiator (0.0 when no target was touched).
+    #[must_use]
+    pub fn remote_target_ratio(&self) -> f64 {
+        let total = self.local_coherence_targets + self.remote_coherence_targets;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_coherence_targets as f64 / total as f64
+        }
+    }
+}
+
 /// Demand-paging activity observed during a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultActivity {
@@ -162,6 +222,8 @@ pub struct SimReport {
     pub faults: FaultActivity,
     /// Cross-VM interference (all-zero for a single-VM run).
     pub interference: InterferenceActivity,
+    /// Socket-locality activity (all-zero on a single-socket host).
+    pub numa: NumaActivity,
     /// Hypervisor paging-policy statistics.
     pub paging: PagingStats,
     /// Aggregate translation-structure statistics (summed over CPUs).

@@ -22,12 +22,13 @@ use hatric_coherence::{
     CoherenceCosts, CoherenceMechanism, RemapContext, TargetAction, TranslationCoherence,
 };
 use hatric_energy::{EnergyEvent, EnergyModel, EnergyReport};
-use hatric_memory::{MemoryKind, MemorySystem};
+use hatric_hypervisor::NumaPolicy;
+use hatric_memory::{MemoryKind, MemorySystem, NumaConfig};
 use hatric_pagetable::TwoDimWalker;
 use hatric_tlb::{TlbLevel, TranslationStatsSnapshot, TranslationStructures};
 use hatric_types::{
-    CacheLineAddr, CoTag, CpuId, GuestFrame, GuestVirtPage, Result, SystemFrame, SystemPhysAddr,
-    VcpuId,
+    CacheLineAddr, CoTag, CpuId, GuestFrame, GuestVirtPage, Result, SocketId, SystemFrame,
+    SystemPhysAddr, VcpuId,
 };
 use hatric_workloads::Access;
 
@@ -58,6 +59,10 @@ pub struct Platform {
     cotag_bytes: u8,
     variant: hatric_coherence::DesignVariant,
     mechanism: CoherenceMechanism,
+    numa: NumaConfig,
+    numa_policy: NumaPolicy,
+    /// Round-robin cursor of the [`NumaPolicy::Interleaved`] allocator.
+    interleave_next: usize,
     memory: MemorySystem,
     caches: CacheHierarchy,
     structures: Vec<TranslationStructures>,
@@ -114,6 +119,9 @@ impl Platform {
             cotag_bytes: config.cotag_bytes,
             variant: config.variant,
             mechanism: config.mechanism,
+            numa: config.memory.numa,
+            numa_policy: config.numa_policy,
+            interleave_next: 0,
             memory,
             caches,
             structures,
@@ -159,6 +167,59 @@ impl Platform {
     #[must_use]
     pub fn num_cpus(&self) -> usize {
         self.num_cpus
+    }
+
+    /// Number of sockets.
+    #[must_use]
+    pub fn sockets(&self) -> usize {
+        self.numa.sockets
+    }
+
+    /// The socket a physical CPU belongs to: CPUs are split into
+    /// `sockets` contiguous equal blocks (validated at configuration time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    #[must_use]
+    pub fn socket_of_cpu(&self, cpu: CpuId) -> SocketId {
+        assert!(cpu.index() < self.num_cpus, "cpu out of range");
+        let cpus_per_socket = self.num_cpus / self.numa.sockets;
+        SocketId::new((cpu.index() / cpus_per_socket) as u32)
+    }
+
+    /// The socket the hypervisor's placement policy prefers for a page
+    /// faulted in from `cpu` (advancing the interleave cursor when the
+    /// policy is [`NumaPolicy::Interleaved`]).
+    fn preferred_socket(&mut self, cpu: CpuId) -> SocketId {
+        match self.numa_policy {
+            NumaPolicy::FirstTouch => self.socket_of_cpu(cpu),
+            NumaPolicy::Interleaved => {
+                let socket = self.interleave_next % self.numa.sockets;
+                self.interleave_next += 1;
+                SocketId::new(socket as u32)
+            }
+        }
+    }
+
+    /// Allocates a frame of `kind` on the policy-preferred socket for an
+    /// access from `cpu`, recording a remote allocation on VM `slot` when
+    /// the frame could not be placed where the access runs.
+    fn allocate_for(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        cpu: CpuId,
+        kind: MemoryKind,
+    ) -> Result<SystemFrame> {
+        let preferred = self.preferred_socket(cpu);
+        let frame = self.memory.allocate_on(kind, preferred)?;
+        // A deliberate interleaved placement on another socket is not a
+        // spill; only failing to get the *preferred* socket is.
+        if self.memory.socket_of(frame) != preferred {
+            vms[slot].numa_mut().remote_allocations += 1;
+        }
+        Ok(frame)
     }
 
     /// Declares which (VM slot, vCPU) currently executes on `cpu` (`None`
@@ -455,8 +516,15 @@ impl Platform {
                     },
                     1,
                 );
+                let cpu_socket = self.socket_of_cpu(cpu);
+                let numa = vms[slot].numa_mut();
+                if self.memory.is_remote(frame, cpu_socket) {
+                    numa.remote_dram_accesses += 1;
+                } else {
+                    numa.local_dram_accesses += 1;
+                }
                 let now = self.cycles[cpu.index()];
-                lat.llc_hit + self.memory.access(frame, now)
+                lat.llc_hit + self.memory.access(frame, slot, cpu_socket, now)
             }
         };
         self.charge_occupant(vms, cpu, cycles);
@@ -516,21 +584,21 @@ impl Platform {
         // with die-stacked memory while there is room (first-touch placement)
         // and with off-chip memory once the fast device is full — from then
         // on pages only enter die-stacked memory through the demand-migration
-        // path, which is what triggers translation coherence.
+        // path, which is what triggers translation coherence.  The socket is
+        // picked by the NUMA placement policy (local to the faulting CPU, or
+        // interleaved).
         let spp = if vms[slot].paging_enabled() && vms[slot].paging().free_pages() > 0 {
-            match self.memory.allocate(MemoryKind::DieStacked) {
+            match self.allocate_for(vms, slot, cpu, MemoryKind::DieStacked) {
                 Ok(f) => {
                     vms[slot].paging_mut().commit_promotion(gpp);
                     f
                 }
                 Err(_) => self
-                    .memory
-                    .allocate(MemoryKind::OffChip)
+                    .allocate_for(vms, slot, cpu, MemoryKind::OffChip)
                     .unwrap_or_else(|_| SystemFrame::new(vms[slot].next_pt_backing_frame())),
             }
         } else {
-            self.memory
-                .allocate(MemoryKind::OffChip)
+            self.allocate_for(vms, slot, cpu, MemoryKind::OffChip)
                 .unwrap_or_else(|_| SystemFrame::new(vms[slot].next_pt_backing_frame()))
         };
         vms[slot].nested_pt_mut().map(gpp, spp);
@@ -607,11 +675,11 @@ impl Platform {
         if self.memory.kind_of(old_spp) == to {
             return false;
         }
-        let Ok(new_spp) = self.memory.allocate(to) else {
+        let Ok(new_spp) = self.allocate_for(vms, slot, initiator, to) else {
             return false;
         };
         let now = self.cycles[initiator.index()];
-        let copy = self.memory.page_copy_cycles(old_spp, new_spp, now);
+        let copy = self.memory.page_copy_cycles(old_spp, new_spp, slot, now);
         if critical {
             self.charge_occupant(vms, initiator, copy);
         }
@@ -733,22 +801,44 @@ impl Platform {
             .record(EnergyEvent::CoherenceMessage, plan.hw_messages);
 
         let cotag = CoTag::from_pte_addr(pte_addr, self.cotag_bytes);
+        let initiator_socket = self.socket_of_cpu(initiator);
         for target in &plan.targets {
             let disruptive = target.vm_exit || target.action == TargetAction::FlushAll;
+            let does_work = disruptive || target.action != TargetAction::None;
+            // Socket distance makes coherence asymmetric: a software
+            // shootdown whose IPI and acknowledgement cross the inter-socket
+            // link costs the target far more than a local one, while a
+            // hardware co-tag message pays only a small interconnect-hop
+            // premium.
+            let cross_socket = does_work && self.socket_of_cpu(target.cpu) != initiator_socket;
+            let distance_extra = match (cross_socket, disruptive) {
+                (false, _) => 0,
+                (true, true) => self.numa.remote_shootdown_extra_cycles,
+                (true, false) => self.numa.remote_hw_message_extra_cycles,
+            };
+            let target_cycles = target.target_cycles + distance_extra;
+            if does_work {
+                let numa = vms[slot].numa_mut();
+                if cross_socket {
+                    numa.remote_coherence_targets += 1;
+                } else {
+                    numa.local_coherence_targets += 1;
+                }
+            }
             if disruptive {
-                self.charge_occupant(vms, target.cpu, target.target_cycles);
+                self.charge_occupant(vms, target.cpu, target_cycles);
                 if let Some((occ_slot, _)) = self.occupancy[target.cpu.index()] {
                     if occ_slot != slot {
                         let victim = vms[occ_slot].interference_mut();
-                        victim.disrupted_cycles += target.target_cycles;
+                        victim.disrupted_cycles += target_cycles;
                         victim.disruptions_received += 1;
-                        vms[slot].interference_mut().inflicted_cycles += target.target_cycles;
+                        vms[slot].interference_mut().inflicted_cycles += target_cycles;
                     }
                 }
             } else {
                 // Co-tag matches run in the translation-structure port and
                 // never stall the occupant.
-                self.charge_hardware(target.cpu, target.target_cycles);
+                self.charge_hardware(target.cpu, target_cycles);
             }
             if target.vm_exit {
                 vms[slot].coherence_mut().coherence_vm_exits += 1;

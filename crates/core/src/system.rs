@@ -134,6 +134,7 @@ impl System {
             coherence: vm.coherence,
             faults: vm.faults,
             interference: vm.interference,
+            numa: vm.numa,
             paging: vm.paging,
             translation: self.platform.translation_snapshot(),
             cache: self.platform.cache_snapshot(),

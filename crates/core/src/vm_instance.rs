@@ -14,7 +14,9 @@ use hatric_memory::MemorySystem;
 use hatric_pagetable::{GuestPageTable, NestedPageTable};
 use hatric_types::{GuestFrame, SystemFrame, VcpuId, VmId};
 
-use crate::metrics::{CoherenceActivity, FaultActivity, InterferenceActivity, SimReport};
+use crate::metrics::{
+    CoherenceActivity, FaultActivity, InterferenceActivity, NumaActivity, SimReport,
+};
 
 /// Guest-physical frame number where a guest page table's own nodes live
 /// (far above any data frame the workloads touch).  Guest-physical space is
@@ -79,6 +81,7 @@ pub struct VmInstance {
     coherence: CoherenceActivity,
     faults: FaultActivity,
     interference: InterferenceActivity,
+    numa: NumaActivity,
 }
 
 impl VmInstance {
@@ -133,6 +136,7 @@ impl VmInstance {
             coherence: CoherenceActivity::default(),
             faults: FaultActivity::default(),
             interference: InterferenceActivity::default(),
+            numa: NumaActivity::default(),
         }
     }
 
@@ -217,6 +221,7 @@ impl VmInstance {
         self.coherence = CoherenceActivity::default();
         self.faults = FaultActivity::default();
         self.interference = InterferenceActivity::default();
+        self.numa = NumaActivity::default();
         self.paging.reset_stats();
     }
 
@@ -231,6 +236,7 @@ impl VmInstance {
             coherence: self.coherence,
             faults: self.faults,
             interference: self.interference,
+            numa: self.numa,
             paging: self.paging.stats(),
             ..SimReport::default()
         }
@@ -260,6 +266,10 @@ impl VmInstance {
 
     pub(crate) fn interference_mut(&mut self) -> &mut InterferenceActivity {
         &mut self.interference
+    }
+
+    pub(crate) fn numa_mut(&mut self) -> &mut NumaActivity {
+        &mut self.numa
     }
 
     pub(crate) fn bump_accesses(&mut self) {

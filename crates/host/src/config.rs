@@ -3,14 +3,24 @@
 
 use serde::{Deserialize, Serialize};
 
-use hatric::{MemoryMode, PagingKnobs, SystemConfig, DEFAULT_SEED};
+use hatric::{MemoryMode, NumaConfig, PagingKnobs, SystemConfig, DEFAULT_SEED};
 use hatric_coherence::{CoherenceMechanism, DesignVariant};
-use hatric_hypervisor::SchedPolicy;
+use hatric_hypervisor::{NumaPolicy, SchedPolicy};
 use hatric_migration::HostEvent;
 use hatric_types::{Result, SimError};
 use hatric_workloads::WorkloadKind;
 
 /// One virtual machine on the host.
+///
+/// ```
+/// use hatric_host::VmSpec;
+///
+/// let aggressor = VmSpec::aggressor(2, 128);
+/// assert!(aggressor.expects_paging(), "footprint exceeds its quota");
+/// let victim = VmSpec::victim(2, 128).with_home_socket(1);
+/// assert!(!victim.expects_paging());
+/// assert_eq!(victim.home_socket, 1);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VmSpec {
     /// Number of vCPUs (one guest thread each).
@@ -27,6 +37,11 @@ pub struct VmSpec {
     pub fast_quota_pages: u64,
     /// Paging-policy knobs for this VM's quota.
     pub paging: PagingKnobs,
+    /// Home socket of this VM on a NUMA host: under
+    /// [`SchedPolicy::SocketAffine`] its vCPUs are pinned to this socket's
+    /// CPUs (ignored by the other policies, and meaningless on a
+    /// single-socket host).
+    pub home_socket: usize,
 }
 
 impl VmSpec {
@@ -41,6 +56,7 @@ impl VmSpec {
             workload_scale_pages: fast_quota_pages,
             fast_quota_pages,
             paging: PagingKnobs::best(),
+            home_socket: 0,
         }
     }
 
@@ -55,7 +71,15 @@ impl VmSpec {
             workload_scale_pages: fast_quota_pages,
             fast_quota_pages,
             paging: PagingKnobs::best(),
+            home_socket: 0,
         }
+    }
+
+    /// Returns a copy homed on the given socket.
+    #[must_use]
+    pub fn with_home_socket(mut self, socket: usize) -> Self {
+        self.home_socket = socket;
+        self
     }
 
     /// Footprint of this VM in 4 KiB pages — delegated to the workload
@@ -74,6 +98,22 @@ impl VmSpec {
 }
 
 /// The complete configuration of a consolidated host.
+///
+/// ```
+/// use hatric::NumaConfig;
+/// use hatric_host::{CoherenceMechanism, HostConfig, SchedPolicy, VmSpec};
+///
+/// // A two-socket HATRIC host: the aggressor homed on socket 0, a victim
+/// // on each socket, vCPUs pinned socket-affine.
+/// let cfg = HostConfig::scaled(8, 512)
+///     .with_mechanism(CoherenceMechanism::Hatric)
+///     .with_numa(NumaConfig::symmetric(2))
+///     .with_sched(SchedPolicy::SocketAffine)
+///     .with_vm(VmSpec::aggressor(2, 256))
+///     .with_vm(VmSpec::victim(2, 128).with_home_socket(1));
+/// assert!(cfg.validate().is_ok());
+/// assert_eq!(cfg.total_vcpus(), 4);
+/// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HostConfig {
     /// Number of physical CPUs the VMs share.
@@ -90,6 +130,11 @@ pub struct HostConfig {
     pub cotag_bytes: u8,
     /// How the two-level memory is used.
     pub memory_mode: MemoryMode,
+    /// Socket topology of the host ([`NumaConfig::uma`] for the classic
+    /// single-socket machine).
+    pub numa: NumaConfig,
+    /// On which socket the hypervisor backs newly allocated guest pages.
+    pub numa_policy: NumaPolicy,
     /// vCPU→pCPU scheduling policy.
     pub sched: SchedPolicy,
     /// Guest memory accesses each scheduled vCPU issues per time slice.
@@ -116,6 +161,8 @@ impl HostConfig {
             variant: DesignVariant::Baseline,
             cotag_bytes: 2,
             memory_mode: MemoryMode::Paged,
+            numa: NumaConfig::uma(),
+            numa_policy: NumaPolicy::FirstTouch,
             sched: SchedPolicy::Pinned,
             slice_accesses: 50,
             seed: DEFAULT_SEED,
@@ -159,6 +206,20 @@ impl HostConfig {
         self
     }
 
+    /// Returns a copy using the given socket topology.
+    #[must_use]
+    pub fn with_numa(mut self, numa: NumaConfig) -> Self {
+        self.numa = numa;
+        self
+    }
+
+    /// Returns a copy using the given NUMA memory-placement policy.
+    #[must_use]
+    pub fn with_numa_policy(mut self, policy: NumaPolicy) -> Self {
+        self.numa_policy = policy;
+        self
+    }
+
     /// Returns a copy with the given accesses per vCPU per slice.
     #[must_use]
     pub fn with_slice_accesses(mut self, accesses: u64) -> Self {
@@ -194,7 +255,9 @@ impl HostConfig {
             .with_mechanism(self.mechanism)
             .with_memory_mode(self.memory_mode)
             .with_cotag_bytes(self.cotag_bytes)
-            .with_variant(self.variant);
+            .with_variant(self.variant)
+            .with_numa(self.numa)
+            .with_numa_policy(self.numa_policy);
         cfg.seed = self.seed;
         cfg
     }
@@ -223,6 +286,11 @@ impl HostConfig {
         if self.memory_mode == MemoryMode::Paged && quota_sum > self.fast_pages {
             return Err(SimError::config(
                 "VM die-stacked quotas exceed the fast device capacity",
+            ));
+        }
+        if self.vms.iter().any(|v| v.home_socket >= self.numa.sockets) {
+            return Err(SimError::config(
+                "a VM's home socket is beyond the host's socket count",
             ));
         }
         self.validate_events()?;

@@ -2,6 +2,8 @@
 
 pub mod migration_storm;
 pub mod multivm;
+pub mod numa_contention;
 
 pub use migration_storm::{MigrationStormParams, MigrationStormRow};
 pub use multivm::{MultiVmParams, MultiVmRow};
+pub use numa_contention::{NumaContentionParams, NumaContentionRow};

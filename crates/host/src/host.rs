@@ -90,7 +90,17 @@ impl ConsolidatedHost {
             )));
         }
         let vcpu_counts: Vec<usize> = config.vms.iter().map(|v| v.vcpus).collect();
-        let scheduler = Scheduler::new(config.sched, config.num_pcpus, &vcpu_counts);
+        let scheduler = if config.sched == hatric_hypervisor::SchedPolicy::SocketAffine {
+            let home_sockets: Vec<usize> = config.vms.iter().map(|v| v.home_socket).collect();
+            Scheduler::socket_affine(
+                config.num_pcpus,
+                &vcpu_counts,
+                &home_sockets,
+                config.numa.sockets,
+            )
+        } else {
+            Scheduler::new(config.sched, config.num_pcpus, &vcpu_counts)
+        };
         let pending_events = config.events.clone();
         Ok(Self {
             config,
@@ -302,6 +312,7 @@ impl ConsolidatedHost {
             host.coherence.merge(&vm.coherence);
             host.faults.merge(&vm.faults);
             host.interference.merge(&vm.interference);
+            host.numa.merge(&vm.numa);
             host.paging.merge(&vm.paging);
         }
         let mut migration = self.finished_migration_stats;

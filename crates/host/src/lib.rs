@@ -54,7 +54,10 @@ pub use host::ConsolidatedHost;
 
 // Re-export the vocabulary needed to drive a host without importing every
 // substrate crate explicitly.
-pub use hatric::metrics::{HostReport, InterferenceActivity, MigrationStats, SimReport};
+pub use hatric::metrics::{
+    HostReport, InterferenceActivity, MigrationStats, NumaActivity, SimReport,
+};
+pub use hatric::{LinkConfig, NumaConfig};
 pub use hatric_coherence::CoherenceMechanism;
-pub use hatric_hypervisor::{Placement, SchedPolicy, Scheduler};
+pub use hatric_hypervisor::{NumaPolicy, Placement, SchedPolicy, Scheduler};
 pub use hatric_migration::{BalloonParams, HostEvent, MigrationParams, MigrationPhase};

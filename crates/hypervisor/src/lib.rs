@@ -41,6 +41,8 @@ pub mod paging;
 pub mod scheduler;
 pub mod vm;
 
-pub use paging::{MigrationDecision, PagingConfig, PagingManager, PagingPolicyKind, PagingStats};
+pub use paging::{
+    MigrationDecision, NumaPolicy, PagingConfig, PagingManager, PagingPolicyKind, PagingStats,
+};
 pub use scheduler::{Placement, SchedPolicy, Scheduler};
 pub use vm::{HypervisorKind, VirtualMachine, VmConfig};

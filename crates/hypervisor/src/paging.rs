@@ -14,6 +14,24 @@ use serde::{Deserialize, Serialize};
 
 use hatric_types::{Counter, GuestFrame};
 
+/// NUMA memory-placement policy: on which socket the hypervisor backs a
+/// guest page it has to allocate (first touches and paging migrations).
+///
+/// On a single-socket host the policy is irrelevant — every choice lands on
+/// the only socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum NumaPolicy {
+    /// Allocate on the socket of the CPU whose access faulted the page in
+    /// (Linux's default `local` policy).  Combined with socket-affine vCPU
+    /// pinning this keeps a VM's memory entirely socket-local.
+    #[default]
+    FirstTouch,
+    /// Round-robin allocations across all sockets (`numactl --interleave`):
+    /// bandwidth spreads over every memory controller, but a fraction
+    /// `(sockets-1)/sockets` of all accesses crosses the link.
+    Interleaved,
+}
+
 /// Victim-selection policy for die-stacked memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum PagingPolicyKind {
@@ -26,6 +44,14 @@ pub enum PagingPolicyKind {
 }
 
 /// Paging configuration.
+///
+/// ```
+/// use hatric_hypervisor::PagingConfig;
+///
+/// let cfg = PagingConfig::best(1_024);
+/// assert!(cfg.migration_daemon && cfg.prefetch_pages > 0);
+/// assert!(cfg.daemon_free_target < cfg.fast_capacity_pages);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PagingConfig {
     /// Victim-selection policy.

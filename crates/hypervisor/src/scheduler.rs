@@ -15,6 +15,11 @@
 //!   migrate freely, every VM eventually touches every CPU, and software
 //!   shootdowns degenerate into machine-wide IPI storms — the consolidation
 //!   worst case HATRIC is designed to eliminate.
+//! * [`SchedPolicy::SocketAffine`] — NUMA-aware pinning: every VM has a
+//!   *home socket* and its vCPUs are dealt out (and time-sliced) across
+//!   that socket's CPUs only.  Built with [`Scheduler::socket_affine`];
+//!   combined with first-touch allocation it keeps each VM's memory and
+//!   shootdown blast radius socket-local.
 //!
 //! Invariant (property-tested): within one slice, a physical CPU executes
 //! at most one vCPU and a vCPU is placed at most once.
@@ -33,6 +38,11 @@ pub enum SchedPolicy {
     Pinned,
     /// Global round-robin run queue; vCPUs migrate across CPUs.
     RoundRobin,
+    /// Static affinity confined to each VM's home socket (NUMA-aware
+    /// pinning).  Requires the socket topology: build the scheduler with
+    /// [`Scheduler::socket_affine`]; [`Scheduler::new`] (which has no
+    /// topology) degenerates to [`SchedPolicy::Pinned`] deal-out.
+    SocketAffine,
 }
 
 /// One scheduling decision: VM `vm_slot`'s `vcpu` runs on `pcpu` this slice.
@@ -85,6 +95,71 @@ impl Scheduler {
         for (i, entry) in all.iter().enumerate() {
             pinned[i % num_pcpus].push(*entry);
         }
+        Self::from_pinned(policy, num_pcpus, vcpu_counts.len(), pinned, all)
+    }
+
+    /// Creates a NUMA-aware socket-affine scheduler: the `num_pcpus`
+    /// physical CPUs are split into `sockets` contiguous equal blocks, and
+    /// VM `slot`'s vCPUs are dealt out across the CPUs of socket
+    /// `home_sockets[slot]` only (time-slicing within the socket when
+    /// oversubscribed).  The policy reported is
+    /// [`SchedPolicy::SocketAffine`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pcpus` is not a positive multiple of `sockets`, if no
+    /// VM has any vCPU, if `home_sockets` is shorter than `vcpu_counts`, or
+    /// if any home socket is out of range.
+    #[must_use]
+    pub fn socket_affine(
+        num_pcpus: usize,
+        vcpu_counts: &[usize],
+        home_sockets: &[usize],
+        sockets: usize,
+    ) -> Self {
+        assert!(sockets > 0, "a host needs at least one socket");
+        assert!(
+            num_pcpus > 0 && num_pcpus.is_multiple_of(sockets),
+            "physical CPUs must split evenly across sockets"
+        );
+        assert!(
+            home_sockets.len() >= vcpu_counts.len(),
+            "every VM needs a home socket"
+        );
+        let cpus_per_socket = num_pcpus / sockets;
+        let all: Vec<(usize, VcpuId)> = vcpu_counts
+            .iter()
+            .enumerate()
+            .flat_map(|(slot, &n)| (0..n).map(move |v| (slot, VcpuId::new(v as u32))))
+            .collect();
+        assert!(!all.is_empty(), "a host needs at least one vCPU");
+        let mut pinned = vec![Vec::new(); num_pcpus];
+        // Per-socket deal-out cursor, so co-homed VMs spread across their
+        // socket's CPUs the same way the flat deal-out spreads across all.
+        let mut socket_cursor = vec![0usize; sockets];
+        for &(slot, vcpu) in &all {
+            let home = home_sockets[slot];
+            assert!(home < sockets, "home socket {home} out of range");
+            let cpu = home * cpus_per_socket + socket_cursor[home] % cpus_per_socket;
+            socket_cursor[home] += 1;
+            pinned[cpu].push((slot, vcpu));
+        }
+        Self::from_pinned(
+            SchedPolicy::SocketAffine,
+            num_pcpus,
+            vcpu_counts.len(),
+            pinned,
+            all,
+        )
+    }
+
+    fn from_pinned(
+        policy: SchedPolicy,
+        num_pcpus: usize,
+        num_vms: usize,
+        pinned: Vec<Vec<(usize, VcpuId)>>,
+        all: Vec<(usize, VcpuId)>,
+    ) -> Self {
         // Stagger the initial rotation offsets so co-pinned VMs interleave
         // across CPUs instead of running in lockstep phases — on a real host
         // nothing synchronises the per-CPU run queues either.
@@ -101,7 +176,7 @@ impl Scheduler {
             pinned_next,
             queue: all.into(),
             slice: 0,
-            paused: vec![false; vcpu_counts.len()],
+            paused: vec![false; num_vms],
         }
     }
 
@@ -161,7 +236,7 @@ impl Scheduler {
     /// nothing runnable are left out (idle).
     pub fn next_slice(&mut self) -> Vec<Placement> {
         let placements = match self.policy {
-            SchedPolicy::Pinned => {
+            SchedPolicy::Pinned | SchedPolicy::SocketAffine => {
                 let mut placements = Vec::with_capacity(self.num_pcpus);
                 for (p, list) in self.pinned.iter().enumerate() {
                     if list.is_empty() {
@@ -315,6 +390,49 @@ mod tests {
             }
             assert!(seen.contains(&0), "{policy:?} never resumed the VM");
         }
+    }
+
+    #[test]
+    fn socket_affine_confines_vcpus_to_the_home_socket() {
+        // 8 CPUs, 2 sockets: VM0 homed on socket 0 (cpus 0-3), VM1 and VM2
+        // homed on socket 1 (cpus 4-7).
+        let mut s = Scheduler::socket_affine(8, &[2, 2, 2], &[0, 1, 1], 2);
+        assert_eq!(s.policy(), SchedPolicy::SocketAffine);
+        for _ in 0..8 {
+            let slice = s.next_slice();
+            assert_valid_slice(&slice);
+            for p in &slice {
+                let socket = p.pcpu.index() / 4;
+                let home = if p.vm_slot == 0 { 0 } else { 1 };
+                assert_eq!(
+                    socket,
+                    home,
+                    "vm{} placed on cpu{} outside its home socket",
+                    p.vm_slot,
+                    p.pcpu.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn socket_affine_time_slices_an_oversubscribed_socket() {
+        // Both VMs homed on socket 0 of a 2-socket host: its 2 CPUs carry 4
+        // vCPUs, so occupants must rotate, and socket 1 idles.
+        let mut s = Scheduler::socket_affine(4, &[2, 2], &[0, 0], 2);
+        let a = s.next_slice();
+        let b = s.next_slice();
+        assert_valid_slice(&a);
+        assert_ne!(a, b, "oversubscribed socket CPUs must rotate occupants");
+        for p in a.iter().chain(&b) {
+            assert!(p.pcpu.index() < 2, "socket 1 must stay idle");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "split evenly")]
+    fn socket_affine_rejects_indivisible_topology() {
+        let _ = Scheduler::socket_affine(6, &[1], &[0], 4);
     }
 
     #[test]

@@ -15,6 +15,19 @@ pub enum HypervisorKind {
 }
 
 /// Static configuration of one VM.
+///
+/// ```
+/// use hatric_hypervisor::{VirtualMachine, VmConfig};
+/// use hatric_types::{CpuId, VmId};
+///
+/// let vm = VirtualMachine::new(VmConfig {
+///     vm: VmId::new(0),
+///     vcpus: 2,
+///     first_cpu: CpuId::new(4),
+/// });
+/// // Static affinity: vCPU i starts on first_cpu + i.
+/// assert_eq!(vm.cpus_ever_used(), &[CpuId::new(4), CpuId::new(5)]);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VmConfig {
     /// The VM's identifier.

@@ -1,4 +1,12 @@
-//! A single DRAM device with a leaky-bucket queueing model.
+//! A single DRAM device with a stream-aware leaky-bucket queueing model.
+//!
+//! The device serves many *streams* — one per VM slot (plus the hypervisor's
+//! own traffic) — through one shared bandwidth pipe.  Each stream keeps its
+//! own backlog bucket so the occupancy every tenant contributes is known
+//! exactly, while the queueing delay any access observes is the *total*
+//! backlog across all streams: bandwidth is shared, attribution is per VM.
+//! With a single stream the model degenerates to the classic single-bucket
+//! leaky bucket the simulator has always used.
 
 use core::fmt;
 
@@ -39,22 +47,45 @@ pub struct DeviceConfig {
     pub service_cycles_per_line: u64,
 }
 
-/// Counters kept per device.
+/// Counters kept per device and per stream.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceStats {
-    /// Number of line accesses served.
+    /// Number of demand line accesses served.
     pub accesses: Counter,
     /// Total queueing delay added on top of the base latency.
     pub queueing_cycles: Counter,
+    /// Bulk line transfers (page-copy occupancy) deposited without a demand
+    /// access.
+    pub occupied_lines: Counter,
 }
 
-/// One DRAM device modelled as a leaky bucket: every access deposits its
-/// service time; the bucket drains in real time; the current bucket level is
-/// the queueing delay an access observes.
+impl DeviceStats {
+    /// Accumulates `other` into `self` (used when aggregating per-socket or
+    /// per-stream statistics).
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.accesses.add(other.accesses.get());
+        self.queueing_cycles.add(other.queueing_cycles.get());
+        self.occupied_lines.add(other.occupied_lines.get());
+    }
+}
+
+/// One stream's share of the device: its backlog bucket and its counters.
+#[derive(Debug, Clone, Default)]
+struct StreamState {
+    backlog_cycles: f64,
+    stats: DeviceStats,
+}
+
+/// One DRAM device modelled as a leaky bucket per stream: every access
+/// deposits its service time into the issuing stream's bucket; the buckets
+/// drain in real time at the device's (shared) service rate; the queueing
+/// delay an access observes is the *sum* of all buckets — whoever uses the
+/// pipe delays everyone behind it, but each stream's deposits are accounted
+/// separately so per-VM bandwidth attribution is exact.
 #[derive(Debug, Clone)]
 pub struct MemoryDevice {
     config: DeviceConfig,
-    backlog_cycles: f64,
+    streams: Vec<StreamState>,
     last_update: u64,
     stats: DeviceStats,
 }
@@ -65,7 +96,7 @@ impl MemoryDevice {
     pub fn new(config: DeviceConfig) -> Self {
         Self {
             config,
-            backlog_cycles: 0.0,
+            streams: Vec::new(),
             last_update: 0,
             stats: DeviceStats::default(),
         }
@@ -77,45 +108,90 @@ impl MemoryDevice {
         self.config
     }
 
+    /// Drains the shared pipe: `elapsed` cycles of service are consumed from
+    /// the stream buckets in index order (a deterministic FIFO
+    /// approximation).  The total backlog shrinks exactly as the classic
+    /// single-bucket model's would.
     fn drain(&mut self, now: u64) {
         if now > self.last_update {
-            let elapsed = (now - self.last_update) as f64;
-            self.backlog_cycles = (self.backlog_cycles - elapsed).max(0.0);
+            let mut remaining = (now - self.last_update) as f64;
+            for stream in &mut self.streams {
+                if remaining <= 0.0 {
+                    break;
+                }
+                let take = stream.backlog_cycles.min(remaining);
+                stream.backlog_cycles -= take;
+                remaining -= take;
+            }
             self.last_update = now;
         }
     }
 
-    /// Adds one line transfer's occupancy at time `now` and returns the
-    /// occupancy cost (used for bulk page copies, which see bandwidth but
-    /// not the full random-access latency per line).
-    pub fn occupy(&mut self, now: u64) -> u64 {
+    fn ensure_stream(&mut self, stream: usize) {
+        if stream >= self.streams.len() {
+            self.streams.resize_with(stream + 1, StreamState::default);
+        }
+    }
+
+    fn total_backlog(&self) -> f64 {
+        self.streams.iter().map(|s| s.backlog_cycles).sum()
+    }
+
+    /// Adds one line transfer's occupancy by `stream` at time `now` and
+    /// returns the occupancy cost (used for bulk page copies, which see
+    /// bandwidth but not the full random-access latency per line).
+    pub fn occupy(&mut self, stream: usize, now: u64) -> u64 {
         self.drain(now);
-        self.backlog_cycles += self.config.service_cycles_per_line as f64;
+        self.ensure_stream(stream);
+        self.streams[stream].backlog_cycles += self.config.service_cycles_per_line as f64;
+        self.streams[stream].stats.occupied_lines.incr();
+        self.stats.occupied_lines.incr();
         self.config.service_cycles_per_line
     }
 
-    /// Performs one demand access at time `now`; returns its latency
-    /// (base + current queueing delay) in cycles.
-    pub fn access(&mut self, now: u64) -> u64 {
+    /// Performs one demand access by `stream` at time `now`; returns its
+    /// latency (base + current queueing delay across all streams) in cycles.
+    pub fn access(&mut self, stream: usize, now: u64) -> u64 {
         self.drain(now);
-        let queueing = self.backlog_cycles as u64;
-        self.backlog_cycles += self.config.service_cycles_per_line as f64;
+        self.ensure_stream(stream);
+        let queueing = self.total_backlog() as u64;
+        self.streams[stream].backlog_cycles += self.config.service_cycles_per_line as f64;
+        self.streams[stream].stats.accesses.incr();
+        self.streams[stream].stats.queueing_cycles.add(queueing);
         self.stats.accesses.incr();
         self.stats.queueing_cycles.add(queueing);
         self.config.base_latency_cycles + queueing
     }
 
-    /// Counters accumulated so far.
+    /// Counters accumulated so far across all streams.
     #[must_use]
     pub fn stats(&self) -> DeviceStats {
         self.stats
+    }
+
+    /// Counters accumulated by one stream (all-zero for a stream that never
+    /// touched this device).
+    #[must_use]
+    pub fn stream_stats(&self, stream: usize) -> DeviceStats {
+        self.streams
+            .get(stream)
+            .map(|s| s.stats)
+            .unwrap_or_default()
+    }
+
+    /// Number of streams that have touched this device.
+    #[must_use]
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
     }
 
     /// Resets the queueing clock (used when the simulation's cycle counters
     /// are reset between the warmup and measured phases).  Statistics are
     /// preserved.
     pub fn reset_timing(&mut self) {
-        self.backlog_cycles = 0.0;
+        for stream in &mut self.streams {
+            stream.backlog_cycles = 0.0;
+        }
         self.last_update = 0;
     }
 }
@@ -136,15 +212,15 @@ mod tests {
     #[test]
     fn idle_device_has_base_latency() {
         let mut dev = MemoryDevice::new(cfg(4));
-        assert_eq!(dev.access(0), 100);
+        assert_eq!(dev.access(0, 0), 100);
     }
 
     #[test]
     fn back_to_back_accesses_queue() {
         let mut dev = MemoryDevice::new(cfg(4));
-        let first = dev.access(0);
-        let second = dev.access(0);
-        let third = dev.access(0);
+        let first = dev.access(0, 0);
+        let second = dev.access(0, 0);
+        let third = dev.access(0, 0);
         assert!(second > first);
         assert!(third > second);
     }
@@ -153,11 +229,11 @@ mod tests {
     fn backlog_drains_over_time() {
         let mut dev = MemoryDevice::new(cfg(4));
         for _ in 0..100 {
-            dev.access(0);
+            dev.access(0, 0);
         }
-        let loaded = dev.access(0);
+        let loaded = dev.access(0, 0);
         // After a long idle gap the device is back to base latency.
-        let relaxed = dev.access(1_000_000);
+        let relaxed = dev.access(0, 1_000_000);
         assert!(loaded > relaxed);
         assert_eq!(relaxed, 100);
     }
@@ -166,17 +242,50 @@ mod tests {
     fn higher_bandwidth_queues_less() {
         let mut fast = MemoryDevice::new(cfg(1));
         let mut slow = MemoryDevice::new(cfg(4));
-        let fast_total: u64 = (0..1000).map(|i| fast.access(i)).sum();
-        let slow_total: u64 = (0..1000).map(|i| slow.access(i)).sum();
+        let fast_total: u64 = (0..1000).map(|i| fast.access(0, i)).sum();
+        let slow_total: u64 = (0..1000).map(|i| slow.access(0, i)).sum();
         assert!(slow_total > fast_total);
     }
 
     #[test]
     fn stats_accumulate() {
         let mut dev = MemoryDevice::new(cfg(2));
-        dev.access(0);
-        dev.access(0);
+        dev.access(0, 0);
+        dev.access(0, 0);
         assert_eq!(dev.stats().accesses.get(), 2);
         assert!(dev.stats().queueing_cycles.get() >= 2);
+    }
+
+    #[test]
+    fn streams_share_the_pipe_but_are_attributed_separately() {
+        let mut dev = MemoryDevice::new(cfg(4));
+        // Stream 0 loads the device; stream 1's first access still sees the
+        // full backlog (bandwidth is shared)...
+        for _ in 0..10 {
+            dev.access(0, 0);
+        }
+        let delayed = dev.access(1, 0);
+        assert!(delayed > 100, "stream 1 must queue behind stream 0");
+        // ...but the books say exactly who deposited what.
+        assert_eq!(dev.stream_stats(0).accesses.get(), 10);
+        assert_eq!(dev.stream_stats(1).accesses.get(), 1);
+        assert_eq!(dev.stream_stats(7).accesses.get(), 0);
+    }
+
+    #[test]
+    fn stream_stats_sum_to_device_totals() {
+        let mut dev = MemoryDevice::new(cfg(3));
+        for i in 0..50u64 {
+            dev.access((i % 3) as usize, i / 2);
+            if i % 7 == 0 {
+                dev.occupy((i % 2) as usize, i / 2);
+            }
+        }
+        let total = dev.stats();
+        let mut summed = DeviceStats::default();
+        for s in 0..dev.stream_count() {
+            summed.merge(&dev.stream_stats(s));
+        }
+        assert_eq!(summed, total);
     }
 }

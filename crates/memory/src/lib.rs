@@ -3,12 +3,16 @@
 //! The physical-memory substrate of the HATRIC simulator: a forward-looking
 //! two-level DRAM system with a small, high-bandwidth **die-stacked** device
 //! and a large, lower-bandwidth **off-chip** device (2 GiB at 4× the
-//! bandwidth of 8 GiB, as in Sec. 5.1 of the paper), plus frame allocation
-//! and a simple queueing model that converts bandwidth pressure into access
-//! latency.
+//! bandwidth of 8 GiB, as in Sec. 5.1 of the paper), replicated across the
+//! **sockets** of a NUMA host and stitched together by an inter-socket
+//! link.  Frame allocation is per `(socket, device)`, every device's
+//! queueing model attributes bandwidth per *stream* (one per VM slot), and
+//! a demand access pays extra latency plus link occupancy whenever the
+//! frame lives on a socket other than the accessor's.
 //!
 //! ```
 //! use hatric_memory::{MemoryKind, MemorySystem, MemorySystemConfig};
+//! use hatric_types::SocketId;
 //!
 //! # fn main() -> Result<(), hatric_types::SimError> {
 //! let mut mem = MemorySystem::new(MemorySystemConfig::paper_default());
@@ -17,12 +21,15 @@
 //! assert_eq!(mem.kind_of(fast), MemoryKind::DieStacked);
 //! assert_eq!(mem.kind_of(slow), MemoryKind::OffChip);
 //!
-//! // Under load, the off-chip device queues far more than the die-stacked one.
+//! // Under load, the off-chip device queues far more than the die-stacked
+//! // one.  Stream 0 issues every access from socket 0 (the default config
+//! // is a single-socket machine, so nothing is ever remote).
+//! let local = SocketId::new(0);
 //! let mut fast_total = 0;
 //! let mut slow_total = 0;
 //! for i in 0..1000u64 {
-//!     fast_total += mem.access(fast, i * 2);
-//!     slow_total += mem.access(slow, i * 2);
+//!     fast_total += mem.access(fast, 0, local, i * 2);
+//!     slow_total += mem.access(slow, 0, local, i * 2);
 //! }
 //! assert!(slow_total > fast_total);
 //! # Ok(())
@@ -34,30 +41,50 @@
 
 pub mod allocator;
 pub mod device;
+pub mod numa;
 
 pub use allocator::FrameAllocator;
 pub use device::{DeviceConfig, DeviceStats, MemoryDevice, MemoryKind};
+pub use numa::{LinkConfig, NumaConfig};
 
 use serde::{Deserialize, Serialize};
 
 use hatric_types::consts::CACHE_LINE_BYTES;
-use hatric_types::{Result, SimError, SystemFrame, PAGE_SIZE_4K};
+use hatric_types::{Result, SimError, SocketId, SystemFrame, PAGE_SIZE_4K};
 
-/// Configuration of the whole two-level memory system.
+/// Configuration of the whole memory system: the two device kinds plus the
+/// socket topology they are replicated across.
+///
+/// ```
+/// use hatric_memory::{MemorySystemConfig, NumaConfig};
+///
+/// let cfg = MemorySystemConfig::paper_default().with_numa(NumaConfig::symmetric(2));
+/// assert_eq!(cfg.numa.sockets, 2);
+/// // The paper's 4x bandwidth differential.
+/// assert_eq!(
+///     cfg.off_chip.service_cycles_per_line,
+///     4 * cfg.die_stacked.service_cycles_per_line
+/// );
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MemorySystemConfig {
-    /// Die-stacked (fast) device.
+    /// Die-stacked (fast) device, per socket-group aggregate (the capacity
+    /// is divided evenly between sockets; each socket group gets the full
+    /// per-device bandwidth).
     pub die_stacked: DeviceConfig,
-    /// Off-chip (slow, large) device.
+    /// Off-chip (slow, large) device, divided between sockets likewise.
     pub off_chip: DeviceConfig,
     /// Fixed software/DMA overhead per migrated page, in cycles, on top of
     /// the bandwidth cost of streaming the page through both devices.
     pub page_copy_overhead_cycles: u64,
+    /// Socket topology and distance cost table ([`NumaConfig::uma`] for the
+    /// classic single-socket machine).
+    pub numa: NumaConfig,
 }
 
 impl MemorySystemConfig {
     /// The paper's configuration: 2 GiB die-stacked DRAM with 4× the
-    /// bandwidth of 8 GiB off-chip DRAM.
+    /// bandwidth of 8 GiB off-chip DRAM, on a single socket.
     #[must_use]
     pub fn paper_default() -> Self {
         Self {
@@ -74,6 +101,7 @@ impl MemorySystemConfig {
                 service_cycles_per_line: 4,
             },
             page_copy_overhead_cycles: 2_000,
+            numa: NumaConfig::uma(),
         }
     }
 
@@ -94,6 +122,13 @@ impl MemorySystemConfig {
         cfg.die_stacked.capacity_bytes = 1 << 44;
         cfg
     }
+
+    /// Returns a copy with the given socket topology.
+    #[must_use]
+    pub fn with_numa(mut self, numa: NumaConfig) -> Self {
+        self.numa = numa;
+        self
+    }
 }
 
 impl Default for MemorySystemConfig {
@@ -102,37 +137,90 @@ impl Default for MemorySystemConfig {
     }
 }
 
-/// The two-level physical memory system.
-///
-/// System-physical frames are laid out as: `[0, off_chip_frames)` on the
-/// off-chip device, `[off_chip_frames, off_chip_frames + die_frames)` on the
-/// die-stacked device, and everything above that is *hypervisor / page-table
-/// reserve* space charged at off-chip latency.
+/// One socket's memory group: its slice of each device plus the allocators
+/// over those slices.
 #[derive(Debug, Clone)]
-pub struct MemorySystem {
-    config: MemorySystemConfig,
+struct SocketMemory {
     off_chip: MemoryDevice,
     die_stacked: MemoryDevice,
-    off_chip_frames: u64,
-    die_frames: u64,
     off_allocator: FrameAllocator,
     die_allocator: FrameAllocator,
 }
 
+/// The multi-socket two-level physical memory system.
+///
+/// System-physical frames are laid out as: `[0, off_chip_frames)` on the
+/// off-chip devices (socket-contiguous: socket *s* owns the *s*-th equal
+/// chunk), `[off_chip_frames, off_chip_frames + die_frames)` on the
+/// die-stacked devices (chunked likewise), and everything above that is
+/// *hypervisor / page-table reserve* space charged at off-chip latency on
+/// socket 0.  A single-socket configuration reproduces the original flat
+/// layout exactly.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemorySystemConfig,
+    sockets: Vec<SocketMemory>,
+    /// Inter-socket links, one per *destination* socket (the ingress port of
+    /// that socket's memory controller): remote traffic towards different
+    /// sockets rides different point-to-point links, so aggregate link
+    /// bandwidth grows with the socket count, as on real QPI/UPI meshes.
+    links: Vec<MemoryDevice>,
+    off_per_socket: u64,
+    die_per_socket: u64,
+    off_chip_frames: u64,
+    die_frames: u64,
+}
+
 impl MemorySystem {
     /// Creates the memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.numa.sockets` is zero.
     #[must_use]
     pub fn new(config: MemorySystemConfig) -> Self {
-        let off_chip_frames = config.off_chip.capacity_bytes / PAGE_SIZE_4K;
-        let die_frames = config.die_stacked.capacity_bytes / PAGE_SIZE_4K;
+        let socket_count = config.numa.sockets;
+        assert!(
+            socket_count > 0,
+            "a memory system needs at least one socket"
+        );
+        // Capacities that do not divide evenly are truncated to the largest
+        // per-socket-equal total (at most sockets-1 frames are lost).
+        let off_per_socket = config.off_chip.capacity_bytes / PAGE_SIZE_4K / socket_count as u64;
+        let die_per_socket = config.die_stacked.capacity_bytes / PAGE_SIZE_4K / socket_count as u64;
+        let off_chip_frames = off_per_socket * socket_count as u64;
+        let die_frames = die_per_socket * socket_count as u64;
+        let sockets = (0..socket_count as u64)
+            .map(|s| SocketMemory {
+                off_chip: MemoryDevice::new(config.off_chip),
+                die_stacked: MemoryDevice::new(config.die_stacked),
+                off_allocator: FrameAllocator::new(s * off_per_socket, off_per_socket),
+                die_allocator: FrameAllocator::new(
+                    off_chip_frames + s * die_per_socket,
+                    die_per_socket,
+                ),
+            })
+            .collect();
+        let links = (0..socket_count)
+            .map(|_| {
+                MemoryDevice::new(DeviceConfig {
+                    // The link is not an addressable device; the kind is only
+                    // a placeholder required by the shared queueing model.
+                    kind: MemoryKind::OffChip,
+                    capacity_bytes: 0,
+                    base_latency_cycles: config.numa.link.base_latency_cycles,
+                    service_cycles_per_line: config.numa.link.service_cycles_per_line,
+                })
+            })
+            .collect();
         Self {
             config,
-            off_chip: MemoryDevice::new(config.off_chip),
-            die_stacked: MemoryDevice::new(config.die_stacked),
+            sockets,
+            links,
+            off_per_socket,
+            die_per_socket,
             off_chip_frames,
             die_frames,
-            off_allocator: FrameAllocator::new(0, off_chip_frames),
-            die_allocator: FrameAllocator::new(off_chip_frames, die_frames),
         }
     }
 
@@ -140,6 +228,12 @@ impl MemorySystem {
     #[must_use]
     pub fn config(&self) -> &MemorySystemConfig {
         &self.config
+    }
+
+    /// Number of sockets.
+    #[must_use]
+    pub fn sockets(&self) -> usize {
+        self.sockets.len()
     }
 
     /// Which device a system frame lives on.  Frames beyond both devices
@@ -155,6 +249,24 @@ impl MemorySystem {
         }
     }
 
+    /// Which socket a system frame's memory is attached to.  Reserve frames
+    /// (page tables, hypervisor structures) live on socket 0.
+    #[must_use]
+    pub fn socket_of(&self, frame: SystemFrame) -> SocketId {
+        let n = frame.number();
+        let socket = if n < self.off_chip_frames && self.off_per_socket > 0 {
+            n / self.off_per_socket
+        } else if n >= self.off_chip_frames
+            && n < self.off_chip_frames + self.die_frames
+            && self.die_per_socket > 0
+        {
+            (n - self.off_chip_frames) / self.die_per_socket
+        } else {
+            0
+        };
+        SocketId::new(socket.min(self.sockets.len() as u64 - 1) as u32)
+    }
+
     /// First frame number of the die-stacked region.
     #[must_use]
     pub fn die_stacked_base(&self) -> SystemFrame {
@@ -168,16 +280,33 @@ impl MemorySystem {
         SystemFrame::new(self.off_chip_frames + self.die_frames)
     }
 
-    /// Number of free frames on a device.
+    /// Number of free frames on a device kind, summed over sockets.
     #[must_use]
     pub fn free_frames(&self, kind: MemoryKind) -> u64 {
+        self.sockets
+            .iter()
+            .map(|s| match kind {
+                MemoryKind::DieStacked => s.die_allocator.free(),
+                MemoryKind::OffChip => s.off_allocator.free(),
+            })
+            .sum()
+    }
+
+    /// Number of free frames of `kind` on one socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    #[must_use]
+    pub fn free_frames_on(&self, kind: MemoryKind, socket: SocketId) -> u64 {
+        let s = &self.sockets[socket.index()];
         match kind {
-            MemoryKind::DieStacked => self.die_allocator.free(),
-            MemoryKind::OffChip => self.off_allocator.free(),
+            MemoryKind::DieStacked => s.die_allocator.free(),
+            MemoryKind::OffChip => s.off_allocator.free(),
         }
     }
 
-    /// Total frames on a device.
+    /// Total frames of a device kind, summed over sockets.
     #[must_use]
     pub fn total_frames(&self, kind: MemoryKind) -> u64 {
         match kind {
@@ -186,84 +315,235 @@ impl MemorySystem {
         }
     }
 
-    /// Allocates a frame on the requested device.
+    /// Allocates a frame of `kind`, preferring socket 0 (the classic
+    /// single-socket behaviour).  NUMA-aware callers should use
+    /// [`MemorySystem::allocate_on`].
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::OutOfMemory`] if the device has no free frames.
+    /// Returns [`SimError::OutOfMemory`] if no socket has a free frame.
     pub fn allocate(&mut self, kind: MemoryKind) -> Result<SystemFrame> {
-        let allocator = match kind {
-            MemoryKind::DieStacked => &mut self.die_allocator,
-            MemoryKind::OffChip => &mut self.off_allocator,
-        };
-        allocator.allocate().ok_or_else(|| SimError::OutOfMemory {
+        self.allocate_on(kind, SocketId::new(0))
+    }
+
+    /// Allocates a frame of `kind`, preferring `socket` and falling back to
+    /// the other sockets in ascending order (a first-touch allocation that
+    /// spills to remote sockets only when the local group is exhausted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] if no socket has a free frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    pub fn allocate_on(&mut self, kind: MemoryKind, socket: SocketId) -> Result<SystemFrame> {
+        let count = self.sockets.len();
+        assert!(socket.index() < count, "socket out of range");
+        for offset in 0..count {
+            let s = (socket.index() + offset) % count;
+            let allocator = match kind {
+                MemoryKind::DieStacked => &mut self.sockets[s].die_allocator,
+                MemoryKind::OffChip => &mut self.sockets[s].off_allocator,
+            };
+            if let Some(frame) = allocator.allocate() {
+                return Ok(frame);
+            }
+        }
+        Err(SimError::OutOfMemory {
             device: kind.to_string(),
         })
     }
 
-    /// Frees a previously allocated frame.
+    /// Frees a previously allocated frame (returned to its socket's group).
     pub fn free(&mut self, frame: SystemFrame) {
-        match self.kind_of(frame) {
-            MemoryKind::DieStacked => self.die_allocator.free_frame(frame),
-            MemoryKind::OffChip => self.off_allocator.free_frame(frame),
+        let kind = self.kind_of(frame);
+        let socket = self.socket_of(frame);
+        let s = &mut self.sockets[socket.index()];
+        match kind {
+            MemoryKind::DieStacked => s.die_allocator.free_frame(frame),
+            MemoryKind::OffChip => s.off_allocator.free_frame(frame),
         }
     }
 
     /// Performs one cache-line access to `frame`'s device at simulation time
-    /// `now`, returning the access latency in cycles (base + queueing).
-    pub fn access(&mut self, frame: SystemFrame, now: u64) -> u64 {
-        match self.kind_of(frame) {
-            MemoryKind::DieStacked => self.die_stacked.access(now),
-            MemoryKind::OffChip => self.off_chip.access(now),
+    /// `now`, issued by `stream` (the VM slot) from a CPU on `from_socket`,
+    /// returning the access latency in cycles (base + queueing, plus the
+    /// inter-socket link traversal and remote-controller penalty when the
+    /// frame lives on another socket).
+    pub fn access(
+        &mut self,
+        frame: SystemFrame,
+        stream: usize,
+        from_socket: SocketId,
+        now: u64,
+    ) -> u64 {
+        let kind = self.kind_of(frame);
+        let home = self.socket_of(frame);
+        let device = self.device_mut(home, kind);
+        let mut cycles = device.access(stream, now);
+        if home != from_socket {
+            cycles += self.config.numa.remote_dram_extra_cycles;
+            cycles += self.links[home.index()].access(stream, now);
         }
+        cycles
     }
 
-    /// Cost, in cycles, of copying one 4 KiB page from `from` to `to`,
-    /// including the bandwidth occupancy it adds to both devices.
-    pub fn page_copy_cycles(&mut self, from: SystemFrame, to: SystemFrame, now: u64) -> u64 {
+    /// Whether an access to `frame` from a CPU on `from_socket` crosses the
+    /// inter-socket link.
+    #[must_use]
+    pub fn is_remote(&self, frame: SystemFrame, from_socket: SocketId) -> bool {
+        self.socket_of(frame) != from_socket
+    }
+
+    /// Cost, in cycles, of copying one 4 KiB page from `from` to `to` on
+    /// behalf of `stream`, including the bandwidth occupancy it adds to both
+    /// devices — and to the inter-socket link when the copy crosses sockets.
+    pub fn page_copy_cycles(
+        &mut self,
+        from: SystemFrame,
+        to: SystemFrame,
+        stream: usize,
+        now: u64,
+    ) -> u64 {
         let lines = PAGE_SIZE_4K / CACHE_LINE_BYTES;
-        let src = self.kind_of(from);
-        let dst = self.kind_of(to);
+        let src_kind = self.kind_of(from);
+        let dst_kind = self.kind_of(to);
+        let src_socket = self.socket_of(from);
+        let dst_socket = self.socket_of(to);
         let mut cycles = self.config.page_copy_overhead_cycles;
         // Streaming transfers pipeline well; charge the occupancy of both
         // devices but only the larger of the two as serialised latency.
         let src_cost: u64 = (0..lines)
-            .map(|i| self.device_mut(src).occupy(now + i))
+            .map(|i| {
+                self.device_mut(src_socket, src_kind)
+                    .occupy(stream, now + i)
+            })
             .sum();
         let dst_cost: u64 = (0..lines)
-            .map(|i| self.device_mut(dst).occupy(now + i))
+            .map(|i| {
+                self.device_mut(dst_socket, dst_kind)
+                    .occupy(stream, now + i)
+            })
             .sum();
         cycles += src_cost.max(dst_cost);
+        if src_socket != dst_socket {
+            // The whole page crosses the destination's ingress link; its
+            // occupancy serialises with the device transfers.
+            let link = &mut self.links[dst_socket.index()];
+            let link_cost: u64 = (0..lines).map(|i| link.occupy(stream, now + i)).sum();
+            cycles += self.config.numa.link.base_latency_cycles + link_cost;
+        }
         cycles
     }
 
-    fn device_mut(&mut self, kind: MemoryKind) -> &mut MemoryDevice {
+    fn device_mut(&mut self, socket: SocketId, kind: MemoryKind) -> &mut MemoryDevice {
+        let s = &mut self.sockets[socket.index()];
         match kind {
-            MemoryKind::DieStacked => &mut self.die_stacked,
-            MemoryKind::OffChip => &mut self.off_chip,
+            MemoryKind::DieStacked => &mut s.die_stacked,
+            MemoryKind::OffChip => &mut s.off_chip,
         }
     }
 
-    /// Resets both devices' queueing clocks (used when the simulation's
-    /// cycle counters are reset between warmup and measurement).
+    /// Resets every device's (and the link's) queueing clock (used when the
+    /// simulation's cycle counters are reset between warmup and
+    /// measurement).
     pub fn reset_timing(&mut self) {
-        self.die_stacked.reset_timing();
-        self.off_chip.reset_timing();
+        for s in &mut self.sockets {
+            s.die_stacked.reset_timing();
+            s.off_chip.reset_timing();
+        }
+        for link in &mut self.links {
+            link.reset_timing();
+        }
     }
 
-    /// Per-device statistics.
+    /// Per-device-kind statistics, summed over sockets.
     #[must_use]
     pub fn device_stats(&self, kind: MemoryKind) -> DeviceStats {
-        match kind {
-            MemoryKind::DieStacked => self.die_stacked.stats(),
-            MemoryKind::OffChip => self.off_chip.stats(),
+        let mut total = DeviceStats::default();
+        for s in &self.sockets {
+            total.merge(&match kind {
+                MemoryKind::DieStacked => s.die_stacked.stats(),
+                MemoryKind::OffChip => s.off_chip.stats(),
+            });
         }
+        total
+    }
+
+    /// Statistics of one socket's device of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    #[must_use]
+    pub fn socket_device_stats(&self, socket: SocketId, kind: MemoryKind) -> DeviceStats {
+        let s = &self.sockets[socket.index()];
+        match kind {
+            MemoryKind::DieStacked => s.die_stacked.stats(),
+            MemoryKind::OffChip => s.off_chip.stats(),
+        }
+    }
+
+    /// One stream's statistics on one socket's device of `kind` — the
+    /// per-`(socket, device, vmid)` bandwidth attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    #[must_use]
+    pub fn stream_device_stats(
+        &self,
+        socket: SocketId,
+        kind: MemoryKind,
+        stream: usize,
+    ) -> DeviceStats {
+        let s = &self.sockets[socket.index()];
+        match kind {
+            MemoryKind::DieStacked => s.die_stacked.stream_stats(stream),
+            MemoryKind::OffChip => s.off_chip.stream_stats(stream),
+        }
+    }
+
+    /// Largest stream index that has touched any device (plus one), i.e. an
+    /// upper bound usable to iterate every stream's attribution.
+    #[must_use]
+    pub fn stream_count(&self) -> usize {
+        self.sockets
+            .iter()
+            .flat_map(|s| [s.die_stacked.stream_count(), s.off_chip.stream_count()])
+            .chain(self.links.iter().map(MemoryDevice::stream_count))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Inter-socket link statistics, summed over every per-destination link
+    /// (all-zero on a single-socket host).
+    #[must_use]
+    pub fn link_stats(&self) -> DeviceStats {
+        let mut total = DeviceStats::default();
+        for link in &self.links {
+            total.merge(&link.stats());
+        }
+        total
+    }
+
+    /// One stream's inter-socket link statistics, summed over links.
+    #[must_use]
+    pub fn link_stream_stats(&self, stream: usize) -> DeviceStats {
+        let mut total = DeviceStats::default();
+        for link in &self.links {
+            total.merge(&link.stream_stats(stream));
+        }
+        total
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const S0: SocketId = SocketId::new(0);
 
     #[test]
     fn layout_regions_do_not_overlap() {
@@ -313,8 +593,8 @@ mod tests {
         let mut slow_total = 0u64;
         // Hammer both devices with back-to-back accesses.
         for i in 0..10_000u64 {
-            fast_total += mem.access(fast, i);
-            slow_total += mem.access(slow, i);
+            fast_total += mem.access(fast, 0, S0, i);
+            slow_total += mem.access(slow, 0, S0, i);
         }
         assert!(
             slow_total > 2 * fast_total,
@@ -327,8 +607,109 @@ mod tests {
         let mut mem = MemorySystem::new(MemorySystemConfig::paper_default());
         let src = mem.allocate(MemoryKind::OffChip).unwrap();
         let dst = mem.allocate(MemoryKind::DieStacked).unwrap();
-        let cost = mem.page_copy_cycles(src, dst, 0);
+        let cost = mem.page_copy_cycles(src, dst, 0, 0);
         assert!(cost >= MemorySystemConfig::paper_default().page_copy_overhead_cycles);
         assert!(cost < 1_000_000);
+    }
+
+    // ----- NUMA-specific behaviour ------------------------------------------
+
+    fn two_socket_config() -> MemorySystemConfig {
+        MemorySystemConfig::paper_default().with_numa(NumaConfig::symmetric(2))
+    }
+
+    #[test]
+    fn sockets_partition_both_device_regions() {
+        let mem = MemorySystem::new(two_socket_config());
+        assert_eq!(mem.sockets(), 2);
+        let off_total = mem.total_frames(MemoryKind::OffChip);
+        let die_total = mem.total_frames(MemoryKind::DieStacked);
+        // First/last frame of each half.
+        assert_eq!(mem.socket_of(SystemFrame::new(0)), SocketId::new(0));
+        assert_eq!(
+            mem.socket_of(SystemFrame::new(off_total / 2 - 1)),
+            SocketId::new(0)
+        );
+        assert_eq!(
+            mem.socket_of(SystemFrame::new(off_total / 2)),
+            SocketId::new(1)
+        );
+        assert_eq!(mem.socket_of(mem.die_stacked_base()), SocketId::new(0));
+        assert_eq!(
+            mem.socket_of(SystemFrame::new(off_total + die_total / 2)),
+            SocketId::new(1)
+        );
+        // Reserve frames are hypervisor-owned: socket 0.
+        assert_eq!(mem.socket_of(mem.reserve_base()), SocketId::new(0));
+        // Per-socket free counts halve the totals.
+        assert_eq!(
+            mem.free_frames_on(MemoryKind::DieStacked, SocketId::new(0)),
+            die_total / 2
+        );
+    }
+
+    #[test]
+    fn allocate_on_prefers_the_requested_socket_and_spills() {
+        let mut cfg = two_socket_config();
+        cfg.die_stacked.capacity_bytes = 2 * PAGE_SIZE_4K; // one frame per socket
+        let mut mem = MemorySystem::new(cfg);
+        let s1 = SocketId::new(1);
+        let first = mem.allocate_on(MemoryKind::DieStacked, s1).unwrap();
+        assert_eq!(mem.socket_of(first), s1);
+        // Socket 1 is now full: the next preferred-socket-1 allocation
+        // spills to socket 0 rather than failing.
+        let second = mem.allocate_on(MemoryKind::DieStacked, s1).unwrap();
+        assert_eq!(mem.socket_of(second), SocketId::new(0));
+        assert!(mem.allocate_on(MemoryKind::DieStacked, s1).is_err());
+    }
+
+    #[test]
+    fn remote_access_strictly_exceeds_local_under_identical_load() {
+        // Two freshly built systems, identical in every way; the only
+        // difference is the socket the accessing CPU sits on.
+        let mut local_sys = MemorySystem::new(two_socket_config());
+        let mut remote_sys = MemorySystem::new(two_socket_config());
+        let frame = local_sys.allocate_on(MemoryKind::OffChip, S0).unwrap();
+        let frame2 = remote_sys.allocate_on(MemoryKind::OffChip, S0).unwrap();
+        assert_eq!(frame, frame2);
+        for i in 0..1_000u64 {
+            let local = local_sys.access(frame, 0, S0, i);
+            let remote = remote_sys.access(frame2, 0, SocketId::new(1), i);
+            assert!(
+                remote > local,
+                "remote access ({remote}) must strictly exceed local ({local}) at step {i}"
+            );
+        }
+        assert!(local_sys.link_stats().accesses.get() == 0);
+        assert!(remote_sys.link_stats().accesses.get() >= 1_000);
+    }
+
+    #[test]
+    fn cross_socket_page_copy_occupies_the_link() {
+        let mut mem = MemorySystem::new(two_socket_config());
+        let src = mem.allocate_on(MemoryKind::OffChip, S0).unwrap();
+        let local_dst = mem.allocate_on(MemoryKind::DieStacked, S0).unwrap();
+        let remote_dst = mem
+            .allocate_on(MemoryKind::DieStacked, SocketId::new(1))
+            .unwrap();
+        let local = mem.page_copy_cycles(src, local_dst, 0, 0);
+        assert_eq!(mem.link_stats().occupied_lines.get(), 0);
+        let remote = mem.page_copy_cycles(src, remote_dst, 0, 10_000_000);
+        assert!(remote > local, "cross-socket copy must cost more");
+        assert_eq!(
+            mem.link_stats().occupied_lines.get(),
+            PAGE_SIZE_4K / CACHE_LINE_BYTES
+        );
+    }
+
+    #[test]
+    fn single_socket_never_touches_the_link() {
+        let mut mem = MemorySystem::new(MemorySystemConfig::paper_default());
+        let frame = mem.allocate(MemoryKind::OffChip).unwrap();
+        for i in 0..100 {
+            mem.access(frame, 0, S0, i);
+        }
+        assert_eq!(mem.link_stats().accesses.get(), 0);
+        assert!(!mem.is_remote(frame, S0));
     }
 }

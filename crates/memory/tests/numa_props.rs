@@ -1,0 +1,94 @@
+//! Property-based tests of the NUMA memory system's per-stream bandwidth
+//! attribution: however traffic is spread over sockets, devices and VM
+//! streams, the per-`(socket, device, vmid)` books must sum exactly to the
+//! device-level totals — nothing double-counted, nothing dropped.
+
+use proptest::prelude::*;
+
+use hatric_memory::{DeviceStats, MemoryKind, MemorySystem, MemorySystemConfig, NumaConfig};
+use hatric_types::{SocketId, PAGE_SIZE_4K};
+
+/// A small system with every capacity divisible by up to 4 sockets.
+fn system(sockets: usize) -> MemorySystem {
+    let mut cfg = MemorySystemConfig::paper_default().with_numa(NumaConfig::symmetric(sockets));
+    cfg.die_stacked.capacity_bytes = 64 * PAGE_SIZE_4K;
+    cfg.off_chip.capacity_bytes = 256 * PAGE_SIZE_4K;
+    MemorySystem::new(cfg)
+}
+
+proptest! {
+    /// Per-(socket, device, stream) attribution sums exactly to the
+    /// per-socket device totals, and those to the device-kind totals; the
+    /// same holds for the inter-socket links.
+    #[test]
+    fn stream_attribution_sums_to_device_totals(
+        sockets in 1usize..=4,
+        ops in proptest::collection::vec(
+            // (is_copy, stream, frame selector, accessor socket, time delta)
+            (any::<bool>(), 0usize..6, any::<u64>(), any::<u64>(), 0u64..512),
+            1..200,
+        ),
+    ) {
+        let mut mem = system(sockets);
+        // A pool of frames spread over every socket and both kinds.
+        let mut frames = Vec::new();
+        for s in 0..sockets {
+            for kind in [MemoryKind::DieStacked, MemoryKind::OffChip] {
+                for _ in 0..4 {
+                    frames.push(
+                        mem.allocate_on(kind, SocketId::new(s as u32))
+                            .expect("pool fits each socket's capacity"),
+                    );
+                }
+            }
+        }
+        let mut now = 0u64;
+        for (is_copy, stream, frame_sel, socket_sel, dt) in ops {
+            now += dt;
+            let frame = frames[(frame_sel % frames.len() as u64) as usize];
+            if is_copy {
+                let other = frames[((frame_sel / 7) % frames.len() as u64) as usize];
+                mem.page_copy_cycles(frame, other, stream, now);
+            } else {
+                let from = SocketId::new((socket_sel % sockets as u64) as u32);
+                mem.access(frame, stream, from, now);
+            }
+        }
+
+        for kind in [MemoryKind::DieStacked, MemoryKind::OffChip] {
+            let mut socket_total = DeviceStats::default();
+            let mut stream_total = DeviceStats::default();
+            for s in 0..sockets {
+                let socket = SocketId::new(s as u32);
+                socket_total.merge(&mem.socket_device_stats(socket, kind));
+                for stream in 0..mem.stream_count() {
+                    stream_total.merge(&mem.stream_device_stats(socket, kind, stream));
+                }
+            }
+            prop_assert_eq!(socket_total, mem.device_stats(kind));
+            prop_assert_eq!(stream_total, mem.device_stats(kind));
+        }
+        let mut link_total = DeviceStats::default();
+        for stream in 0..mem.stream_count() {
+            link_total.merge(&mem.link_stream_stats(stream));
+        }
+        prop_assert_eq!(link_total, mem.link_stats());
+    }
+
+    /// On a single-socket system no access is remote and the link stays
+    /// untouched, whatever the traffic pattern.
+    #[test]
+    fn single_socket_traffic_never_crosses_the_link(
+        ops in proptest::collection::vec((0usize..6, any::<u64>(), 0u64..512), 1..100),
+    ) {
+        let mut mem = system(1);
+        let frame = mem.allocate(MemoryKind::OffChip).unwrap();
+        let mut now = 0u64;
+        for (stream, _, dt) in ops {
+            now += dt;
+            prop_assert!(!mem.is_remote(frame, SocketId::new(0)));
+            mem.access(frame, stream, SocketId::new(0), now);
+        }
+        prop_assert_eq!(mem.link_stats(), DeviceStats::default());
+    }
+}

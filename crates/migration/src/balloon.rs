@@ -17,6 +17,16 @@ use hatric::{Platform, VmInstance};
 use hatric_types::CpuId;
 
 /// Configuration of one balloon operation.
+///
+/// ```
+/// use hatric_migration::BalloonParams;
+///
+/// // Move 300 pages of die-stacked capacity from VM 1 to VM 0, starting
+/// // at slice 750.
+/// let params = BalloonParams::at(1, 0, 300, 750);
+/// assert_eq!((params.from_slot, params.to_slot), (1, 0));
+/// assert!(params.pages_per_slice > 0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BalloonParams {
     /// VM whose balloon inflates (loses die-stacked capacity).

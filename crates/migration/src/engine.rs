@@ -33,6 +33,19 @@ use hatric_types::{CpuId, GuestFrame};
 use crate::dirty::DirtyTracker;
 
 /// Configuration of one live migration.
+///
+/// ```
+/// use hatric_migration::MigrationParams;
+///
+/// // Migrate the VM in host slot 0, starting at slice 500, over a slow
+/// // link (24 pages per slice).
+/// let params = MigrationParams {
+///     copy_pages_per_slice: 24,
+///     ..MigrationParams::at(0, 500)
+/// };
+/// assert_eq!(params.vm_slot, 0);
+/// assert!(params.max_rounds > 0, "stop-and-copy is always reached");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MigrationParams {
     /// Host slot of the VM being migrated.

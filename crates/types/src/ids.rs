@@ -82,6 +82,13 @@ id_newtype!(
     "pid"
 );
 id_newtype!(
+    /// A socket (NUMA node) of a multi-socket host: a package holding a
+    /// contiguous block of physical CPUs plus its locally attached DRAM
+    /// devices.  Accesses that cross sockets pay the inter-socket link.
+    SocketId,
+    "skt"
+);
+id_newtype!(
     /// A guest address space (one guest page table).  Processes within a VM
     /// each have their own address space; the hypervisor does not know which
     /// physical CPUs an address space ran on, which is the root cause of the

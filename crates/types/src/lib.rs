@@ -39,6 +39,6 @@ pub use consts::{
     RADIX_LEVELS,
 };
 pub use error::{Result, SimError};
-pub use ids::{AddressSpaceId, CpuId, ProcessId, VcpuId, VmId};
+pub use ids::{AddressSpaceId, CpuId, ProcessId, SocketId, VcpuId, VmId};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, RatioStat};

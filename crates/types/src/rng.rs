@@ -5,7 +5,7 @@
 //! streams, replacement tie-breaking, mix construction) flow through
 //! [`SimRng`], a SplitMix64/xoshiro256** generator seeded explicitly.  The
 //! `rand` crate is still used by workload generators for distributions, via
-//! the [`rand::RngCore`]-compatible shim in `hatric-workloads`; this type is
+//! the `rand::RngCore`-compatible shim in `hatric-workloads`; this type is
 //! the seed-stable core.
 
 use serde::{Deserialize, Serialize};

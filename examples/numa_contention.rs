@@ -1,0 +1,39 @@
+//! NUMA contention: the consolidated-host interference experiment on a
+//! multi-socket machine, swept over the socket count (and with it the
+//! remote-access ratio — interleaved allocation over S sockets puts
+//! (S-1)/S of all DRAM traffic behind the inter-socket link).
+//!
+//! Distance magnifies the software-shootdown bill: cross-socket IPIs pay
+//! the link premium, and every full flush forces victims to refill
+//! translations through the congested link.  HATRIC's co-tag messages ride
+//! the coherence interconnect for a few cycles per hop, so its victims stay
+//! at the ideal bound and the HATRIC-vs-software gap *widens* with the
+//! remote ratio.  A final socket-affine + first-touch run shows NUMA-aware
+//! placement clawing part of the software penalty back.
+//!
+//! Run with: `cargo run --release --example numa_contention`
+
+use hatric_host::experiments::numa_contention::{self, NumaContentionParams};
+use hatric_host::{NumaPolicy, SchedPolicy};
+
+fn main() {
+    let base = NumaContentionParams::default_scale();
+    println!(
+        "NUMA contention: {} pCPUs, 1 aggressor ({} vCPUs) + {} victims ({} vCPUs each)\n",
+        base.num_pcpus, base.aggressor_vcpus, base.victims, base.victim_vcpus,
+    );
+
+    for sockets in [1, 2, 4] {
+        let rows = numa_contention::run(&base.with_sockets(sockets));
+        println!("sockets: {sockets} (interleaved allocation, round-robin scheduling)");
+        println!("{}", numa_contention::format_table(&rows));
+    }
+
+    let affine = base
+        .with_sockets(2)
+        .with_numa_policy(NumaPolicy::FirstTouch)
+        .with_sched(SchedPolicy::SocketAffine);
+    let rows = numa_contention::run(&affine);
+    println!("sockets: 2 (first-touch allocation, socket-affine pinning)");
+    println!("{}", numa_contention::format_table(&rows));
+}
