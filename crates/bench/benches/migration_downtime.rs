@@ -8,15 +8,18 @@
 //! regression gate (`bench_check`) compares against.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hatric_bench::{collect_migration_records, skip_tables, write_migration_json};
+use hatric_bench::{collect_records, skip_tables, write_baseline};
 use hatric_host::experiments::migration_storm::MigrationStormParams;
 use hatric_host::ConsolidatedHost;
 
 fn bench(c: &mut Criterion) {
-    let records = if skip_tables() {
-        Vec::new()
+    // The scenario sweep lives in the scenario registry
+    // (`hatric_host::scenario`), so the CI regression gate (`bench_check`)
+    // re-runs exactly what this bench committed as its baseline.
+    let report = if skip_tables() {
+        None
     } else {
-        collect_migration_records(true)
+        Some(collect_records("migration_storm", true))
     };
 
     let mut group = c.benchmark_group("migration");
@@ -37,9 +40,9 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
-    if !records.is_empty() {
-        match write_migration_json(&records) {
-            Ok(path) => println!("\nwrote {} migration records to {path}", records.len()),
+    if let Some(report) = report {
+        match write_baseline(&report) {
+            Ok(path) => println!("\nwrote {} migration rows to {path}", report.rows.len()),
             Err(err) => eprintln!("could not write migration JSON: {err}"),
         }
     }

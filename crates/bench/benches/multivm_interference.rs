@@ -2,24 +2,23 @@
 //! translation-coherence mechanism, swept over the aggressor's paging
 //! pressure (which sets its remap rate).
 //!
-//! Besides the Criterion-timed kernels, this bench emits its results as
-//! JSON (`BENCH_multivm.json`, or `$HATRIC_BENCH_JSON` if set) so the
-//! repository accumulates a perf trajectory for the host subsystem.
+//! Besides the Criterion-timed kernels, this bench re-emits the `multivm`
+//! scenario's `Scale::Bench` report as JSON (`BENCH_multivm.json`, or
+//! `$HATRIC_BENCH_MULTIVM_JSON` / legacy `$HATRIC_BENCH_JSON` if set) so
+//! the repository accumulates a perf trajectory for the host subsystem.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hatric_bench::{
-    collect_multivm_records, multivm_quick_params, skip_tables, write_multivm_json,
-};
+use hatric_bench::{collect_records, multivm_quick_params, skip_tables, write_baseline};
 use hatric_host::ConsolidatedHost;
 
 fn bench(c: &mut Criterion) {
-    // The pressure sweep itself lives in `hatric_bench` so the CI
-    // regression gate (`bench_check`) re-runs exactly what this bench
-    // committed as its baseline.
-    let records = if skip_tables() {
-        Vec::new()
+    // The pressure sweep lives in the scenario registry
+    // (`hatric_host::scenario`), so the CI regression gate (`bench_check`)
+    // re-runs exactly what this bench committed as its baseline.
+    let report = if skip_tables() {
+        None
     } else {
-        collect_multivm_records(true)
+        Some(collect_records("multivm", true))
     };
 
     let mut group = c.benchmark_group("multivm");
@@ -40,9 +39,9 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
-    if !records.is_empty() {
-        match write_multivm_json(&records) {
-            Ok(path) => println!("\nwrote {} multivm records to {path}", records.len()),
+    if let Some(report) = report {
+        match write_baseline(&report) {
+            Ok(path) => println!("\nwrote {} multivm rows to {path}", report.rows.len()),
             Err(err) => eprintln!("could not write multivm JSON: {err}"),
         }
     }

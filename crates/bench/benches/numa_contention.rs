@@ -10,18 +10,18 @@
 //! here and in `bench_check`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hatric_bench::{collect_numa_records, skip_tables, write_numa_json};
+use hatric_bench::{collect_records, skip_tables, write_baseline};
 use hatric_host::experiments::NumaContentionParams;
 use hatric_host::ConsolidatedHost;
 
 fn bench(c: &mut Criterion) {
-    // The socket sweep lives in `hatric_bench` so the CI regression gate
-    // (`bench_check`) re-runs exactly what this bench committed as its
-    // baseline.
-    let records = if skip_tables() {
-        Vec::new()
+    // The socket sweep lives in the scenario registry
+    // (`hatric_host::scenario`), so the CI regression gate (`bench_check`)
+    // re-runs exactly what this bench committed as its baseline.
+    let report = if skip_tables() {
+        None
     } else {
-        collect_numa_records(true)
+        Some(collect_records("numa_contention", true))
     };
 
     let mut group = c.benchmark_group("numa");
@@ -42,9 +42,9 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
-    if !records.is_empty() {
-        match write_numa_json(&records) {
-            Ok(path) => println!("\nwrote {} numa records to {path}", records.len()),
+    if let Some(report) = report {
+        match write_baseline(&report) {
+            Ok(path) => println!("\nwrote {} numa rows to {path}", report.rows.len()),
             Err(err) => eprintln!("could not write numa JSON: {err}"),
         }
     }

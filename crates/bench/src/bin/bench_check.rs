@@ -1,15 +1,15 @@
 //! CI regression gate over the committed bench baselines.
 //!
-//! Re-runs the multi-VM interference sweep (`BENCH_multivm.json`), the
-//! migration-storm scenarios (`BENCH_migration.json`) and the NUMA socket
-//! sweep (`BENCH_numa.json`) at the exact scale and seeds the benches use,
-//! then compares the fresh numbers against the committed baselines:
+//! One generic loop over the scenario registry: every scenario with a
+//! committed baseline (`Scenario::baseline_stem`) is re-run at
+//! `Scale::Bench` — the exact scale and seeds the benches use — and each
+//! of its gated metrics (`Scenario::gated_metrics`, smaller-is-better) is
+//! compared row by row against the committed `BENCH_*.json`:
 //!
-//! * victim slowdown vs ideal may not regress by more than 10% on any
-//!   (pressure|scenario|config, mechanism) row;
-//! * migration downtime may not regress by more than 10% on any row.
+//! * no gated metric may regress by more than 10% on any
+//!   (config, mechanism) row.
 //!
-//! The NUMA sweep additionally asserts its headline claim while it runs
+//! The NUMA scenario additionally asserts its headline claim while it runs
 //! (HATRIC victim slowdown ≤ software's in every configuration, gap
 //! widening monotonically with the remote-access ratio) — a model change
 //! that breaks the claim aborts the gate outright.
@@ -18,15 +18,13 @@
 //! tree the fresh numbers equal the baselines exactly; the 10% headroom is
 //! for intentional model changes, which must re-commit the JSON files when
 //! they move a metric past it.  The gate fails closed: a fresh row with no
-//! committed baseline (missing/corrupt JSON, renamed scenario) is an error
-//! too — re-run the benches and commit the regenerated files.
+//! committed baseline (missing/corrupt JSON, renamed sweep point) is an
+//! error too — re-run the benches and commit the regenerated files.
 //!
 //! Run with: `cargo run --release -p hatric-bench --bin bench_check`
 
-use hatric_bench::{
-    collect_migration_records, collect_multivm_records, collect_numa_records, migration_json_path,
-    multivm_json_path, numa_json_path, parse_json_records, record_field,
-};
+use hatric_bench::{baseline_path, collect_records, parse_json_records, record_field};
+use hatric_host::scenario::registry;
 
 /// Allowed relative regression before the gate fails.
 const TOLERANCE: f64 = 0.10;
@@ -77,75 +75,36 @@ fn main() {
     let mut checks: Vec<Check> = Vec::new();
     let mut missing: Vec<String> = Vec::new();
 
-    // ----- multi-VM interference sweep vs BENCH_multivm.json ---------------
-    let multivm_baseline = baseline_records(&multivm_json_path());
-    for record in collect_multivm_records(false) {
-        let label = format!("multivm/{}/{}", record.pressure, record.mechanism);
-        match find_baseline(
-            &multivm_baseline,
-            "pressure",
-            &record.pressure,
-            &record.mechanism,
-        )
-        .and_then(|b| record_field(b, "victim_slowdown_vs_ideal"))
-        .and_then(|v| v.parse::<f64>().ok())
-        {
-            Some(baseline) => checks.push(Check {
-                label: format!("{label} victim-slowdown"),
-                baseline,
-                current: record.victim_slowdown_vs_ideal,
-            }),
-            None => missing.push(label),
-        }
-    }
-
-    // ----- migration storm vs BENCH_migration.json -------------------------
-    let migration_baseline = baseline_records(&migration_json_path());
-    for record in collect_migration_records(false) {
-        let label = format!("migration/{}/{}", record.scenario, record.mechanism);
-        let baseline = find_baseline(
-            &migration_baseline,
-            "scenario",
-            &record.scenario,
-            &record.mechanism,
-        );
-        let slowdown = baseline
-            .and_then(|b| record_field(b, "victim_slowdown_vs_ideal"))
-            .and_then(|v| v.parse::<f64>().ok());
-        let downtime = baseline
-            .and_then(|b| record_field(b, "downtime_cycles"))
-            .and_then(|v| v.parse::<f64>().ok());
-        match (slowdown, downtime) {
-            (Some(slowdown), Some(downtime)) => {
-                checks.push(Check {
-                    label: format!("{label} victim-slowdown"),
-                    baseline: slowdown,
-                    current: record.victim_slowdown_vs_ideal,
-                });
-                checks.push(Check {
-                    label: format!("{label} downtime-cycles"),
-                    baseline: downtime,
-                    current: record.downtime_cycles as f64,
-                });
+    for scenario in registry() {
+        let Some(path) = baseline_path(scenario.name()) else {
+            continue; // table-only scenario, nothing committed to gate
+        };
+        let baselines = baseline_records(&path);
+        let report = collect_records(scenario.name(), false);
+        for row in &report.rows {
+            let baseline = find_baseline(&baselines, row.label_key(), row.label(), row.mechanism());
+            for &metric in scenario.gated_metrics() {
+                let label = format!(
+                    "{}/{}/{} {metric}",
+                    scenario.name(),
+                    row.label(),
+                    row.mechanism()
+                );
+                let current = row
+                    .number(metric)
+                    .unwrap_or_else(|| panic!("{label}: gated metrics are numeric"));
+                match baseline
+                    .and_then(|b| record_field(b, metric))
+                    .and_then(|v| v.parse::<f64>().ok())
+                {
+                    Some(baseline) => checks.push(Check {
+                        label,
+                        baseline,
+                        current,
+                    }),
+                    None => missing.push(label),
+                }
             }
-            _ => missing.push(label),
-        }
-    }
-
-    // ----- NUMA socket sweep vs BENCH_numa.json ----------------------------
-    let numa_baseline = baseline_records(&numa_json_path());
-    for record in collect_numa_records(false) {
-        let label = format!("numa/{}/{}", record.config, record.mechanism);
-        match find_baseline(&numa_baseline, "config", &record.config, &record.mechanism)
-            .and_then(|b| record_field(b, "victim_slowdown_vs_ideal"))
-            .and_then(|v| v.parse::<f64>().ok())
-        {
-            Some(baseline) => checks.push(Check {
-                label: format!("{label} victim-slowdown"),
-                baseline,
-                current: record.victim_slowdown_vs_ideal,
-            }),
-            None => missing.push(label),
         }
     }
 
@@ -164,7 +123,7 @@ fn main() {
             "ok"
         };
         println!(
-            "{verdict:>9}  {:<48} baseline {:>14.3}  current {:>14.3}  ({delta:+.1}%)",
+            "{verdict:>9}  {:<72} baseline {:>14.3}  current {:>14.3}  ({delta:+.1}%)",
             check.label, check.baseline, check.current
         );
     }
@@ -173,14 +132,18 @@ fn main() {
     }
     if !missing.is_empty() {
         // Fail closed: a missing row means a baseline file is absent or
-        // stale (e.g. a renamed scenario), which would otherwise silently
-        // disable that part of the gate.
+        // stale (e.g. a renamed sweep point), which would otherwise
+        // silently disable that part of the gate.
+        let baselines: Vec<String> = registry()
+            .iter()
+            .filter_map(|s| s.baseline_stem())
+            .map(|stem| format!("BENCH_{stem}.json"))
+            .collect();
         eprintln!(
-            "bench_check: {} row(s) have no committed baseline — regenerate with \
-             `cargo bench -p hatric-bench --bench multivm_interference --bench \
-             migration_downtime --bench numa_contention` and commit \
-             BENCH_multivm.json / BENCH_migration.json / BENCH_numa.json",
-            missing.len()
+            "bench_check: {} row(s) have no committed baseline — regenerate the \
+             scenario benches with `cargo bench -p hatric-bench` and commit {}",
+            missing.len(),
+            baselines.join(" / ")
         );
         std::process::exit(1);
     }

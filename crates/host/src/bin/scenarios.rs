@@ -1,0 +1,142 @@
+//! The `scenarios` CLI: list and run every registered experiment through
+//! the unified scenario API.
+//!
+//! ```text
+//! scenarios --list [--md]
+//! scenarios run <name> [--scale smoke|bench|full] [--json PATH] [--set key=value]...
+//! ```
+//!
+//! `--list` prints the registry (with `--md`, as the markdown table the
+//! README's scenario catalog embeds, so the two cannot drift).  `run`
+//! executes one scenario at the requested scale (default `bench`), prints
+//! its report table, and with `--json` also writes the report in the
+//! `BENCH_*.json` schema.
+
+use std::process::ExitCode;
+
+use hatric_host::scenario::{find, registry, Params, Scale, Scenario};
+
+const USAGE: &str = "usage:
+  scenarios --list [--md]
+  scenarios run <name> [--scale smoke|bench|full] [--json PATH] [--set key=value]...
+
+Scenarios are registered in hatric_host::scenario::registry(); `--list`
+shows them.  `--scale` sizes the run (default: bench, the committed
+BENCH_*.json baseline scale).  `--set` overrides a scenario parameter
+(see its key set via the defaults printed on a bad key).";
+
+fn list(markdown: bool) {
+    if markdown {
+        print!("{}", hatric_host::scenario::catalog_markdown());
+        return;
+    }
+    let width = registry().iter().map(|s| s.name().len()).max().unwrap_or(0);
+    for scenario in registry() {
+        let gate = match scenario.baseline_stem() {
+            Some(stem) => format!("  [baseline BENCH_{stem}.json]"),
+            None => String::new(),
+        };
+        println!("{:<width$}  {}{gate}", scenario.name(), scenario.describe());
+    }
+    println!("{} scenarios registered", registry().len());
+}
+
+struct RunArgs {
+    scenario: &'static dyn Scenario,
+    scale: Scale,
+    json: Option<String>,
+    overrides: Params,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let name = args.first().ok_or("run: missing scenario name")?;
+    let scenario = find(name).ok_or_else(|| {
+        let names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
+        format!(
+            "unknown scenario `{name}` (registered: {})",
+            names.join(", ")
+        )
+    })?;
+    let mut scale = Scale::Bench;
+    let mut json = None;
+    let mut overrides = Params::new();
+    let mut rest = &args[1..];
+    while let Some(flag) = rest.first() {
+        if !matches!(flag.as_str(), "--scale" | "--json" | "--set") {
+            return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+        }
+        let value = rest
+            .get(1)
+            .ok_or_else(|| format!("{flag}: missing value"))?;
+        match flag.as_str() {
+            "--scale" => {
+                scale = Scale::parse(value).ok_or_else(|| {
+                    format!("--scale: unknown scale `{value}` (smoke|bench|full)")
+                })?;
+            }
+            "--json" => json = Some(value.clone()),
+            "--set" => {
+                let (key, val) = value
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set: expected key=value, got `{value}`"))?;
+                overrides.set(key, val);
+            }
+            _ => unreachable!("flags are pre-validated above"),
+        }
+        rest = &rest[2..];
+    }
+    Ok(RunArgs {
+        scenario,
+        scale,
+        json,
+        overrides,
+    })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let RunArgs {
+        scenario,
+        scale,
+        json,
+        overrides,
+    } = parse_run_args(args)?;
+    eprintln!(
+        "running `{}` at scale {} ...",
+        scenario.name(),
+        scale.label()
+    );
+    let report = scenario.run(&overrides, scale).map_err(|err| {
+        format!(
+            "{err}\naccepted parameters: {}",
+            scenario.default_params(scale).to_json()
+        )
+    })?;
+    println!("{}", report.format_table());
+    if let Some(path) = json {
+        std::fs::write(&path, report.to_json())
+            .map_err(|err| format!("cannot write {path}: {err}"))?;
+        println!("wrote {} rows to {path}", report.rows.len());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--list") => {
+            list(args.iter().any(|a| a == "--md"));
+            ExitCode::SUCCESS
+        }
+        Some("run") => match run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("scenarios: {err}");
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -7,7 +7,7 @@ use hatric::{MemoryMode, NumaConfig, PagingKnobs, SystemConfig, DEFAULT_SEED};
 use hatric_coherence::{CoherenceMechanism, DesignVariant};
 use hatric_hypervisor::{NumaPolicy, SchedPolicy};
 use hatric_migration::HostEvent;
-use hatric_types::{Result, SimError};
+use hatric_types::ConfigError;
 use hatric_workloads::WorkloadKind;
 
 /// One virtual machine on the host.
@@ -94,6 +94,84 @@ impl VmSpec {
     #[must_use]
     pub fn expects_paging(&self) -> bool {
         self.footprint_pages() > self.fast_quota_pages
+    }
+
+    /// A fluent builder for a VM with `vcpus` vCPUs and a
+    /// `fast_quota_pages` die-stacked quota.  Defaults match
+    /// [`VmSpec::victim`]; see [`VmSpecBuilder`].
+    #[must_use]
+    pub fn builder(vcpus: usize, fast_quota_pages: u64) -> VmSpecBuilder {
+        VmSpecBuilder {
+            spec: VmSpec::victim(vcpus, fast_quota_pages),
+        }
+    }
+}
+
+/// Fluent construction of a [`VmSpec`] with validation at the end, so
+/// examples and callers stop hand-assembling structs.
+///
+/// Defaults are victim-like (a [`WorkloadKind::SmallFootprint`] workload
+/// scaled to the quota, best paging knobs, home socket 0); setting a
+/// big-memory workload such as [`WorkloadKind::DataCaching`] turns the VM
+/// into an aggressor whose footprint exceeds its quota.
+///
+/// ```
+/// use hatric_host::{VmSpec, WorkloadKind};
+///
+/// let aggressor = VmSpec::builder(2, 128)
+///     .workload(WorkloadKind::DataCaching)
+///     .build()
+///     .unwrap();
+/// assert!(aggressor.expects_paging());
+/// assert!(VmSpec::builder(0, 128).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct VmSpecBuilder {
+    spec: VmSpec,
+}
+
+impl VmSpecBuilder {
+    /// Sets the workload this VM runs.
+    #[must_use]
+    pub fn workload(mut self, workload: WorkloadKind) -> Self {
+        self.spec.workload = workload;
+        self
+    }
+
+    /// Sets the scale handed to the workload generator (defaults to the
+    /// die-stacked quota).
+    #[must_use]
+    pub fn workload_scale_pages(mut self, pages: u64) -> Self {
+        self.spec.workload_scale_pages = pages;
+        self
+    }
+
+    /// Sets the per-VM paging-policy knobs.
+    #[must_use]
+    pub fn paging(mut self, paging: PagingKnobs) -> Self {
+        self.spec.paging = paging;
+        self
+    }
+
+    /// Homes the VM on the given socket.
+    #[must_use]
+    pub fn home_socket(mut self, socket: usize) -> Self {
+        self.spec.home_socket = socket;
+        self
+    }
+
+    /// Validates and returns the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroVcpus`] for a VM with no vCPUs.  (The
+    /// host-level invariants — quota fit, home-socket range — need the host
+    /// and are checked by [`HostConfig::validate`].)
+    pub fn build(self) -> Result<VmSpec, ConfigError> {
+        if self.spec.vcpus == 0 {
+            return Err(ConfigError::ZeroVcpus { slot: None });
+        }
+        Ok(self.spec)
     }
 }
 
@@ -266,65 +344,81 @@ impl HostConfig {
     ///
     /// # Errors
     ///
-    /// Returns a descriptive error if the host cannot be simulated.
-    pub fn validate(&self) -> Result<()> {
+    /// Returns the [`ConfigError`] variant naming the broken invariant if
+    /// the host cannot be simulated.
+    pub fn validate(&self) -> core::result::Result<(), ConfigError> {
         if self.num_pcpus == 0 {
             // platform_config() would silently clamp this to 1 CPU and the
             // scheduler would panic; reject it up front instead.
-            return Err(SimError::config("a host needs at least one physical CPU"));
+            return Err(ConfigError::ZeroPcpus);
+        }
+        if self.fast_pages == 0 {
+            // A zero-page fast device cannot host any quota; paging would
+            // degenerate and frame allocation underflow downstream.
+            return Err(ConfigError::ZeroFastPages);
         }
         if self.vms.is_empty() {
-            return Err(SimError::config("a host needs at least one VM"));
+            return Err(ConfigError::NoVms);
         }
-        if self.vms.iter().any(|v| v.vcpus == 0) {
-            return Err(SimError::config("every VM needs at least one vCPU"));
+        if let Some(slot) = self.vms.iter().position(|v| v.vcpus == 0) {
+            return Err(ConfigError::ZeroVcpus { slot: Some(slot) });
         }
         if self.slice_accesses == 0 {
-            return Err(SimError::config("slice_accesses must be nonzero"));
+            return Err(ConfigError::ZeroSliceAccesses);
         }
         let quota_sum: u64 = self.vms.iter().map(|v| v.fast_quota_pages).sum();
         if self.memory_mode == MemoryMode::Paged && quota_sum > self.fast_pages {
-            return Err(SimError::config(
-                "VM die-stacked quotas exceed the fast device capacity",
-            ));
+            return Err(ConfigError::QuotaOvercommit {
+                quota_sum,
+                fast_pages: self.fast_pages,
+            });
         }
-        if self.vms.iter().any(|v| v.home_socket >= self.numa.sockets) {
-            return Err(SimError::config(
-                "a VM's home socket is beyond the host's socket count",
-            ));
+        if let Some((slot, vm)) = self
+            .vms
+            .iter()
+            .enumerate()
+            .find(|(_, v)| v.home_socket >= self.numa.sockets)
+        {
+            return Err(ConfigError::HomeSocketOutOfRange {
+                slot,
+                home_socket: vm.home_socket,
+                sockets: self.numa.sockets,
+            });
         }
         self.validate_events()?;
-        self.platform_config().validate()
+        self.platform_config().validate().map_err(ConfigError::from)
     }
 
-    fn validate_events(&self) -> Result<()> {
+    fn validate_events(&self) -> core::result::Result<(), ConfigError> {
         let mut balloon_drain = vec![0u64; self.vms.len()];
         for event in &self.events {
             match event {
                 HostEvent::Migrate(p) => {
                     if p.vm_slot >= self.vms.len() {
-                        return Err(SimError::config("migration targets an unknown VM slot"));
+                        return Err(ConfigError::event("migration targets an unknown VM slot"));
                     }
                     if p.copy_pages_per_slice == 0 {
-                        return Err(SimError::config("a migration needs nonzero copy bandwidth"));
+                        return Err(ConfigError::event(
+                            "a migration needs nonzero copy bandwidth",
+                        ));
                     }
                     if p.max_rounds == 0 {
-                        return Err(SimError::config(
+                        return Err(ConfigError::event(
                             "a migration needs at least one pre-copy round",
                         ));
                     }
                 }
                 HostEvent::Balloon(p) => {
                     if p.from_slot >= self.vms.len() || p.to_slot >= self.vms.len() {
-                        return Err(SimError::config("balloon targets an unknown VM slot"));
+                        return Err(ConfigError::event("balloon targets an unknown VM slot"));
                     }
                     if p.from_slot == p.to_slot {
-                        return Err(SimError::config(
+                        return Err(ConfigError::event(
                             "a balloon must move capacity between two distinct VMs",
                         ));
                     }
                     if p.pages == 0 || p.pages_per_slice == 0 {
-                        return Err(SimError::config(
+                        return Err(ConfigError::event(
                             "a balloon needs nonzero size and inflation rate",
                         ));
                     }
@@ -334,12 +428,118 @@ impl HostConfig {
         }
         for (slot, drained) in balloon_drain.iter().enumerate() {
             if *drained > self.vms[slot].fast_quota_pages {
-                return Err(SimError::config(
+                return Err(ConfigError::event(
                     "balloons reclaim more capacity than the VM's die-stacked quota",
                 ));
             }
         }
         Ok(())
+    }
+
+    /// A fluent, validating builder for a host with `num_pcpus` CPUs and
+    /// `fast_pages` pages of die-stacked DRAM; see [`HostConfigBuilder`].
+    #[must_use]
+    pub fn builder(num_pcpus: usize, fast_pages: u64) -> HostConfigBuilder {
+        HostConfigBuilder {
+            config: HostConfig::scaled(num_pcpus, fast_pages),
+        }
+    }
+}
+
+/// Fluent construction of a [`HostConfig`] that runs
+/// [`HostConfig::validate`] at the end — a typed [`ConfigError`] instead of
+/// a panic deep inside the simulator.
+///
+/// ```
+/// use hatric_host::{CoherenceMechanism, HostConfig, VmSpec};
+///
+/// let config = HostConfig::builder(4, 256)
+///     .mechanism(CoherenceMechanism::Hatric)
+///     .vm(VmSpec::aggressor(2, 128))
+///     .vm(VmSpec::victim(2, 128))
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.total_vcpus(), 4);
+/// // Oversubscribed quotas are a typed error, not a panic:
+/// assert!(HostConfig::builder(4, 64).vm(VmSpec::victim(1, 128)).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostConfigBuilder {
+    config: HostConfig,
+}
+
+impl HostConfigBuilder {
+    /// Sets the translation-coherence mechanism.
+    #[must_use]
+    pub fn mechanism(mut self, mechanism: CoherenceMechanism) -> Self {
+        self.config.mechanism = mechanism;
+        self
+    }
+
+    /// Sets the vCPU→pCPU scheduling policy.
+    #[must_use]
+    pub fn sched(mut self, sched: SchedPolicy) -> Self {
+        self.config.sched = sched;
+        self
+    }
+
+    /// Sets the memory operating mode.
+    #[must_use]
+    pub fn memory_mode(mut self, mode: MemoryMode) -> Self {
+        self.config.memory_mode = mode;
+        self
+    }
+
+    /// Sets the socket topology.
+    #[must_use]
+    pub fn numa(mut self, numa: NumaConfig) -> Self {
+        self.config.numa = numa;
+        self
+    }
+
+    /// Sets the NUMA memory-placement policy.
+    #[must_use]
+    pub fn numa_policy(mut self, policy: NumaPolicy) -> Self {
+        self.config.numa_policy = policy;
+        self
+    }
+
+    /// Sets the accesses per scheduled vCPU per slice.
+    #[must_use]
+    pub fn slice_accesses(mut self, accesses: u64) -> Self {
+        self.config.slice_accesses = accesses;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Adds a VM.
+    #[must_use]
+    pub fn vm(mut self, spec: VmSpec) -> Self {
+        self.config.vms.push(spec);
+        self
+    }
+
+    /// Schedules a hypervisor operation (live migration or balloon).
+    #[must_use]
+    pub fn event(mut self, event: HostEvent) -> Self {
+        self.config.events.push(event);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] naming the broken invariant.
+    pub fn build(self) -> core::result::Result<HostConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -389,7 +589,86 @@ mod tests {
     #[test]
     fn zero_pcpu_host_is_rejected_not_panicking() {
         let cfg = HostConfig::scaled(0, 256).with_vm(VmSpec::victim(1, 64));
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroPcpus));
         assert!(crate::ConsolidatedHost::new(cfg).is_err());
+    }
+
+    #[test]
+    fn zero_vcpu_vm_is_rejected_with_its_slot() {
+        let cfg = HostConfig::scaled(4, 256)
+            .with_vm(VmSpec::victim(2, 64))
+            .with_vm(VmSpec::victim(0, 64));
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroVcpus { slot: Some(1) })
+        );
+        assert_eq!(
+            VmSpec::builder(0, 64).build(),
+            Err(ConfigError::ZeroVcpus { slot: None })
+        );
+    }
+
+    #[test]
+    fn home_socket_beyond_the_host_is_rejected() {
+        let cfg = HostConfig::scaled(4, 256)
+            .with_numa(NumaConfig::symmetric(2))
+            .with_vm(VmSpec::victim(2, 64).with_home_socket(2));
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::HomeSocketOutOfRange {
+                slot: 0,
+                home_socket: 2,
+                sockets: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn zero_fast_pages_host_is_rejected() {
+        let cfg = HostConfig::scaled(4, 0).with_vm(VmSpec::victim(1, 0));
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroFastPages));
+    }
+
+    #[test]
+    fn zero_slice_accesses_is_rejected() {
+        let cfg = HostConfig::scaled(4, 256)
+            .with_slice_accesses(0)
+            .with_vm(VmSpec::victim(1, 64));
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroSliceAccesses));
+    }
+
+    #[test]
+    fn quota_overcommit_reports_the_numbers() {
+        let cfg = HostConfig::scaled(4, 256)
+            .with_vm(VmSpec::aggressor(2, 200))
+            .with_vm(VmSpec::victim(2, 100));
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::QuotaOvercommit {
+                quota_sum: 300,
+                fast_pages: 256,
+            })
+        );
+    }
+
+    #[test]
+    fn builders_compose_and_validate() {
+        let config = HostConfig::builder(4, 256)
+            .mechanism(CoherenceMechanism::Hatric)
+            .sched(SchedPolicy::RoundRobin)
+            .slice_accesses(25)
+            .seed(7)
+            .vm(VmSpec::builder(2, 128)
+                .workload(WorkloadKind::DataCaching)
+                .build()
+                .unwrap())
+            .vm(VmSpec::builder(2, 128).home_socket(0).build().unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(config.total_vcpus(), 4);
+        assert_eq!(config.mechanism, CoherenceMechanism::Hatric);
+        assert_eq!(config.seed, 7);
+        assert!(config.vms[0].expects_paging());
+        assert!(!config.vms[1].expects_paging());
     }
 }

@@ -22,6 +22,11 @@
 //!   versus the ideal-coherence bound.
 //! * [`experiments::multivm`] packages the aggressor/victim experiment the
 //!   `multivm_interference` bench and the `consolidated_host` example run.
+//! * The [`scenario`] layer is the **single entry point to every
+//!   experiment**: a [`scenario::Scenario`] trait + static
+//!   [`scenario::registry`], a uniform [`scenario::ScenarioReport`] schema
+//!   shared by every `BENCH_*.json`, and the `scenarios` CLI binary
+//!   (`cargo run -p hatric-host --bin scenarios -- --list`).
 //!
 //! ```
 //! use hatric_coherence::CoherenceMechanism;
@@ -48,9 +53,11 @@
 pub mod config;
 pub mod experiments;
 pub mod host;
+pub mod scenario;
 
-pub use config::{HostConfig, VmSpec};
+pub use config::{HostConfig, HostConfigBuilder, VmSpec, VmSpecBuilder};
 pub use host::ConsolidatedHost;
+pub use scenario::{Params, Scale, Scenario, ScenarioReport};
 
 // Re-export the vocabulary needed to drive a host without importing every
 // substrate crate explicitly.
@@ -61,3 +68,5 @@ pub use hatric::{LinkConfig, NumaConfig};
 pub use hatric_coherence::CoherenceMechanism;
 pub use hatric_hypervisor::{NumaPolicy, Placement, SchedPolicy, Scheduler};
 pub use hatric_migration::{BalloonParams, HostEvent, MigrationParams, MigrationPhase};
+pub use hatric_types::ConfigError;
+pub use hatric_workloads::WorkloadKind;

@@ -60,6 +60,144 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// A typed configuration error: every way a declarative host/scenario
+/// description can fail validation, as its own variant rather than a panic
+/// or a stringly-typed [`SimError::InvalidConfig`].
+///
+/// Config validation across the workspace (`HostConfig::validate`, the
+/// scenario layer's parameter parsing) returns this type so callers can
+/// match on *which* invariant broke; the `From<ConfigError>` impl converts
+/// into [`SimError`] at the simulator boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The host was configured with zero physical CPUs.
+    ZeroPcpus,
+    /// The host's die-stacked device was configured with zero pages.
+    ZeroFastPages,
+    /// The host has no VMs to run.
+    NoVms,
+    /// A VM was configured with zero vCPUs.
+    ZeroVcpus {
+        /// Slot of the offending VM, or `None` when the VM is not (yet)
+        /// part of a host.
+        slot: Option<usize>,
+    },
+    /// `slice_accesses` was zero, so no vCPU would ever make progress.
+    ZeroSliceAccesses,
+    /// The per-VM die-stacked quotas oversubscribe the fast device.
+    QuotaOvercommit {
+        /// Sum of all VM quotas in pages.
+        quota_sum: u64,
+        /// Capacity of the fast device in pages.
+        fast_pages: u64,
+    },
+    /// A VM's home socket does not exist on this host.
+    HomeSocketOutOfRange {
+        /// Slot of the offending VM.
+        slot: usize,
+        /// The requested home socket.
+        home_socket: usize,
+        /// Number of sockets the host actually has.
+        sockets: usize,
+    },
+    /// A scheduled host event (migration / balloon) is inconsistent.
+    BadEvent {
+        /// Description of the problem.
+        what: String,
+    },
+    /// A scenario parameter key is not recognised by the scenario.
+    UnknownParam {
+        /// The offending key.
+        key: String,
+    },
+    /// A scenario parameter value could not be parsed.
+    BadValue {
+        /// The parameter key.
+        key: String,
+        /// The unparseable value.
+        value: String,
+    },
+    /// Any other invalid configuration (platform-level checks).
+    Invalid {
+        /// Description of the offending parameter.
+        what: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroPcpus => write!(f, "a host needs at least one physical CPU"),
+            ConfigError::ZeroFastPages => {
+                write!(f, "a host needs a nonzero die-stacked capacity")
+            }
+            ConfigError::NoVms => write!(f, "a host needs at least one VM"),
+            ConfigError::ZeroVcpus { slot: None } => {
+                write!(f, "a VM needs at least one vCPU")
+            }
+            ConfigError::ZeroVcpus { slot: Some(slot) } => {
+                write!(f, "VM slot {slot} needs at least one vCPU")
+            }
+            ConfigError::ZeroSliceAccesses => write!(f, "slice_accesses must be nonzero"),
+            ConfigError::QuotaOvercommit {
+                quota_sum,
+                fast_pages,
+            } => write!(
+                f,
+                "VM die-stacked quotas ({quota_sum} pages) exceed the fast device \
+                 capacity ({fast_pages} pages)"
+            ),
+            ConfigError::HomeSocketOutOfRange {
+                slot,
+                home_socket,
+                sockets,
+            } => write!(
+                f,
+                "VM slot {slot} is homed on socket {home_socket} but the host has \
+                 only {sockets} socket(s)"
+            ),
+            ConfigError::BadEvent { what } => write!(f, "invalid host event: {what}"),
+            ConfigError::UnknownParam { key } => {
+                write!(f, "unknown scenario parameter: {key}")
+            }
+            ConfigError::BadValue { key, value } => {
+                write!(f, "cannot parse scenario parameter {key}={value}")
+            }
+            ConfigError::Invalid { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for SimError {
+    fn from(err: ConfigError) -> Self {
+        SimError::InvalidConfig {
+            what: err.to_string(),
+        }
+    }
+}
+
+impl From<SimError> for ConfigError {
+    fn from(err: SimError) -> Self {
+        match err {
+            SimError::InvalidConfig { what } => ConfigError::Invalid { what },
+            other => ConfigError::Invalid {
+                what: other.to_string(),
+            },
+        }
+    }
+}
+
+impl ConfigError {
+    /// Shorthand constructor for event-validation errors.
+    #[must_use]
+    pub fn event(what: impl Into<String>) -> Self {
+        ConfigError::BadEvent { what: what.into() }
+    }
+}
+
 impl SimError {
     /// Shorthand constructor for configuration errors.
     #[must_use]
@@ -90,6 +228,62 @@ mod tests {
     fn errors_are_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn config_error_displays_each_invariant() {
+        assert_eq!(
+            ConfigError::ZeroPcpus.to_string(),
+            "a host needs at least one physical CPU"
+        );
+        assert!(ConfigError::ZeroFastPages.to_string().contains("nonzero"));
+        assert!(ConfigError::ZeroVcpus { slot: Some(3) }
+            .to_string()
+            .contains("slot 3"));
+        assert!(ConfigError::ZeroVcpus { slot: None }
+            .to_string()
+            .starts_with("a VM"));
+        let err = ConfigError::QuotaOvercommit {
+            quota_sum: 300,
+            fast_pages: 256,
+        };
+        assert!(err.to_string().contains("300"));
+        assert!(err.to_string().contains("256"));
+        let err = ConfigError::HomeSocketOutOfRange {
+            slot: 1,
+            home_socket: 2,
+            sockets: 2,
+        };
+        assert!(err.to_string().contains("socket 2"));
+    }
+
+    #[test]
+    fn config_error_round_trips_into_sim_error() {
+        let sim: SimError = ConfigError::ZeroSliceAccesses.into();
+        assert_eq!(
+            sim,
+            SimError::InvalidConfig {
+                what: "slice_accesses must be nonzero".into()
+            }
+        );
+        let back: ConfigError = sim.into();
+        assert_eq!(
+            back,
+            ConfigError::Invalid {
+                what: "slice_accesses must be nonzero".into()
+            }
+        );
+        let cfg: ConfigError = SimError::OutOfMemory {
+            device: "die-stacked DRAM".into(),
+        }
+        .into();
+        assert!(matches!(cfg, ConfigError::Invalid { .. }));
+    }
+
+    #[test]
+    fn config_errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
     }
 
     #[test]

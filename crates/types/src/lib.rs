@@ -38,7 +38,7 @@ pub use consts::{
     CACHE_LINE_BYTES, PAGE_SIZE_4K, PTES_PER_CACHE_LINE, PTE_BYTES, RADIX_BITS_PER_LEVEL,
     RADIX_LEVELS,
 };
-pub use error::{Result, SimError};
+pub use error::{ConfigError, Result, SimError};
 pub use ids::{AddressSpaceId, CpuId, ProcessId, SocketId, VcpuId, VmId};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, RatioStat};

@@ -1,70 +1,30 @@
-//! Consolidated host: four VMs (one paging-heavy aggressor, three
-//! remap-free victims) time-sharing four physical CPUs, run under all four
-//! translation-coherence mechanisms.
-//!
-//! The point of the experiment: under software shootdowns, every page the
-//! aggressor's hypervisor remaps costs IPIs, VM exits and full TLB flushes
-//! on every CPU the aggressor ever ran on — cycles stolen from the victim
-//! VMs that happen to occupy those CPUs.  Under HATRIC the same remaps
-//! touch only the directory-listed sharers with pipelined co-tag
-//! invalidations, so the victims run at (near) ideal-coherence speed.
-//!
+//! Consolidated host via the scenario registry: the full `multivm`
+//! pressure sweep (one paging-heavy aggressor, three remap-free victims,
+//! four mechanisms) in a dozen lines.
 //! Run with: `cargo run --release --example consolidated_host`
 
-use hatric_host::experiments::multivm::{self, MultiVmParams};
-use hatric_host::CoherenceMechanism;
+use hatric_host::scenario::{find, Params, Scale};
 
 fn main() {
-    let params = MultiVmParams::default_scale();
-    println!(
-        "Consolidated host: {} pCPUs, {} VMs ({} aggressor vCPUs + {}x{} victim vCPUs), {:?} scheduling\n",
-        params.num_pcpus,
-        1 + params.victims,
-        params.aggressor_vcpus,
-        params.victims,
-        params.victim_vcpus,
-        params.sched,
-    );
+    let scenario = find("multivm").expect("multivm is registered");
+    let report = scenario
+        .run(&Params::new(), Scale::Bench)
+        .expect("default parameters are valid");
+    println!("{}", report.format_table());
 
-    let rows = multivm::run(&params);
-
-    println!("Per-VM runtimes (cycles; VM 0 is the aggressor):");
-    for row in &rows {
-        let runtimes: Vec<String> = row
-            .report
-            .per_vm
-            .iter()
-            .map(|r| r.runtime_cycles().to_string())
-            .collect();
-        println!(
-            "  {:<14} {}",
-            format!("{:?}", row.mechanism),
-            runtimes.join("  ")
-        );
-    }
-    println!();
-    println!("{}", multivm::format_table(&rows));
-
-    let by = |m: CoherenceMechanism| rows.iter().find(|r| r.mechanism == m).unwrap();
-    let software = by(CoherenceMechanism::Software);
-    let hatric = by(CoherenceMechanism::Hatric);
-
-    println!(
-        "victim slowdown vs ideal:  software {:.3}x   hatric {:.3}x",
-        software.victim_slowdown_vs_ideal, hatric.victim_slowdown_vs_ideal
-    );
-    println!(
-        "cycles stolen from victims: software {}   hatric {}",
-        software.victim_disrupted_cycles, hatric.victim_disrupted_cycles
-    );
-
+    let slowdown = |pressure: &str, mechanism: &str| {
+        report
+            .find(pressure, mechanism)
+            .and_then(|row| row.number("victim_slowdown_vs_ideal"))
+            .expect("the sweep emits every (pressure, mechanism) row")
+    };
     assert!(
-        software.victim_slowdown_vs_ideal > hatric.victim_slowdown_vs_ideal,
+        slowdown("severe", "Software") > slowdown("severe", "Hatric"),
         "software shootdowns must slow victims more than HATRIC"
     );
     assert!(
-        hatric.victim_slowdown_vs_ideal < 1.05,
+        slowdown("severe", "Hatric") < 1.05,
         "HATRIC victims must stay within 5% of the ideal-coherence bound"
     );
-    println!("\nOK: shootdown-induced victim slowdown exceeds HATRIC's, and HATRIC victims stay within 5% of ideal.");
+    println!("OK: shootdown-induced victim slowdown exceeds HATRIC's, and HATRIC victims stay within 5% of ideal.");
 }

@@ -1,55 +1,28 @@
-//! Quickstart: build a small virtualized system, run one workload under the
-//! software shootdown baseline and under HATRIC, and compare.
-//!
+//! Quickstart: the fluent builders in ~20 lines — a paging-heavy aggressor
+//! next to a quiet victim, under software shootdowns and under HATRIC.
 //! Run with: `cargo run --release --example quickstart`
 
-use hatric::{CoherenceMechanism, SimReport, System, SystemConfig, WorkloadDriver};
-use hatric_workloads::{Workload, WorkloadKind};
-
-fn run(mechanism: CoherenceMechanism) -> Result<SimReport, Box<dyn std::error::Error>> {
-    // 4 vCPUs, 256 pages (1 MiB) of die-stacked DRAM, 4x that off-chip.
-    let config = SystemConfig::scaled(4, 256).with_mechanism(mechanism);
-    let mut system = System::new(config.clone())?;
-    let workload = Workload::build(
-        WorkloadKind::DataCaching,
-        config.vcpus,
-        config.fast_capacity_pages(),
-        7,
-    );
-    let mut driver = WorkloadDriver::from(workload);
-    Ok(system.run(&mut driver, 2_000, 4_000))
-}
+use hatric_host::{
+    CoherenceMechanism, ConsolidatedHost, HostConfig, SchedPolicy, VmSpec, WorkloadKind,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("HATRIC quickstart: data-caching workload on 4 vCPUs\n");
-    let sw = run(CoherenceMechanism::Software)?;
-    let hatric = run(CoherenceMechanism::Hatric)?;
-    let ideal = run(CoherenceMechanism::Ideal)?;
-
-    println!("mechanism   runtime(cycles)  remaps  IPIs  VM-exits  flushes  selective-inv");
-    for (name, r) in [("software", &sw), ("hatric", &hatric), ("ideal", &ideal)] {
+    for mechanism in [CoherenceMechanism::Software, CoherenceMechanism::Hatric] {
+        let config = HostConfig::builder(4, 256)
+            .mechanism(mechanism)
+            .sched(SchedPolicy::RoundRobin)
+            .vm(VmSpec::builder(2, 128)
+                .workload(WorkloadKind::DataCaching)
+                .build()?)
+            .vm(VmSpec::builder(2, 128).build()?)
+            .build()?;
+        let report = ConsolidatedHost::new(config)?.run(2_000, 4_000);
         println!(
-            "{:<10} {:>16} {:>7} {:>5} {:>9} {:>8} {:>14}",
-            name,
-            r.runtime_cycles(),
-            r.coherence.remaps,
-            r.coherence.ipis,
-            r.coherence.coherence_vm_exits,
-            r.coherence.full_flushes,
-            r.coherence.entries_selectively_invalidated,
+            "{mechanism:?}: victim ran {} cycles ({} stolen by the aggressor's {} IPIs)",
+            report.per_vm[1].runtime_cycles(),
+            report.per_vm[1].interference.disrupted_cycles,
+            report.host.coherence.ipis,
         );
     }
-    println!();
-    println!(
-        "HATRIC runtime is {:.1}% of the software baseline (ideal: {:.1}%)",
-        hatric.runtime_vs(&sw) * 100.0,
-        ideal.runtime_vs(&sw) * 100.0
-    );
-    println!(
-        "L1 TLB hit rate: {:.1}%   demand faults: {}   pages promoted: {}",
-        hatric.translation.l1_tlb.hit_rate() * 100.0,
-        hatric.faults.demand_faults,
-        hatric.faults.pages_promoted
-    );
     Ok(())
 }

@@ -1,6 +1,8 @@
 //! Smoke tests for the per-figure experiment runners: every runner executes
 //! at a tiny scale and its results have the qualitative shape the paper
-//! reports.  (The benchmark harness regenerates the full-size tables.)
+//! reports.  (The benchmark harness regenerates the full-size tables, and
+//! `scenario_registry.rs` smoke-runs every *registered* scenario through
+//! the unified `hatric_host::scenario` API.)
 
 use hatric::experiments::{
     fig10, fig11, fig12, fig13, fig2, fig7, fig8, fig9, xen, ExperimentParams,
