@@ -1,0 +1,71 @@
+//! Simulator-throughput scaling of the parallel slice engine: one HATRIC
+//! host swept over total vCPUs × slice-engine thread counts.
+//!
+//! Two claims are recorded per run:
+//!
+//! * **determinism** — model metrics of rows differing only in their
+//!   thread count are bit-identical (asserted here and, against the
+//!   committed baseline, by `bench_check`);
+//! * **throughput** — the `accesses_per_sec` column shows the wall-clock
+//!   speedup multithreading buys on the running machine (machine-dependent
+//!   and therefore never gated).
+//!
+//! Results land in `BENCH_scale.json` (or `$HATRIC_BENCH_SCALE_JSON`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric_bench::{collect_records, skip_tables, write_baseline};
+use hatric_host::experiments::HostScaleParams;
+use hatric_host::ConsolidatedHost;
+
+fn bench(c: &mut Criterion) {
+    let report = if skip_tables() {
+        None
+    } else {
+        Some(collect_records("host_scale", true))
+    };
+    if let Some(report) = &report {
+        // Cross-check the determinism contract right where the baseline is
+        // produced: same vcpus, different threads ⇒ same model metrics.
+        for row in &report.rows {
+            let vcpus = row.number("vcpus").expect("host_scale rows carry vcpus");
+            let base = report
+                .rows
+                .iter()
+                .find(|r| r.number("vcpus") == Some(vcpus))
+                .expect("the first row of a vcpus group exists");
+            for metric in ["host_runtime_cycles", "accesses", "aggressor_remaps"] {
+                assert_eq!(
+                    row.number(metric),
+                    base.number(metric),
+                    "{}: model metric {metric} drifted across thread counts",
+                    row.label()
+                );
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("host_scale");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let label = format!("host_8vcpu_{threads}thread_kernel");
+        group.bench_function(label, move |b| {
+            b.iter(|| {
+                let params = HostScaleParams::quick();
+                let mut host = ConsolidatedHost::new(params.host_config(8, threads))
+                    .expect("bench configurations are valid");
+                host.run(params.warmup_slices, params.measured_slices)
+            })
+        });
+    }
+    group.finish();
+
+    if let Some(report) = report {
+        match write_baseline(&report) {
+            Ok(path) => println!("\nwrote {} scale rows to {path}", report.rows.len()),
+            Err(err) => eprintln!("could not write scale JSON: {err}"),
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -71,9 +71,45 @@ fn find_baseline<'a>(
         .map(Vec::as_slice)
 }
 
+/// The parallel slice engine's determinism contract, enforced on the
+/// freshly collected `host_scale` report: rows that differ only in their
+/// thread count must carry bit-identical *model* metrics (the timing
+/// columns are machine-dependent and exempt).
+fn check_thread_determinism(report: &hatric_host::ScenarioReport) -> usize {
+    const MODEL_METRICS: [&str; 4] = [
+        "host_runtime_cycles",
+        "accesses",
+        "aggressor_remaps",
+        "host_disrupted_cycles",
+    ];
+    let mut drifted = 0;
+    for row in &report.rows {
+        let vcpus = row.number("vcpus").expect("host_scale rows carry vcpus");
+        let base = report
+            .rows
+            .iter()
+            .find(|r| r.number("vcpus") == Some(vcpus))
+            .expect("the first row of a vcpus group exists");
+        for metric in MODEL_METRICS {
+            if row.number(metric) != base.number(metric) {
+                drifted += 1;
+                println!(
+                    "  DRIFTED  host_scale/{}: {metric} {:?} != {:?} (threads must not \
+                     change model metrics)",
+                    row.label(),
+                    row.number(metric),
+                    base.number(metric)
+                );
+            }
+        }
+    }
+    drifted
+}
+
 fn main() {
     let mut checks: Vec<Check> = Vec::new();
     let mut missing: Vec<String> = Vec::new();
+    let mut thread_drift = 0usize;
 
     for scenario in registry() {
         let Some(path) = baseline_path(scenario.name()) else {
@@ -81,6 +117,9 @@ fn main() {
         };
         let baselines = baseline_records(&path);
         let report = collect_records(scenario.name(), false);
+        if scenario.name() == "host_scale" {
+            thread_drift += check_thread_determinism(&report);
+        }
         for row in &report.rows {
             let baseline = find_baseline(&baselines, row.label_key(), row.label(), row.mechanism());
             for &metric in scenario.gated_metrics() {
@@ -144,6 +183,13 @@ fn main() {
              scenario benches with `cargo bench -p hatric-bench` and commit {}",
             missing.len(),
             baselines.join(" / ")
+        );
+        std::process::exit(1);
+    }
+    if thread_drift > 0 {
+        eprintln!(
+            "bench_check: {thread_drift} model metric(s) drifted across thread counts — \
+             the slice engine's determinism contract is broken"
         );
         std::process::exit(1);
     }

@@ -1,5 +1,15 @@
 //! The full cache hierarchy: per-CPU private L1/L2 caches, a shared LLC and
 //! the coherence directory, glued together behind a read/write interface.
+//!
+//! Two execution modes share the same state:
+//!
+//! * the classic **serial** [`CacheHierarchy::read`]/[`CacheHierarchy::write`]
+//!   path, which mutates private and shared levels in one call, and
+//! * the **phased** path of the parallel slice engine: workers own disjoint
+//!   [`PrivatePair`]s and *simulate* against a frozen [`SharedCache`]
+//!   ([`CacheHierarchy::split_simulate`]), logging every shared-level
+//!   mutation as a [`SharedCacheOp`]; at the slice barrier the ops are
+//!   replayed in canonical order via [`CacheHierarchy::apply_op`].
 
 use serde::{Deserialize, Serialize};
 
@@ -111,16 +121,560 @@ pub struct CacheStatsSnapshot {
     pub pt_line_writes: Counter,
 }
 
+/// Private L1/L2 hit/miss counts accumulated by one simulate worker; the
+/// commit phase folds them into [`CacheStatsSnapshot`] in canonical unit
+/// order via [`CacheHierarchy::apply_stats_delta`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsDelta {
+    /// L1 hits recorded during simulate.
+    pub l1_hits: u64,
+    /// L1 misses recorded during simulate.
+    pub l1_misses: u64,
+    /// L2 hits recorded during simulate.
+    pub l2_hits: u64,
+    /// L2 misses recorded during simulate.
+    pub l2_misses: u64,
+}
+
+/// One CPU's private L1/L2 pair — the unit of cache state a simulate worker
+/// owns exclusively for a slice.
+#[derive(Debug, Clone)]
+pub struct PrivatePair {
+    l1: PrivateCache,
+    l2: PrivateCache,
+}
+
+/// A shared-level mutation logged by a simulate worker, replayed at the
+/// slice barrier in canonical `(vm slot, emission order)` sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedCacheOp {
+    /// A read that missed the private levels and consulted LLC/directory.
+    Read {
+        /// The reading CPU.
+        cpu: CpuId,
+        /// The line read.
+        line: CacheLineAddr,
+        /// Whether the simulate phase saw no directory entry and therefore
+        /// filled the reader Exclusive.  When the replay then finds an
+        /// entry (another unit allocated first), the optimistic fill is
+        /// reconciled to Shared.
+        predicted_allocate: bool,
+    },
+    /// A write that needed the directory (miss or upgrade).
+    Write {
+        /// The writing CPU.
+        cpu: CpuId,
+        /// The line written.
+        line: CacheLineAddr,
+        /// Whether the simulate phase predicted a memory-level miss (the
+        /// replay then fills the LLC and counts a DRAM access, mirroring
+        /// the serial path).
+        fill_memory: bool,
+    },
+    /// A line evicted from the worker's own private pair during simulate.
+    Victim {
+        /// The CPU whose private pair evicted the line.
+        cpu: CpuId,
+        /// The evicted line.
+        line: CacheLineAddr,
+        /// Whether the evicted copy was dirty (counts a writeback).
+        dirty: bool,
+    },
+    /// The hardware walker marked a line as holding page-table entries.
+    MarkPt {
+        /// The page-table line.
+        line: CacheLineAddr,
+        /// Guest or nested page table.
+        kind: PtKind,
+    },
+    /// Lazy sharer demotion after a spurious translation invalidation.
+    DemoteSharer {
+        /// The demoted CPU.
+        cpu: CpuId,
+        /// The line whose sharer list shrinks.
+        line: CacheLineAddr,
+    },
+}
+
+/// What the commit replay of one [`SharedCacheOp`] produced.
+#[derive(Debug, Clone, Default)]
+pub struct CommitOutcome {
+    /// Directory entries evicted for capacity; sharers were back-invalidated
+    /// in their private caches, and the caller must back-invalidate
+    /// translation structures for page-table lines.
+    pub back_invalidated: Vec<(CacheLineAddr, SharerSet, Option<PtKind>)>,
+    /// Invalidated sharers that held no private copy (spurious).
+    pub spurious_sharers: SharerSet,
+}
+
+/// What a *bank* replay of one op decided from bank state alone (directory
+/// note + LLC probe); private-level consequences are reported separately as
+/// [`PrivEffect`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BankOutcome {
+    /// A fresh directory entry was allocated (reads fill Exclusive).
+    pub allocated: bool,
+    /// The remote owner a read downgraded, if any.
+    pub downgraded_owner: Option<CpuId>,
+    /// Whether the LLC held the line at replay time.
+    pub llc_hit: bool,
+    /// Sharers a write invalidated (commit-time directory state).
+    pub invalidate_targets: SharerSet,
+    /// Page-table marking of the line, if any (writes).
+    pub pt_kind: Option<PtKind>,
+}
+
+impl SharedCacheOp {
+    /// The cache line this op targets (the bank-distribution key).
+    #[must_use]
+    pub fn line(&self) -> CacheLineAddr {
+        match *self {
+            SharedCacheOp::Read { line, .. }
+            | SharedCacheOp::Write { line, .. }
+            | SharedCacheOp::Victim { line, .. }
+            | SharedCacheOp::MarkPt { line, .. }
+            | SharedCacheOp::DemoteSharer { line, .. } => line,
+        }
+    }
+}
+
+/// Predicted outcome of a simulated read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimAccess {
+    /// Predicted service level (from the frozen shared state).
+    pub level: HitLevel,
+    /// Predicted remote-owner downgrade.
+    pub remote_downgrade: bool,
+}
+
+/// Predicted outcome of a simulated write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimWrite {
+    /// Predicted service level.
+    pub level: HitLevel,
+    /// Page-table marking of the line per the frozen directory.
+    pub pt_kind: Option<PtKind>,
+    /// Sharers the frozen directory would invalidate (the hardware
+    /// translation-coherence target set).
+    pub invalidated_sharers: SharerSet,
+}
+
+impl PrivatePair {
+    fn new(config: &CacheHierarchyConfig) -> Self {
+        Self {
+            l1: PrivateCache::new(config.l1),
+            l2: PrivateCache::new(config.l2),
+        }
+    }
+
+    /// Whether this pair currently holds `line` in L1 or L2.
+    #[must_use]
+    pub fn holds(&self, line: CacheLineAddr) -> bool {
+        self.l1.probe(line).is_some() || self.l2.probe(line).is_some()
+    }
+
+    /// Fills `line` into the pair, logging evicted victims as
+    /// [`SharedCacheOp::Victim`] for the commit replay (the serial path
+    /// updates the directory inline instead).
+    fn fill_logged(
+        &mut self,
+        cpu: CpuId,
+        line: CacheLineAddr,
+        state: MesiState,
+        ops: &mut Vec<SharedCacheOp>,
+    ) {
+        if let Some((victim_line, victim_state)) = self.l1.fill(line, state) {
+            if let Some((l2_victim, l2_state)) = self.l2.fill(victim_line, victim_state) {
+                ops.push(SharedCacheOp::Victim {
+                    cpu,
+                    line: l2_victim,
+                    dirty: l2_state.is_dirty(),
+                });
+            }
+        }
+        if let Some((l2_victim, l2_state)) = self.l2.fill(line, state) {
+            // Maintain inclusion: a line falling out of L2 leaves L1 too.
+            self.l1.invalidate(l2_victim);
+            ops.push(SharedCacheOp::Victim {
+                cpu,
+                line: l2_victim,
+                dirty: l2_state.is_dirty(),
+            });
+        }
+    }
+
+    /// Simulates a read by `cpu` against this pair plus the frozen shared
+    /// state.  Shared-level consequences are appended to `ops`.
+    pub fn simulate_read(
+        &mut self,
+        shared: &SharedCache,
+        cpu: CpuId,
+        line: CacheLineAddr,
+        ops: &mut Vec<SharedCacheOp>,
+        delta: &mut CacheStatsDelta,
+    ) -> SimAccess {
+        if self.l1.lookup(line).is_some() {
+            delta.l1_hits += 1;
+            return SimAccess {
+                level: HitLevel::L1,
+                remote_downgrade: false,
+            };
+        }
+        delta.l1_misses += 1;
+        if let Some(state) = self.l2.lookup(line) {
+            delta.l2_hits += 1;
+            self.fill_logged(cpu, line, state, ops);
+            return SimAccess {
+                level: HitLevel::L2,
+                remote_downgrade: false,
+            };
+        }
+        delta.l2_misses += 1;
+
+        let bank = shared.bank(line);
+        let entry = bank.directory.entry(line);
+        let would_allocate = entry.is_none();
+        let remote_downgrade = entry
+            .and_then(|e| e.owner)
+            .is_some_and(|owner| owner != cpu);
+        let llc_hit = bank.llc_probe(line);
+        let level = if llc_hit || remote_downgrade {
+            HitLevel::Llc
+        } else {
+            HitLevel::Memory
+        };
+        let fill_state = if would_allocate {
+            MesiState::Exclusive
+        } else {
+            MesiState::Shared
+        };
+        self.fill_logged(cpu, line, fill_state, ops);
+        ops.push(SharedCacheOp::Read {
+            cpu,
+            line,
+            predicted_allocate: would_allocate,
+        });
+        SimAccess {
+            level,
+            remote_downgrade,
+        }
+    }
+
+    /// Simulates a write by `cpu` against this pair plus the frozen shared
+    /// state.  Shared-level consequences are appended to `ops`.
+    pub fn simulate_write(
+        &mut self,
+        shared: &SharedCache,
+        cpu: CpuId,
+        line: CacheLineAddr,
+        ops: &mut Vec<SharedCacheOp>,
+        delta: &mut CacheStatsDelta,
+    ) -> SimWrite {
+        // Silent upgrade when we already own the line.
+        let l1_state = self.l1.lookup(line);
+        if let Some(state) = l1_state {
+            delta.l1_hits += 1;
+            if state.can_write_silently() {
+                self.l1.set_state(line, MesiState::Modified);
+                self.l2.set_state(line, MesiState::Modified);
+                return SimWrite {
+                    level: HitLevel::L1,
+                    pt_kind: None,
+                    invalidated_sharers: SharerSet::empty(),
+                };
+            }
+        } else {
+            delta.l1_misses += 1;
+        }
+
+        let bank = shared.bank(line);
+        let entry = bank.directory.entry(line);
+        let targets = entry
+            .map(|e| e.sharers.without(cpu))
+            .unwrap_or_else(SharerSet::empty);
+        let pt_kind = entry.and_then(DirectoryEntry::pt_kind);
+        let llc_hit = bank.llc_probe(line);
+        let had_locally = l1_state.is_some() || self.l2.probe(line).is_some();
+        let level = if had_locally {
+            HitLevel::L2
+        } else if llc_hit || !targets.is_empty() {
+            HitLevel::Llc
+        } else {
+            HitLevel::Memory
+        };
+        self.fill_logged(cpu, line, MesiState::Modified, ops);
+        ops.push(SharedCacheOp::Write {
+            cpu,
+            line,
+            fill_memory: level == HitLevel::Memory,
+        });
+        SimWrite {
+            level,
+            pt_kind,
+            invalidated_sharers: targets,
+        }
+    }
+}
+
+/// One bank of the shared level: a slice of the LLC's sets plus the
+/// directory entries of the lines mapping to them.
+///
+/// Banking serves the parallel commit: ops on different banks touch
+/// disjoint state, so bank queues can be replayed concurrently.  The bank
+/// count is a pure function of the LLC geometry — never of the thread
+/// count — so results are identical however many workers drain the banks.
+#[derive(Debug, Clone)]
+pub struct CacheBank {
+    llc: PrivateCache,
+    directory: CoherenceDirectory,
+    /// Total bank count (the stride of this bank's line population).  Lines
+    /// routed to bank *b* all have `index ≡ b (mod bank_count)`, so the
+    /// bank's internal set index uses the *folded* index `index / count` —
+    /// without the fold, only `1/count` of the bank's sets would ever be
+    /// reachable (the index's low bits are constant within a bank).
+    fold: u64,
+    /// Bank-side statistics (LLC hits, DRAM accesses, invalidations sent,
+    /// pt-line writes, back-invalidations, victim writebacks).  Summed over
+    /// banks — integer counters, so the summation order is irrelevant.
+    stats: CacheStatsSnapshot,
+}
+
+impl CacheBank {
+    /// The bank-internal key of `line`: the folded index (`index / fold`),
+    /// a bijection within the bank's line population.
+    fn llc_key(&self, line: CacheLineAddr) -> CacheLineAddr {
+        CacheLineAddr::new((line.index() / self.fold) * 64)
+    }
+
+    /// Whether this bank's LLC slice holds `line` (no recency effects).
+    #[must_use]
+    pub fn llc_probe(&self, line: CacheLineAddr) -> bool {
+        self.llc.probe(self.llc_key(line)).is_some()
+    }
+}
+
+/// Deferred private-level consequence of a banked op replay, resolved in
+/// the serial seq-ordered pass (bank replays never touch private pairs).
+#[derive(Debug, Clone, Copy)]
+pub enum PrivEffect {
+    /// `note_read` found a remote modified/exclusive owner: downgrade its
+    /// private copies to Shared (counting a writeback if it was Modified).
+    Downgrade {
+        /// The owning CPU.
+        owner: CpuId,
+        /// The downgraded line.
+        line: CacheLineAddr,
+    },
+    /// `note_write` listed this CPU as a sharer: invalidate its private
+    /// copies (counting a spurious invalidation if it held none).
+    Invalidate {
+        /// The target CPU.
+        target: CpuId,
+        /// The invalidated line.
+        line: CacheLineAddr,
+    },
+    /// A read replayed against an already-allocated directory entry after
+    /// its simulate phase predicted a fresh allocation: the reader's
+    /// privately-filled Exclusive (or silently-upgraded Modified) copy is
+    /// demoted to Shared so directory state and private MESI state agree
+    /// past the barrier.
+    Reconcile {
+        /// The CPU whose optimistic Exclusive fill is demoted.
+        cpu: CpuId,
+        /// The line read.
+        line: CacheLineAddr,
+    },
+    /// A directory entry was evicted for capacity: back-invalidate the
+    /// line in every sharer's private caches — and, for page-table lines,
+    /// their translation structures (handled by the engine).
+    BackInvalidate {
+        /// The evicted line.
+        line: CacheLineAddr,
+        /// Its sharers at eviction time.
+        sharers: SharerSet,
+        /// Its page-table marking, if any.
+        pt: Option<PtKind>,
+    },
+}
+
+impl CacheBank {
+    /// Replays one op against this bank.  Reads and writes consult/update
+    /// the bank's directory slice and LLC sets and record bank-side
+    /// statistics; every private-level consequence (downgrades, sharer
+    /// invalidations, back-invalidations) is appended to `priv_out` tagged
+    /// with the op's global `seq`, to be resolved by the serial seq-ordered
+    /// pass.  Bank replays read no private state, so banks can be drained
+    /// concurrently.
+    pub fn apply_op(
+        &mut self,
+        op: &SharedCacheOp,
+        seq: u64,
+        eager_pt_directory_update: bool,
+        priv_out: &mut Vec<(u64, PrivEffect)>,
+    ) -> BankOutcome {
+        let mut out = BankOutcome::default();
+        match *op {
+            SharedCacheOp::Read {
+                cpu,
+                line,
+                predicted_allocate,
+            } => {
+                let (note, victim) = self.directory.note_read(line, cpu);
+                self.push_victim(victim, seq, priv_out);
+                if let Some(owner) = note.downgraded_owner {
+                    priv_out.push((seq, PrivEffect::Downgrade { owner, line }));
+                }
+                if predicted_allocate && !note.allocated {
+                    // The simulate phase filled the reader Exclusive because
+                    // the frozen directory had no entry; the replay found
+                    // one (another unit got there first), so the optimistic
+                    // copy must be demoted to Shared or a later silent
+                    // write would never invalidate the other sharers.
+                    priv_out.push((seq, PrivEffect::Reconcile { cpu, line }));
+                }
+                let key = self.llc_key(line);
+                let llc_hit = self.llc.lookup(key).is_some();
+                self.stats
+                    .llc
+                    .record(llc_hit || note.downgraded_owner.is_some());
+                if !llc_hit && note.downgraded_owner.is_none() {
+                    self.stats.memory_accesses.incr();
+                    self.llc.fill(key, MesiState::Shared);
+                }
+                out.allocated = note.allocated;
+                out.downgraded_owner = note.downgraded_owner;
+                out.llc_hit = llc_hit;
+            }
+            SharedCacheOp::Write {
+                cpu,
+                line,
+                fill_memory,
+            } => {
+                let (note, victim) = self.directory.note_write(line, cpu);
+                self.push_victim(victim, seq, priv_out);
+                for target in note.invalidate_targets.iter() {
+                    self.stats.invalidations_sent.incr();
+                    priv_out.push((seq, PrivEffect::Invalidate { target, line }));
+                }
+                if note.pt_kind.is_some() {
+                    self.stats.pt_line_writes.incr();
+                }
+                let key = self.llc_key(line);
+                let llc_hit = self.llc.lookup(key).is_some();
+                self.stats.llc.record(llc_hit);
+                if fill_memory {
+                    self.stats.memory_accesses.incr();
+                    self.llc.fill(key, MesiState::Modified);
+                }
+                out.allocated = note.allocated;
+                out.llc_hit = llc_hit;
+                out.invalidate_targets = note.invalidate_targets;
+                out.pt_kind = note.pt_kind;
+            }
+            SharedCacheOp::Victim { cpu, line, dirty } => {
+                if dirty {
+                    self.stats.writebacks.incr();
+                }
+                let is_pt = self
+                    .directory
+                    .entry(line)
+                    .map(|e| e.pt_kind().is_some())
+                    .unwrap_or(false);
+                // Lazy sharer updates for page-table lines (HATRIC, Fig. 6);
+                // eager for everything else or when the ablation flag is set.
+                if !is_pt || eager_pt_directory_update {
+                    self.directory.remove_sharer(line, cpu);
+                }
+            }
+            SharedCacheOp::MarkPt { line, kind } => {
+                self.directory.mark_pt(line, kind);
+            }
+            SharedCacheOp::DemoteSharer { cpu, line } => {
+                self.directory.demote_after_spurious(line, cpu);
+            }
+        }
+        out
+    }
+
+    fn push_victim(
+        &mut self,
+        victim: Option<(CacheLineAddr, DirectoryEntry)>,
+        seq: u64,
+        priv_out: &mut Vec<(u64, PrivEffect)>,
+    ) {
+        if let Some((line, entry)) = victim {
+            self.stats
+                .back_invalidations
+                .add(u64::from(entry.sharers.count()));
+            priv_out.push((
+                seq,
+                PrivEffect::BackInvalidate {
+                    line,
+                    sharers: entry.sharers,
+                    pt: entry.pt_kind(),
+                },
+            ));
+        }
+    }
+}
+
+/// Everything the CPUs share: the banked LLC + coherence directory and the
+/// private-side aggregate statistics.  Frozen (immutably borrowed) during
+/// the simulate phase; banks are mutated either serially (classic path) or
+/// by the parallel bank replay.
+#[derive(Debug, Clone)]
+pub struct SharedCache {
+    banks: Vec<CacheBank>,
+    /// Total LLC sets across banks (the line → bank mapping's modulus).
+    llc_sets: usize,
+    eager_pt_directory_update: bool,
+    /// Statistics fed by the private side (L1/L2 ratios, spurious
+    /// invalidations, downgrade writebacks) — everything a bank replay
+    /// cannot decide on its own.
+    stats: CacheStatsSnapshot,
+}
+
+impl SharedCache {
+    /// The largest power-of-two bank count ≤ 16 that divides the set count
+    /// (falling back towards 1 for tiny test geometries).
+    fn bank_count_for(sets: usize) -> usize {
+        let mut banks = 16usize;
+        while banks > 1 && (!sets.is_multiple_of(banks) || sets / banks == 0) {
+            banks /= 2;
+        }
+        banks
+    }
+
+    /// Which bank `line` belongs to.
+    #[must_use]
+    pub fn bank_of(&self, line: CacheLineAddr) -> usize {
+        (line.index() as usize % self.llc_sets) % self.banks.len()
+    }
+
+    /// Number of banks (fixed by geometry).
+    #[must_use]
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    fn bank(&self, line: CacheLineAddr) -> &CacheBank {
+        &self.banks[self.bank_of(line)]
+    }
+
+    /// Hands the banks out for a parallel replay (the caller distributes
+    /// ops by [`SharedCache::bank_of`] and drains each bank's queue on
+    /// exactly one worker).
+    pub fn banks_mut(&mut self) -> &mut [CacheBank] {
+        &mut self.banks
+    }
+}
+
 /// The cache hierarchy.
 #[derive(Debug, Clone)]
 pub struct CacheHierarchy {
-    l1: Vec<PrivateCache>,
-    l2: Vec<PrivateCache>,
-    llc: PrivateCache,
-    directory: CoherenceDirectory,
+    private: Vec<PrivatePair>,
+    shared: SharedCache,
     config: CacheHierarchyConfig,
-    llc_stats: RatioStat,
-    stats: CacheStatsSnapshot,
 }
 
 impl CacheHierarchy {
@@ -136,24 +690,40 @@ impl CacheHierarchy {
             config.num_cpus <= 64,
             "directory sharer sets support at most 64 CPUs"
         );
-        let l1 = (0..config.num_cpus)
-            .map(|_| PrivateCache::new(config.l1))
+        let private = (0..config.num_cpus)
+            .map(|_| PrivatePair::new(&config))
             .collect();
-        let l2 = (0..config.num_cpus)
-            .map(|_| PrivateCache::new(config.l2))
+        let llc_sets = ((config.llc_bytes / 64) as usize / config.llc_ways).max(1);
+        let bank_count = SharedCache::bank_count_for(llc_sets);
+        let banks = (0..bank_count)
+            .map(|_| CacheBank {
+                llc: PrivateCache::new(PrivateCacheConfig {
+                    capacity_bytes: config.llc_bytes / bank_count as u64,
+                    ways: config.llc_ways,
+                }),
+                fold: bank_count as u64,
+                directory: CoherenceDirectory::new(DirectoryConfig {
+                    // A bounded directory splits its capacity across banks
+                    // (at least one entry per bank — `0` means unbounded
+                    // and must stay 0).
+                    max_entries: if config.directory.max_entries == 0 {
+                        0
+                    } else {
+                        (config.directory.max_entries / bank_count).max(1)
+                    },
+                }),
+                stats: CacheStatsSnapshot::default(),
+            })
             .collect();
-        let llc = PrivateCache::new(PrivateCacheConfig {
-            capacity_bytes: config.llc_bytes,
-            ways: config.llc_ways,
-        });
         Self {
-            l1,
-            l2,
-            llc,
-            directory: CoherenceDirectory::new(config.directory),
+            private,
+            shared: SharedCache {
+                banks,
+                llc_sets,
+                eager_pt_directory_update: config.eager_pt_directory_update,
+                stats: CacheStatsSnapshot::default(),
+            },
             config,
-            llc_stats: RatioStat::new(),
-            stats: CacheStatsSnapshot::default(),
         }
     }
 
@@ -163,61 +733,83 @@ impl CacheHierarchy {
         &self.config
     }
 
-    /// Read-only access to the coherence directory.
+    /// Whether the directory lists `cpu` as a sharer of `line`.
     #[must_use]
-    pub fn directory(&self) -> &CoherenceDirectory {
-        &self.directory
+    pub fn is_sharer(&self, line: CacheLineAddr, cpu: CpuId) -> bool {
+        self.shared.bank(line).directory.is_sharer(line, cpu)
+    }
+
+    /// Aggregate directory statistics, summed over banks.
+    #[must_use]
+    pub fn directory_stats(&self) -> crate::directory::DirectoryStats {
+        let mut total = crate::directory::DirectoryStats::default();
+        for bank in &self.shared.banks {
+            let s = bank.directory.stats();
+            total.allocations.add(s.allocations.get());
+            total.evictions.add(s.evictions.get());
+            total.pt_writes.add(s.pt_writes.get());
+            total.lazy_demotions.add(s.lazy_demotions.get());
+        }
+        total
+    }
+
+    /// Splits the hierarchy for a simulate phase: the shared level is
+    /// frozen, the private pairs are handed out for exclusive per-worker
+    /// mutation (the caller partitions them by slice ownership).
+    pub fn split_simulate(&mut self) -> (&SharedCache, &mut [PrivatePair]) {
+        (&self.shared, &mut self.private)
+    }
+
+    /// Which bank a line's ops belong to (the parallel commit's
+    /// distribution key).
+    #[must_use]
+    pub fn bank_of(&self, line: CacheLineAddr) -> usize {
+        self.shared.bank_of(line)
+    }
+
+    /// Number of LLC/directory banks (fixed by geometry, independent of
+    /// the worker count).
+    #[must_use]
+    pub fn bank_count(&self) -> usize {
+        self.shared.bank_count()
+    }
+
+    /// Hands the banks out for a parallel commit replay.
+    pub fn banks_mut(&mut self) -> &mut [CacheBank] {
+        self.shared.banks_mut()
     }
 
     /// Whether `cpu` currently holds `line` in its private caches.
     #[must_use]
     pub fn cpu_holds_line(&self, cpu: CpuId, line: CacheLineAddr) -> bool {
-        self.l1[cpu.index()].probe(line).is_some() || self.l2[cpu.index()].probe(line).is_some()
+        self.private[cpu.index()].holds(line)
     }
 
     fn handle_private_victim(&mut self, cpu: CpuId, line: CacheLineAddr, state: MesiState) {
-        if state.is_dirty() {
-            self.stats.writebacks.incr();
-        }
-        let is_pt = self
-            .directory
-            .entry(line)
-            .map(|e| e.pt_kind().is_some())
-            .unwrap_or(false);
-        // Lazy sharer updates for page-table lines (HATRIC, Fig. 6); eager
-        // for everything else or when the ablation flag is set.
-        if !is_pt || self.config.eager_pt_directory_update {
-            self.directory.remove_sharer(line, cpu);
-        }
+        let op = SharedCacheOp::Victim {
+            cpu,
+            line,
+            dirty: state.is_dirty(),
+        };
+        let eager = self.shared.eager_pt_directory_update;
+        let bank = self.shared.bank_of(line);
+        let mut unused = Vec::new();
+        self.shared.banks[bank].apply_op(&op, 0, eager, &mut unused);
+        debug_assert!(unused.is_empty(), "victims have no private consequences");
     }
 
     fn fill_private(&mut self, cpu: CpuId, line: CacheLineAddr, state: MesiState) {
-        if let Some((victim_line, victim_state)) = self.l1[cpu.index()].fill(line, state) {
-            if let Some((l2_victim, l2_state)) =
-                self.l2[cpu.index()].fill(victim_line, victim_state)
-            {
+        let pair = &mut self.private[cpu.index()];
+        if let Some((victim_line, victim_state)) = pair.l1.fill(line, state) {
+            if let Some((l2_victim, l2_state)) = pair.l2.fill(victim_line, victim_state) {
                 self.handle_private_victim(cpu, l2_victim, l2_state);
             }
         }
-        if let Some((l2_victim, l2_state)) = self.l2[cpu.index()].fill(line, state) {
+        let pair = &mut self.private[cpu.index()];
+        if let Some((l2_victim, l2_state)) = pair.l2.fill(line, state) {
             // Maintain inclusion: a line falling out of L2 leaves L1 too.
-            self.l1[cpu.index()].invalidate(l2_victim);
+            pair.l1.invalidate(l2_victim);
             self.handle_private_victim(cpu, l2_victim, l2_state);
-        }
-    }
-
-    fn process_directory_victim(
-        &mut self,
-        victim: Option<(CacheLineAddr, DirectoryEntry)>,
-        out: &mut Vec<(CacheLineAddr, SharerSet, Option<PtKind>)>,
-    ) {
-        if let Some((line, entry)) = victim {
-            for cpu in entry.sharers.iter() {
-                self.l1[cpu.index()].invalidate(line);
-                self.l2[cpu.index()].invalidate(line);
-                self.stats.back_invalidations.incr();
-            }
-            out.push((line, entry.sharers, entry.pt_kind()));
         }
     }
 
@@ -228,17 +820,17 @@ impl CacheHierarchy {
     /// Panics if `cpu` is out of range for the configured CPU count.
     pub fn read(&mut self, cpu: CpuId, line: CacheLineAddr) -> AccessOutcome {
         assert!(cpu.index() < self.config.num_cpus, "unknown {cpu}");
-        if self.l1[cpu.index()].lookup(line).is_some() {
-            self.stats.l1.hit();
+        if self.private[cpu.index()].l1.lookup(line).is_some() {
+            self.shared.stats.l1.hit();
             return AccessOutcome {
                 level: HitLevel::L1,
                 remote_downgrade: false,
                 back_invalidated: Vec::new(),
             };
         }
-        self.stats.l1.miss();
-        if let Some(state) = self.l2[cpu.index()].lookup(line) {
-            self.stats.l2.hit();
+        self.shared.stats.l1.miss();
+        if let Some(state) = self.private[cpu.index()].l2.lookup(line) {
+            self.shared.stats.l2.hit();
             self.fill_private(cpu, line, state);
             return AccessOutcome {
                 level: HitLevel::L2,
@@ -246,39 +838,21 @@ impl CacheHierarchy {
                 back_invalidated: Vec::new(),
             };
         }
-        self.stats.l2.miss();
+        self.shared.stats.l2.miss();
 
-        let (note, victim) = self.directory.note_read(line, cpu);
-        let mut back = Vec::new();
-        self.process_directory_victim(victim, &mut back);
-
-        // Downgrade a remote modified/exclusive copy: the remote CPU keeps
-        // the line in shared state; dirty data is forwarded and written back
-        // (counted as an LLC-level hit).
-        if let Some(owner) = note.downgraded_owner {
-            if self.l1[owner.index()].probe(line) == Some(MesiState::Modified)
-                || self.l2[owner.index()].probe(line) == Some(MesiState::Modified)
-            {
-                self.stats.writebacks.incr();
-            }
-            self.l1[owner.index()].set_state(line, MesiState::Shared);
-            self.l2[owner.index()].set_state(line, MesiState::Shared);
-        }
-
-        let llc_hit = self.llc.lookup(line).is_some();
-        self.llc_stats.record(llc_hit);
-        self.stats
-            .llc
-            .record(llc_hit || note.downgraded_owner.is_some());
-        let level = if llc_hit || note.downgraded_owner.is_some() {
+        let (bank_outcome, commit) = self.apply_serial(&SharedCacheOp::Read {
+            cpu,
+            line,
+            // The serial path fills the private pair *after* the op, from
+            // the replay's own outcome — nothing optimistic to reconcile.
+            predicted_allocate: false,
+        });
+        let level = if bank_outcome.llc_hit || bank_outcome.downgraded_owner.is_some() {
             HitLevel::Llc
         } else {
-            self.stats.memory_accesses.incr();
-            self.llc.fill(line, MesiState::Shared);
             HitLevel::Memory
         };
-
-        let fill_state = if note.allocated {
+        let fill_state = if bank_outcome.allocated {
             MesiState::Exclusive
         } else {
             MesiState::Shared
@@ -286,8 +860,8 @@ impl CacheHierarchy {
         self.fill_private(cpu, line, fill_state);
         AccessOutcome {
             level,
-            remote_downgrade: note.downgraded_owner.is_some(),
-            back_invalidated: back,
+            remote_downgrade: bank_outcome.downgraded_owner.is_some(),
+            back_invalidated: commit.back_invalidated,
         }
     }
 
@@ -299,12 +873,13 @@ impl CacheHierarchy {
     pub fn write(&mut self, cpu: CpuId, line: CacheLineAddr) -> WriteOutcome {
         assert!(cpu.index() < self.config.num_cpus, "unknown {cpu}");
         // Silent upgrade when we already own the line.
-        let l1_state = self.l1[cpu.index()].lookup(line);
+        let l1_state = self.private[cpu.index()].l1.lookup(line);
         if let Some(state) = l1_state {
-            self.stats.l1.hit();
+            self.shared.stats.l1.hit();
             if state.can_write_silently() {
-                self.l1[cpu.index()].set_state(line, MesiState::Modified);
-                self.l2[cpu.index()].set_state(line, MesiState::Modified);
+                let pair = &mut self.private[cpu.index()];
+                pair.l1.set_state(line, MesiState::Modified);
+                pair.l2.set_state(line, MesiState::Modified);
                 return WriteOutcome {
                     access: AccessOutcome {
                         level: HitLevel::L1,
@@ -317,86 +892,193 @@ impl CacheHierarchy {
                 };
             }
         } else {
-            self.stats.l1.miss();
+            self.shared.stats.l1.miss();
         }
 
-        // Upgrade or miss: consult the directory.
-        let (note, victim) = self.directory.note_write(line, cpu);
-        let mut back = Vec::new();
-        self.process_directory_victim(victim, &mut back);
-
-        let mut spurious = SharerSet::empty();
-        for target in note.invalidate_targets.iter() {
-            self.stats.invalidations_sent.incr();
-            let had_l1 = self.l1[target.index()].invalidate(line).is_some();
-            let had_l2 = self.l2[target.index()].invalidate(line).is_some();
-            if !had_l1 && !had_l2 {
-                self.stats.spurious_invalidations.incr();
-                spurious.add(target);
-            }
-        }
-        if note.pt_kind.is_some() {
-            self.stats.pt_line_writes.incr();
-        }
-
-        let llc_hit = self.llc.lookup(line).is_some();
-        self.llc_stats.record(llc_hit);
-        let had_locally = l1_state.is_some() || self.l2[cpu.index()].probe(line).is_some();
-        self.stats.llc.record(llc_hit);
+        // Upgrade or miss: consult the directory bank.  The service level
+        // is decided against the pre-op state (mirroring the simulate-side
+        // prediction), then the op is applied.
+        let had_locally = l1_state.is_some() || self.private[cpu.index()].l2.probe(line).is_some();
+        let bank = self.shared.bank(line);
+        let peek_targets = bank
+            .directory
+            .entry(line)
+            .map(|e| e.sharers.without(cpu))
+            .unwrap_or_else(SharerSet::empty);
+        let peek_llc_hit = bank.llc_probe(line);
         let level = if had_locally {
             HitLevel::L2
-        } else if llc_hit || !note.invalidate_targets.is_empty() {
+        } else if peek_llc_hit || !peek_targets.is_empty() {
             HitLevel::Llc
         } else {
-            self.stats.memory_accesses.incr();
-            self.llc.fill(line, MesiState::Modified);
             HitLevel::Memory
         };
-
+        let (bank_outcome, commit) = self.apply_serial(&SharedCacheOp::Write {
+            cpu,
+            line,
+            fill_memory: level == HitLevel::Memory,
+        });
         self.fill_private(cpu, line, MesiState::Modified);
         WriteOutcome {
             access: AccessOutcome {
                 level,
                 remote_downgrade: false,
-                back_invalidated: back,
+                back_invalidated: commit.back_invalidated,
             },
-            pt_kind: note.pt_kind,
-            invalidated_sharers: note.invalidate_targets,
-            spurious_sharers: spurious,
+            pt_kind: bank_outcome.pt_kind,
+            invalidated_sharers: bank_outcome.invalidate_targets,
+            spurious_sharers: commit.spurious_sharers,
         }
+    }
+
+    /// Replays one logged shared-level op *serially*: the bank replay plus
+    /// the immediate resolution of its private-level consequences.  The
+    /// initiator's private fill already happened (during simulate, or by
+    /// the serial `read`/`write` caller); the replay performs the
+    /// directory/LLC work, invalidations and downgrades of *other* CPUs'
+    /// pairs, and the shared statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op names a CPU out of range.
+    pub fn apply_op(&mut self, op: &SharedCacheOp) -> CommitOutcome {
+        let (_, commit) = self.apply_serial(op);
+        commit
+    }
+
+    fn apply_serial(&mut self, op: &SharedCacheOp) -> (BankOutcome, CommitOutcome) {
+        let eager = self.shared.eager_pt_directory_update;
+        let bank = self.shared.bank_of(op.line());
+        let mut privs: Vec<(u64, PrivEffect)> = Vec::new();
+        let bank_outcome = self.shared.banks[bank].apply_op(op, 0, eager, &mut privs);
+        let mut commit = CommitOutcome::default();
+        for (_, effect) in &privs {
+            if let PrivEffect::BackInvalidate { line, sharers, pt } = effect {
+                commit.back_invalidated.push((*line, *sharers, *pt));
+            }
+            if let Some(spurious) = self.resolve_priv(effect) {
+                commit.spurious_sharers.add(spurious);
+            }
+        }
+        (bank_outcome, commit)
+    }
+
+    /// Resolves one deferred private-level effect (the seq-ordered serial
+    /// pass of the parallel commit).  Returns the target CPU when an
+    /// invalidation turned out spurious.
+    pub fn resolve_priv(&mut self, effect: &PrivEffect) -> Option<CpuId> {
+        match *effect {
+            PrivEffect::Downgrade { owner, line } => {
+                let pair = &mut self.private[owner.index()];
+                if pair.l1.probe(line) == Some(MesiState::Modified)
+                    || pair.l2.probe(line) == Some(MesiState::Modified)
+                {
+                    self.shared.stats.writebacks.incr();
+                }
+                pair.l1.set_state(line, MesiState::Shared);
+                pair.l2.set_state(line, MesiState::Shared);
+                None
+            }
+            PrivEffect::Invalidate { target, line } => {
+                let pair = &mut self.private[target.index()];
+                let had_l1 = pair.l1.invalidate(line).is_some();
+                let had_l2 = pair.l2.invalidate(line).is_some();
+                if !had_l1 && !had_l2 {
+                    self.shared.stats.spurious_invalidations.incr();
+                    Some(target)
+                } else {
+                    None
+                }
+            }
+            PrivEffect::Reconcile { cpu, line } => {
+                let pair = &mut self.private[cpu.index()];
+                match pair.l2.probe(line).or(pair.l1.probe(line)) {
+                    Some(MesiState::Modified) => {
+                        // A silent within-slice upgrade rode the optimistic
+                        // Exclusive; the dirty data is written back as the
+                        // copy demotes.
+                        self.shared.stats.writebacks.incr();
+                    }
+                    Some(MesiState::Exclusive) => {}
+                    _ => return None,
+                }
+                pair.l1.set_state(line, MesiState::Shared);
+                pair.l2.set_state(line, MesiState::Shared);
+                None
+            }
+            PrivEffect::BackInvalidate { line, sharers, .. } => {
+                for cpu in sharers.iter() {
+                    self.private[cpu.index()].l1.invalidate(line);
+                    self.private[cpu.index()].l2.invalidate(line);
+                }
+                None
+            }
+        }
+    }
+
+    /// Folds one worker's private-level hit/miss counts into the shared
+    /// statistics (commit phase, canonical unit order).
+    pub fn apply_stats_delta(&mut self, delta: &CacheStatsDelta) {
+        self.shared.stats.l1.add_hits(delta.l1_hits);
+        self.shared.stats.l1.add_misses(delta.l1_misses);
+        self.shared.stats.l2.add_hits(delta.l2_hits);
+        self.shared.stats.l2.add_misses(delta.l2_misses);
     }
 
     /// Marks a line as holding page-table entries of the given kind (done by
     /// the hardware walker when it fills translation structures from a line
     /// whose accessed bit was clear).
     pub fn mark_pt_line(&mut self, line: CacheLineAddr, kind: PtKind) {
-        self.directory.mark_pt(line, kind);
+        let bank = self.shared.bank_of(line);
+        self.shared.banks[bank].directory.mark_pt(line, kind);
     }
 
     /// Lazily demotes `cpu` from `line`'s sharer list after the translation
     /// coherence layer found nothing to invalidate there.
     pub fn demote_sharer(&mut self, line: CacheLineAddr, cpu: CpuId) {
-        self.directory.demote_after_spurious(line, cpu);
+        let bank = self.shared.bank_of(line);
+        self.shared.banks[bank]
+            .directory
+            .demote_after_spurious(line, cpu);
     }
 
-    /// Aggregate statistics (directory statistics are available separately
-    /// via [`CacheHierarchy::directory`]).
+    /// Aggregate statistics: the private-side counters plus every bank's,
+    /// summed in bank order (directory statistics are available separately
+    /// via [`CacheHierarchy::directory_stats`]).
     #[must_use]
     pub fn stats(&self) -> CacheStatsSnapshot {
-        self.stats
+        let mut total = self.shared.stats;
+        for bank in &self.shared.banks {
+            total.l1.merge(bank.stats.l1);
+            total.l2.merge(bank.stats.l2);
+            total.llc.merge(bank.stats.llc);
+            total.memory_accesses.add(bank.stats.memory_accesses.get());
+            total
+                .invalidations_sent
+                .add(bank.stats.invalidations_sent.get());
+            total
+                .spurious_invalidations
+                .add(bank.stats.spurious_invalidations.get());
+            total
+                .back_invalidations
+                .add(bank.stats.back_invalidations.get());
+            total.writebacks.add(bank.stats.writebacks.get());
+            total.pt_line_writes.add(bank.stats.pt_line_writes.get());
+        }
+        total
     }
 
     /// Resets the aggregate statistics.
     pub fn reset_stats(&mut self) {
-        self.stats = CacheStatsSnapshot::default();
-        self.llc_stats = RatioStat::new();
-        for c in &mut self.l1 {
-            c.reset_stats();
+        self.shared.stats = CacheStatsSnapshot::default();
+        for bank in &mut self.shared.banks {
+            bank.stats = CacheStatsSnapshot::default();
+            bank.llc.reset_stats();
         }
-        for c in &mut self.l2 {
-            c.reset_stats();
+        for pair in &mut self.private {
+            pair.l1.reset_stats();
+            pair.l2.reset_stats();
         }
-        self.llc.reset_stats();
     }
 }
 
@@ -567,5 +1249,83 @@ mod tests {
     fn out_of_range_cpu_panics() {
         let mut h = small_hierarchy(2);
         h.read(CpuId::new(9), line(0));
+    }
+
+    // ----- phased simulate/commit path --------------------------------------
+
+    #[test]
+    fn simulate_predicts_from_frozen_state_and_commit_replays() {
+        let mut h = small_hierarchy(2);
+        // Warm the shared state serially: CPU 1 owns line 5.
+        h.read(CpuId::new(1), line(5));
+        let mut ops = Vec::new();
+        let mut delta = CacheStatsDelta::default();
+        {
+            let (shared, pairs) = h.split_simulate();
+            let sim = pairs[0].simulate_read(shared, CpuId::new(0), line(5), &mut ops, &mut delta);
+            // Frozen directory lists CPU 1 as owner: predicted LLC-level.
+            assert_eq!(sim.level, HitLevel::Llc);
+            assert!(sim.remote_downgrade);
+            // A repeat hits the just-filled private L1 with no new op.
+            let again =
+                pairs[0].simulate_read(shared, CpuId::new(0), line(5), &mut ops, &mut delta);
+            assert_eq!(again.level, HitLevel::L1);
+        }
+        assert_eq!(
+            ops.iter()
+                .filter(|op| matches!(op, SharedCacheOp::Read { .. }))
+                .count(),
+            1
+        );
+        for op in &ops {
+            h.apply_op(op);
+        }
+        h.apply_stats_delta(&delta);
+        assert_eq!(delta.l1_hits, 1);
+        assert_eq!(delta.l1_misses, 1);
+        // After commit, the directory lists both CPUs as sharers.
+        assert!(h.is_sharer(line(5), CpuId::new(0)));
+        assert!(h.is_sharer(line(5), CpuId::new(1)));
+    }
+
+    #[test]
+    fn simulated_memory_miss_fills_the_llc_at_commit() {
+        let mut h = small_hierarchy(2);
+        let mut ops = Vec::new();
+        let mut delta = CacheStatsDelta::default();
+        {
+            let (shared, pairs) = h.split_simulate();
+            let sim = pairs[0].simulate_read(shared, CpuId::new(0), line(9), &mut ops, &mut delta);
+            assert_eq!(sim.level, HitLevel::Memory);
+            let w = pairs[1].simulate_write(shared, CpuId::new(1), line(10), &mut ops, &mut delta);
+            assert_eq!(w.level, HitLevel::Memory);
+        }
+        for op in &ops {
+            h.apply_op(op);
+        }
+        assert_eq!(h.stats().memory_accesses.get(), 2);
+        // The replayed fills are visible to later serial reads.
+        assert_ne!(h.read(CpuId::new(1), line(9)).level, HitLevel::Memory);
+    }
+
+    #[test]
+    fn simulated_write_predicts_frozen_sharers() {
+        let mut h = small_hierarchy(4);
+        for cpu in 0..3 {
+            h.read(CpuId::new(cpu), line(4));
+        }
+        let mut ops = Vec::new();
+        let mut delta = CacheStatsDelta::default();
+        {
+            let (shared, pairs) = h.split_simulate();
+            let w = pairs[3].simulate_write(shared, CpuId::new(3), line(4), &mut ops, &mut delta);
+            assert_eq!(w.invalidated_sharers.count(), 3);
+        }
+        for op in &ops {
+            h.apply_op(op);
+        }
+        // Commit delivered the invalidations: the remote copies are gone.
+        assert!(!h.cpu_holds_line(CpuId::new(0), line(4)));
+        assert_eq!(h.stats().invalidations_sent.get(), 3);
     }
 }

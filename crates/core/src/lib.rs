@@ -50,6 +50,7 @@
 
 pub mod config;
 pub mod driver;
+pub mod engine;
 pub mod experiments;
 pub mod metrics;
 pub mod platform;
@@ -60,6 +61,7 @@ pub use config::{
     CoherenceMechanismExt, LatencyConfig, MemoryMode, PagingKnobs, SystemConfig, DEFAULT_SEED,
 };
 pub use driver::WorkloadDriver;
+pub use engine::{run_slice_parallel, EngineState};
 pub use experiments::{ExperimentParams, RunSpec};
 pub use metrics::{
     CoherenceActivity, FaultActivity, HostReport, InterferenceActivity, MigrationStats,

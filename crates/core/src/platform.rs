@@ -51,30 +51,34 @@ pub trait WriteObserver: std::fmt::Debug {
 }
 
 /// The hardware every VM on the host shares, plus the execution pipeline.
+///
+/// Fields are `pub(crate)` so the parallel slice engine
+/// ([`crate::engine`]) can split them into a frozen shared view plus
+/// per-CPU exclusively-owned state for one slice.
 #[derive(Debug)]
 pub struct Platform {
-    num_cpus: usize,
-    latencies: LatencyConfig,
-    costs: CoherenceCosts,
-    cotag_bytes: u8,
-    variant: hatric_coherence::DesignVariant,
-    mechanism: CoherenceMechanism,
-    numa: NumaConfig,
-    numa_policy: NumaPolicy,
+    pub(crate) num_cpus: usize,
+    pub(crate) latencies: LatencyConfig,
+    pub(crate) costs: CoherenceCosts,
+    pub(crate) cotag_bytes: u8,
+    pub(crate) variant: hatric_coherence::DesignVariant,
+    pub(crate) mechanism: CoherenceMechanism,
+    pub(crate) numa: NumaConfig,
+    pub(crate) numa_policy: NumaPolicy,
     /// Round-robin cursor of the [`NumaPolicy::Interleaved`] allocator.
-    interleave_next: usize,
-    memory: MemorySystem,
-    caches: CacheHierarchy,
-    structures: Vec<TranslationStructures>,
-    protocol: Box<dyn TranslationCoherence>,
-    energy: EnergyModel,
+    pub(crate) interleave_next: usize,
+    pub(crate) memory: MemorySystem,
+    pub(crate) caches: CacheHierarchy,
+    pub(crate) structures: Vec<TranslationStructures>,
+    pub(crate) protocol: Box<dyn TranslationCoherence>,
+    pub(crate) energy: EnergyModel,
     /// Cycles consumed on each physical CPU (by any VM, plus hardware
     /// coherence work not attributable to a running vCPU).
-    cycles: Vec<u64>,
+    pub(crate) cycles: Vec<u64>,
     /// Which (VM slot, vCPU) currently occupies each physical CPU.
-    occupancy: Vec<Option<(usize, VcpuId)>>,
+    pub(crate) occupancy: Vec<Option<(usize, VcpuId)>>,
     /// Dirty-page tracking hook (installed while a live migration runs).
-    write_observer: Option<Box<dyn WriteObserver>>,
+    pub(crate) write_observer: Option<Box<dyn WriteObserver>>,
 }
 
 impl Platform {
@@ -627,7 +631,7 @@ impl Platform {
         self.energy.record(EnergyEvent::VmExit, 1);
 
         let decision = vms[slot].paging_mut().on_slow_access(gpp);
-        for victim in decision.evictions.clone() {
+        for &victim in &decision.evictions {
             self.migrate(vms, slot, cpu, victim, MemoryKind::OffChip, false);
         }
         if vms[slot].paging().daemon_should_run() {

@@ -112,6 +112,21 @@ fn run(args: &[String]) -> Result<(), String> {
         )
     })?;
     println!("{}", report.format_table());
+    // Wall-clock summary of scenarios that record throughput (the timing
+    // columns are machine-dependent and never gated by bench_check).
+    let timed: Vec<(f64, f64)> = report
+        .rows
+        .iter()
+        .filter_map(|r| Some((r.number("elapsed_ms")?, r.number("accesses_per_sec")?)))
+        .collect();
+    if !timed.is_empty() {
+        let total_ms: f64 = timed.iter().map(|(ms, _)| ms).sum();
+        let best = timed.iter().map(|(_, a)| *a).fold(0.0f64, f64::max);
+        println!(
+            "wall clock: {total_ms:.0} ms across {} runs, best throughput {best:.0} accesses/s",
+            timed.len()
+        );
+    }
     if let Some(path) = json {
         std::fs::write(&path, report.to_json())
             .map_err(|err| format!("cannot write {path}: {err}"))?;

@@ -26,7 +26,6 @@ use hatric_hypervisor::SchedPolicy;
 use hatric_migration::{BalloonParams, HostEvent, MigrationParams};
 
 use crate::config::{HostConfig, VmSpec};
-use crate::host::ConsolidatedHost;
 
 /// Sizing of the migration-storm experiment.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +50,9 @@ pub struct MigrationStormParams {
     pub sched: SchedPolicy,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads of the parallel slice engine (results are
+    /// bit-identical for any value; only wall clock changes).
+    pub threads: usize,
     /// Pre-copy link bandwidth in pages per slice.
     pub copy_pages_per_slice: u64,
     /// Stop-and-copy once a round leaves at most this many dirty pages.
@@ -81,6 +83,7 @@ impl MigrationStormParams {
             slice_accesses: 40,
             sched: SchedPolicy::RoundRobin,
             seed: hatric::DEFAULT_SEED,
+            threads: 1,
             copy_pages_per_slice: 64,
             dirty_page_threshold: 16,
             max_rounds: 8,
@@ -103,6 +106,7 @@ impl MigrationStormParams {
             slice_accesses: 25,
             sched: SchedPolicy::RoundRobin,
             seed: 0x7e57,
+            threads: 1,
             copy_pages_per_slice: 48,
             dirty_page_threshold: 24,
             max_rounds: 6,
@@ -146,6 +150,7 @@ impl MigrationStormParams {
             .with_mechanism(mechanism)
             .with_sched(self.sched)
             .with_slice_accesses(self.slice_accesses)
+            .with_threads(self.threads)
             .with_seed(self.seed)
             .with_vm(VmSpec::victim(self.migrant_vcpus, migrant_quota));
         for _ in 0..self.victims {
@@ -195,6 +200,10 @@ pub struct MigrationStormRow {
     pub victim_slowdown_vs_ideal: f64,
     /// Cycles stolen from victim vCPUs by migration coherence.
     pub victim_disrupted_cycles: u64,
+    /// Wall-clock milliseconds of the run (machine-dependent, ungated).
+    pub elapsed_ms: f64,
+    /// Measured accesses per wall-clock second (machine-dependent, ungated).
+    pub accesses_per_sec: f64,
 }
 
 /// Mean victim runtime of a host report (victims are slots `1..`).
@@ -225,25 +234,28 @@ pub fn run(params: &MigrationStormParams) -> Vec<MigrationStormRow> {
         CoherenceMechanism::Hatric,
         CoherenceMechanism::Ideal,
     ];
-    let reports: Vec<(CoherenceMechanism, HostReport)> = mechanisms
+    let reports: Vec<(CoherenceMechanism, crate::experiments::TimedReport)> = mechanisms
         .iter()
         .map(|&mechanism| {
-            let mut host = ConsolidatedHost::new(params.host_config(mechanism))
-                .expect("experiment configurations are valid");
             (
                 mechanism,
-                host.run(params.warmup_slices, params.measured_slices),
+                crate::experiments::run_host_timed(
+                    params.host_config(mechanism),
+                    params.warmup_slices,
+                    params.measured_slices,
+                ),
             )
         })
         .collect();
     let ideal_victim = reports
         .iter()
         .find(|(m, _)| *m == CoherenceMechanism::Ideal)
-        .map(|(_, r)| mean_victim_runtime(r))
+        .map(|(_, t)| mean_victim_runtime(&t.report))
         .unwrap_or(0.0);
     reports
         .into_iter()
-        .map(|(mechanism, report)| {
+        .map(|(mechanism, timed)| {
+            let report = timed.report;
             let victim_runtime = mean_victim_runtime(&report);
             MigrationStormRow {
                 mechanism,
@@ -262,6 +274,8 @@ pub fn run(params: &MigrationStormParams) -> Vec<MigrationStormRow> {
                     .map(|r| r.interference.disrupted_cycles)
                     .sum(),
                 report,
+                elapsed_ms: timed.elapsed_ms,
+                accesses_per_sec: timed.accesses_per_sec,
             }
         })
         .collect()

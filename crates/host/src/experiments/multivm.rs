@@ -15,7 +15,6 @@ use hatric_coherence::CoherenceMechanism;
 use hatric_hypervisor::SchedPolicy;
 
 use crate::config::{HostConfig, VmSpec};
-use crate::host::ConsolidatedHost;
 
 /// Sizing of the multi-VM experiment.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +39,9 @@ pub struct MultiVmParams {
     pub sched: SchedPolicy,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads of the parallel slice engine (results are
+    /// bit-identical for any value; only wall clock changes).
+    pub threads: usize,
     /// Aggressor workload scale as a fraction of its die-stacked quota.
     /// The aggressor's footprint is `footprint_vs_fast() ×` this scale, so
     /// raising the factor raises its paging — and remap — rate while
@@ -64,6 +66,7 @@ impl MultiVmParams {
             slice_accesses: 40,
             sched: SchedPolicy::RoundRobin,
             seed: hatric::DEFAULT_SEED,
+            threads: 1,
             aggressor_footprint_factor: 1.0,
         }
     }
@@ -89,6 +92,7 @@ impl MultiVmParams {
             slice_accesses: 25,
             sched: SchedPolicy::RoundRobin,
             seed: 0x7e57,
+            threads: 1,
             aggressor_footprint_factor: 1.0,
         }
     }
@@ -107,6 +111,7 @@ impl MultiVmParams {
             .with_mechanism(mechanism)
             .with_sched(self.sched)
             .with_slice_accesses(self.slice_accesses)
+            .with_threads(self.threads)
             .with_seed(self.seed)
             .with_vm(aggressor);
         for _ in 0..self.victims {
@@ -132,6 +137,10 @@ pub struct MultiVmRow {
     pub victim_disrupted_cycles: u64,
     /// Remaps the aggressor performed.
     pub aggressor_remaps: u64,
+    /// Wall-clock milliseconds of the run (machine-dependent, ungated).
+    pub elapsed_ms: f64,
+    /// Measured accesses per wall-clock second (machine-dependent, ungated).
+    pub accesses_per_sec: f64,
 }
 
 /// Mean victim runtime of a host report (victims are slots `1..`).
@@ -163,25 +172,28 @@ pub fn run(params: &MultiVmParams) -> Vec<MultiVmRow> {
         CoherenceMechanism::Hatric,
         CoherenceMechanism::Ideal,
     ];
-    let reports: Vec<(CoherenceMechanism, HostReport)> = mechanisms
+    let reports: Vec<(CoherenceMechanism, crate::experiments::TimedReport)> = mechanisms
         .iter()
         .map(|&mechanism| {
-            let mut host = ConsolidatedHost::new(params.host_config(mechanism))
-                .expect("experiment configurations are valid");
             (
                 mechanism,
-                host.run(params.warmup_slices, params.measured_slices),
+                crate::experiments::run_host_timed(
+                    params.host_config(mechanism),
+                    params.warmup_slices,
+                    params.measured_slices,
+                ),
             )
         })
         .collect();
     let ideal_victim = reports
         .iter()
         .find(|(m, _)| *m == CoherenceMechanism::Ideal)
-        .map(|(_, r)| mean_victim_runtime(r))
+        .map(|(_, t)| mean_victim_runtime(&t.report))
         .unwrap_or(0.0);
     reports
         .into_iter()
-        .map(|(mechanism, report)| {
+        .map(|(mechanism, timed)| {
+            let report = timed.report;
             let victim_runtime = mean_victim_runtime(&report);
             MultiVmRow {
                 mechanism,
@@ -197,6 +209,8 @@ pub fn run(params: &MultiVmParams) -> Vec<MultiVmRow> {
                     .sum(),
                 aggressor_remaps: report.per_vm[0].coherence.remaps,
                 report,
+                elapsed_ms: timed.elapsed_ms,
+                accesses_per_sec: timed.accesses_per_sec,
             }
         })
         .collect()

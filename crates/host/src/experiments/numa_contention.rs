@@ -36,7 +36,6 @@ use hatric_coherence::CoherenceMechanism;
 use hatric_hypervisor::{NumaPolicy, SchedPolicy};
 
 use crate::config::{HostConfig, VmSpec};
-use crate::host::ConsolidatedHost;
 
 /// Sizing of the NUMA contention experiment.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +68,9 @@ pub struct NumaContentionParams {
     pub sched: SchedPolicy,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads of the parallel slice engine (results are
+    /// bit-identical for any value; only wall clock changes).
+    pub threads: usize,
     /// Aggressor workload scale as a fraction of its die-stacked quota.
     pub aggressor_footprint_factor: f64,
 }
@@ -92,6 +94,7 @@ impl NumaContentionParams {
             numa_policy: NumaPolicy::Interleaved,
             sched: SchedPolicy::RoundRobin,
             seed: hatric::DEFAULT_SEED,
+            threads: 1,
             aggressor_footprint_factor: 1.0,
         }
     }
@@ -112,6 +115,7 @@ impl NumaContentionParams {
             numa_policy: NumaPolicy::Interleaved,
             sched: SchedPolicy::RoundRobin,
             seed: 0x7e57,
+            threads: 1,
             aggressor_footprint_factor: 1.0,
         }
     }
@@ -156,6 +160,7 @@ impl NumaContentionParams {
             .with_numa_policy(self.numa_policy)
             .with_sched(self.sched)
             .with_slice_accesses(self.slice_accesses)
+            .with_threads(self.threads)
             .with_seed(self.seed)
             .with_vm(aggressor);
         for i in 0..self.victims {
@@ -189,6 +194,10 @@ pub struct NumaContentionRow {
     pub remote_access_ratio: f64,
     /// Fraction of the aggressor's coherence targets on a remote socket.
     pub remote_target_ratio: f64,
+    /// Wall-clock milliseconds of the run (machine-dependent, ungated).
+    pub elapsed_ms: f64,
+    /// Measured accesses per wall-clock second (machine-dependent, ungated).
+    pub accesses_per_sec: f64,
 }
 
 /// Mean victim runtime of a host report (victims are slots `1..`).
@@ -220,25 +229,28 @@ pub fn run(params: &NumaContentionParams) -> Vec<NumaContentionRow> {
         CoherenceMechanism::Hatric,
         CoherenceMechanism::Ideal,
     ];
-    let reports: Vec<(CoherenceMechanism, HostReport)> = mechanisms
+    let reports: Vec<(CoherenceMechanism, crate::experiments::TimedReport)> = mechanisms
         .iter()
         .map(|&mechanism| {
-            let mut host = ConsolidatedHost::new(params.host_config(mechanism))
-                .expect("experiment configurations are valid");
             (
                 mechanism,
-                host.run(params.warmup_slices, params.measured_slices),
+                crate::experiments::run_host_timed(
+                    params.host_config(mechanism),
+                    params.warmup_slices,
+                    params.measured_slices,
+                ),
             )
         })
         .collect();
     let ideal_victim = reports
         .iter()
         .find(|(m, _)| *m == CoherenceMechanism::Ideal)
-        .map(|(_, r)| mean_victim_runtime(r))
+        .map(|(_, t)| mean_victim_runtime(&t.report))
         .unwrap_or(0.0);
     reports
         .into_iter()
-        .map(|(mechanism, report)| {
+        .map(|(mechanism, timed)| {
+            let report = timed.report;
             let victim_runtime = mean_victim_runtime(&report);
             NumaContentionRow {
                 mechanism,
@@ -256,6 +268,8 @@ pub fn run(params: &NumaContentionParams) -> Vec<NumaContentionRow> {
                 remote_access_ratio: report.host.numa.remote_access_ratio(),
                 remote_target_ratio: report.per_vm[0].numa.remote_target_ratio(),
                 report,
+                elapsed_ms: timed.elapsed_ms,
+                accesses_per_sec: timed.accesses_per_sec,
             }
         })
         .collect()

@@ -2,7 +2,9 @@
 //! [`Platform`].
 
 use hatric::metrics::{HostReport, MigrationStats, SimReport};
-use hatric::{Platform, VmInstance, VmPagingParams, WorkloadDriver};
+use hatric::{
+    run_slice_parallel, EngineState, Platform, VmInstance, VmPagingParams, WorkloadDriver,
+};
 use hatric_hypervisor::{Placement, Scheduler, VmConfig};
 use hatric_memory::MemoryKind;
 use hatric_migration::{BalloonDriver, HostEvent, MigrationEngine, MigrationPhase};
@@ -36,10 +38,20 @@ pub struct ConsolidatedHost {
     drivers: Vec<WorkloadDriver>,
     scheduler: Scheduler,
     current_slice: Vec<Placement>,
+    /// Scratch buffer the scheduler writes the next slice into (swapped
+    /// with `current_slice` after the context switch — no per-slice
+    /// allocation).
+    next_slice_buf: Vec<Placement>,
+    /// Frame pools, DRAM overlays and interleave cursors of the parallel
+    /// slice engine.
+    engine: EngineState,
     slices_run: u64,
     /// Events not yet started (a migration due while another is in flight
     /// is deferred until the slot frees up).
     pending_events: Vec<HostEvent>,
+    /// Scratch buffer `start_due_events` collects still-pending events
+    /// into (swapped back — no per-slice allocation).
+    pending_scratch: Vec<HostEvent>,
     /// The in-flight (or most recently completed) live migration.
     migration: Option<MigrationEngine>,
     /// In-flight and completed balloon operations.
@@ -102,6 +114,7 @@ impl ConsolidatedHost {
             Scheduler::new(config.sched, config.num_pcpus, &vcpu_counts)
         };
         let pending_events = config.events.clone();
+        let engine = EngineState::new(config.vms.len(), config.numa.sockets);
         Ok(Self {
             config,
             platform,
@@ -109,8 +122,11 @@ impl ConsolidatedHost {
             drivers,
             scheduler,
             current_slice: Vec::new(),
+            next_slice_buf: Vec::new(),
+            engine,
             slices_run: 0,
             pending_events,
+            pending_scratch: Vec::new(),
             migration: None,
             balloons: Vec::new(),
             finished_migration_stats: MigrationStats::default(),
@@ -164,7 +180,8 @@ impl ConsolidatedHost {
 
     fn run_one_slice(&mut self) {
         self.start_due_events();
-        let placements = self.scheduler.next_slice();
+        let mut placements = std::mem::take(&mut self.next_slice_buf);
+        self.scheduler.next_slice_into(&mut placements);
         // Context switch: clear last slice's occupants, install this one's.
         for p in self.current_slice.drain(..) {
             self.vms[p.vm_slot].vm_mut().deschedule(p.vcpu);
@@ -175,18 +192,19 @@ impl ConsolidatedHost {
             self.platform
                 .set_occupant(p.pcpu, Some((p.vm_slot, p.vcpu)));
         }
-        for p in &placements {
-            let thread = p.vcpu.index();
-            for _ in 0..self.config.slice_accesses {
-                let access = self.drivers[p.vm_slot].next_access(thread);
-                let asid = self.vms[p.vm_slot]
-                    .vm()
-                    .address_space(self.drivers[p.vm_slot].address_space_index(thread));
-                self.platform
-                    .step(&mut self.vms, p.vm_slot, p.pcpu, asid, access);
-            }
-        }
-        self.current_slice = placements;
+        // Simulate the slice's VM shards (on `config.threads` workers) and
+        // commit their effect logs at the barrier — bit-identical for any
+        // thread count.
+        run_slice_parallel(
+            &mut self.platform,
+            &mut self.vms,
+            &mut self.drivers,
+            &placements,
+            self.config.slice_accesses,
+            self.config.threads,
+            &mut self.engine,
+        );
+        self.next_slice_buf = std::mem::replace(&mut self.current_slice, placements);
         self.advance_events();
         self.slices_run += 1;
     }
@@ -196,8 +214,13 @@ impl ConsolidatedHost {
     /// Fires events whose start slice has arrived.  A migration due while
     /// another is still in flight stays pending until the engine frees up.
     fn start_due_events(&mut self) {
+        if self.pending_events.is_empty() {
+            // Steady state on event-free hosts: no buffer shuffling at all.
+            return;
+        }
         let now = self.slices_run;
-        let mut still_pending = Vec::new();
+        let mut still_pending = std::mem::take(&mut self.pending_scratch);
+        still_pending.clear();
         for event in std::mem::take(&mut self.pending_events) {
             if event.start_slice() > now {
                 still_pending.push(event);
@@ -222,7 +245,7 @@ impl ConsolidatedHost {
                 }
             }
         }
-        self.pending_events = still_pending;
+        self.pending_scratch = std::mem::replace(&mut self.pending_events, still_pending);
     }
 
     /// Runs the hypervisor's worker threads for this slice: balloon

@@ -39,8 +39,8 @@ use hatric_hypervisor::{NumaPolicy, SchedPolicy};
 use hatric_types::ConfigError;
 
 use crate::experiments::{
-    migration_storm, multivm, numa_contention, MigrationStormParams, MultiVmParams,
-    NumaContentionParams,
+    host_scale, migration_storm, multivm, numa_contention, HostScaleParams, MigrationStormParams,
+    MultiVmParams, NumaContentionParams,
 };
 
 // ---------------------------------------------------------------------------
@@ -610,6 +610,7 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &MultivmScenario,
         &MigrationStormScenario,
         &NumaContentionScenario,
+        &HostScaleScenario,
         &Fig9Scenario,
         &XenScenario,
     ];
@@ -702,6 +703,7 @@ impl MultivmScenario {
             slice_accesses: params.u64("slice_accesses")?,
             sched: SchedPolicy::RoundRobin,
             seed: params.u64("seed")?,
+            threads: params.usize("threads")?,
             aggressor_footprint_factor: 1.0,
         })
     }
@@ -729,6 +731,7 @@ impl Scenario for MultivmScenario {
             .with("measured_slices", base.measured_slices)
             .with("slice_accesses", base.slice_accesses)
             .with("seed", base.seed)
+            .with("threads", base.threads)
     }
 
     fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError> {
@@ -755,7 +758,9 @@ impl Scenario for MultivmScenario {
                             "coherence_vm_exits",
                             row.report.host.coherence.coherence_vm_exits,
                         )
-                        .count("host_runtime_cycles", row.report.host.runtime_cycles()),
+                        .count("host_runtime_cycles", row.report.host.runtime_cycles())
+                        .ratio("elapsed_ms", row.elapsed_ms)
+                        .ratio("accesses_per_sec", row.accesses_per_sec),
                 );
             }
         }
@@ -817,6 +822,7 @@ impl MigrationStormScenario {
             slice_accesses: params.u64("slice_accesses")?,
             sched: SchedPolicy::RoundRobin,
             seed: params.u64("seed")?,
+            threads: params.usize("threads")?,
             copy_pages_per_slice: params.u64("copy_pages_per_slice")?,
             dirty_page_threshold: params.u64("dirty_page_threshold")?,
             max_rounds: params.u32("max_rounds")?,
@@ -851,6 +857,7 @@ impl Scenario for MigrationStormScenario {
             .with("dirty_page_threshold", base.dirty_page_threshold)
             .with("max_rounds", base.max_rounds)
             .with("page_copy_cycles", base.page_copy_cycles)
+            .with("threads", base.threads)
     }
 
     fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError> {
@@ -884,7 +891,9 @@ impl Scenario for MigrationStormScenario {
                         .count("migration_remaps", row.migration_remaps)
                         .count("precopy_rounds", row.precopy_rounds)
                         .count("pages_copied", row.pages_copied)
-                        .count("host_runtime_cycles", row.report.host.runtime_cycles()),
+                        .count("host_runtime_cycles", row.report.host.runtime_cycles())
+                        .ratio("elapsed_ms", row.elapsed_ms)
+                        .ratio("accesses_per_sec", row.accesses_per_sec),
                 );
             }
         }
@@ -937,6 +946,7 @@ impl NumaContentionScenario {
             numa_policy: NumaPolicy::Interleaved,
             sched: SchedPolicy::RoundRobin,
             seed: params.u64("seed")?,
+            threads: params.usize("threads")?,
             aggressor_footprint_factor: params.f64("aggressor_footprint_factor")?,
         })
     }
@@ -968,6 +978,7 @@ impl Scenario for NumaContentionScenario {
                 "aggressor_footprint_factor",
                 base.aggressor_footprint_factor,
             )
+            .with("threads", base.threads)
     }
 
     /// # Panics
@@ -1039,7 +1050,9 @@ impl Scenario for NumaContentionScenario {
                         .ratio("remote_access_ratio", row.remote_access_ratio)
                         .ratio("remote_target_ratio", row.remote_target_ratio)
                         .count("aggressor_remaps", row.aggressor_remaps)
-                        .count("host_runtime_cycles", row.report.host.runtime_cycles()),
+                        .count("host_runtime_cycles", row.report.host.runtime_cycles())
+                        .ratio("elapsed_ms", row.elapsed_ms)
+                        .ratio("accesses_per_sec", row.accesses_per_sec),
                 );
             }
         }
@@ -1064,6 +1077,107 @@ impl Scenario for NumaContentionScenario {
 
     fn gated_metrics(&self) -> &'static [&'static str] {
         &["victim_slowdown_vs_ideal"]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// host_scale
+// ---------------------------------------------------------------------------
+
+/// The simulator-throughput scaling scenario (`host_scale`): one HATRIC
+/// host swept over total vCPUs × slice-engine threads.  Model metrics are
+/// bit-identical across thread counts (the engine's determinism
+/// contract, cross-checked by `bench_check`); the timing columns record
+/// the wall-clock speedup multithreading buys on the running machine.
+pub struct HostScaleScenario;
+
+impl HostScaleScenario {
+    fn base(scale: Scale) -> HostScaleParams {
+        match scale {
+            Scale::Smoke => HostScaleParams::quick(),
+            Scale::Bench => HostScaleParams::default_scale(),
+            Scale::Full => {
+                let mut p = HostScaleParams::default_scale();
+                p.warmup_slices *= 2;
+                p.measured_slices *= 2;
+                p
+            }
+        }
+    }
+
+    fn typed(params: &Params) -> Result<HostScaleParams, ConfigError> {
+        Ok(HostScaleParams {
+            vcpus_min: params.usize("vcpus_min")?,
+            vcpus_max: params.usize("vcpus_max")?,
+            threads_max: params.usize("threads_max")?,
+            fast_pages_per_vcpu: params.u64("fast_pages_per_vcpu")?,
+            warmup_slices: params.u64("warmup_slices")?,
+            measured_slices: params.u64("measured_slices")?,
+            slice_accesses: params.u64("slice_accesses")?,
+            seed: params.u64("seed")?,
+        })
+    }
+}
+
+impl Scenario for HostScaleScenario {
+    fn name(&self) -> &'static str {
+        "host_scale"
+    }
+
+    fn describe(&self) -> &'static str {
+        "the phased slice engine is bit-deterministic across thread counts \
+         and scales simulator throughput with them"
+    }
+
+    fn default_params(&self, scale: Scale) -> Params {
+        let base = Self::base(scale);
+        Params::new()
+            .with("vcpus_min", base.vcpus_min)
+            .with("vcpus_max", base.vcpus_max)
+            .with("threads_max", base.threads_max)
+            .with("fast_pages_per_vcpu", base.fast_pages_per_vcpu)
+            .with("warmup_slices", base.warmup_slices)
+            .with("measured_slices", base.measured_slices)
+            .with("slice_accesses", base.slice_accesses)
+            .with("seed", base.seed)
+    }
+
+    fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError> {
+        let merged = resolve_params(self, params, scale)?;
+        let base = Self::typed(&merged)?;
+        for vcpus in base.vcpu_points() {
+            base.host_config(vcpus, 1).validate()?;
+        }
+        let mut report = ScenarioReport::new(self.name());
+        for row in host_scale::run(&base) {
+            report.push(
+                Row::new(
+                    "config",
+                    &format!("v{}_t{}", row.vcpus, row.threads),
+                    "Hatric",
+                )
+                .count("vcpus", row.vcpus as u64)
+                .count("threads", row.threads as u64)
+                .count("host_runtime_cycles", row.report.host.runtime_cycles())
+                .count("accesses", row.report.host.accesses)
+                .count("aggressor_remaps", row.report.per_vm[0].coherence.remaps)
+                .count(
+                    "host_disrupted_cycles",
+                    row.report.host.interference.disrupted_cycles,
+                )
+                .ratio("elapsed_ms", row.elapsed_ms)
+                .ratio("accesses_per_sec", row.accesses_per_sec),
+            );
+        }
+        Ok(report)
+    }
+
+    fn baseline_stem(&self) -> Option<&'static str> {
+        Some("scale")
+    }
+
+    fn gated_metrics(&self) -> &'static [&'static str] {
+        &["host_runtime_cycles"]
     }
 }
 
@@ -1208,6 +1322,7 @@ mod tests {
                 "multivm",
                 "migration_storm",
                 "numa_contention",
+                "host_scale",
                 "fig9",
                 "xen"
             ]

@@ -235,9 +235,17 @@ impl Scheduler {
     /// appears at most once, and every vCPU appears at most once; CPUs with
     /// nothing runnable are left out (idle).
     pub fn next_slice(&mut self) -> Vec<Placement> {
-        let placements = match self.policy {
+        let mut placements = Vec::with_capacity(self.num_pcpus);
+        self.next_slice_into(&mut placements);
+        placements
+    }
+
+    /// Like [`Scheduler::next_slice`] but writes into a caller-owned buffer
+    /// (cleared first), so the per-slice hot loop allocates nothing.
+    pub fn next_slice_into(&mut self, out: &mut Vec<Placement>) {
+        out.clear();
+        match self.policy {
             SchedPolicy::Pinned | SchedPolicy::SocketAffine => {
-                let mut placements = Vec::with_capacity(self.num_pcpus);
                 for (p, list) in self.pinned.iter().enumerate() {
                     if list.is_empty() {
                         continue;
@@ -250,13 +258,12 @@ impl Scheduler {
                     let Some(idx) = chosen else { continue };
                     self.pinned_next[p] = (idx + 1) % list.len();
                     let (vm_slot, vcpu) = list[idx];
-                    placements.push(Placement {
+                    out.push(Placement {
                         pcpu: CpuId::new(p as u32),
                         vm_slot,
                         vcpu,
                     });
                 }
-                placements
             }
             SchedPolicy::RoundRobin => {
                 // Rotate the CPU assignment by one each slice: the strict
@@ -268,27 +275,24 @@ impl Scheduler {
                 // placed; each queue entry is inspected at most once per
                 // slice, so runnable vCPUs stay starvation-free.
                 let offset = (self.slice as usize) % self.num_pcpus;
-                let mut placements = Vec::with_capacity(self.num_pcpus);
                 for _ in 0..self.queue.len() {
-                    if placements.len() == self.num_pcpus {
+                    if out.len() == self.num_pcpus {
                         break;
                     }
                     let (vm_slot, vcpu) =
                         self.queue.pop_front().expect("queue length checked above");
                     if !self.paused[vm_slot] {
-                        placements.push(Placement {
-                            pcpu: CpuId::new(((placements.len() + offset) % self.num_pcpus) as u32),
+                        out.push(Placement {
+                            pcpu: CpuId::new(((out.len() + offset) % self.num_pcpus) as u32),
                             vm_slot,
                             vcpu,
                         });
                     }
                     self.queue.push_back((vm_slot, vcpu));
                 }
-                placements
             }
-        };
+        }
         self.slice += 1;
-        placements
     }
 }
 

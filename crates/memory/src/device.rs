@@ -163,6 +163,22 @@ impl MemoryDevice {
         self.config.base_latency_cycles + queueing
     }
 
+    /// The queueing delay an access at time `now` would observe, computed
+    /// against the device's *frozen* state (no mutation): the total backlog
+    /// at the last update minus the service performed since.  The parallel
+    /// slice engine uses this to predict latencies against a slice-start
+    /// snapshot while the real bookings are deferred to the commit phase.
+    #[must_use]
+    pub fn projected_queueing(&self, now: u64) -> u64 {
+        let elapsed = now.saturating_sub(self.last_update) as f64;
+        let backlog = self.total_backlog() - elapsed;
+        if backlog > 0.0 {
+            backlog as u64
+        } else {
+            0
+        }
+    }
+
     /// Counters accumulated so far across all streams.
     #[must_use]
     pub fn stats(&self) -> DeviceStats {

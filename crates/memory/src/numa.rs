@@ -99,10 +99,10 @@ impl NumaConfig {
             sockets,
             link: LinkConfig::qpi_like(),
             remote_dram_extra_cycles: 40,
-            // Measured remote TLB shootdowns run 2-4x their local cost: the
+            // Measured remote TLB shootdowns run 2-5x their local cost: the
             // IPI, its shootdown descriptor's cache lines and the final
             // acknowledgement all cross the link while the target spins.
-            remote_shootdown_extra_cycles: 5_000,
+            remote_shootdown_extra_cycles: 7_500,
             remote_hw_message_extra_cycles: 20,
         }
     }

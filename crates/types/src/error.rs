@@ -85,6 +85,8 @@ pub enum ConfigError {
     },
     /// `slice_accesses` was zero, so no vCPU would ever make progress.
     ZeroSliceAccesses,
+    /// `threads` was zero — the slice engine needs at least one worker.
+    ZeroThreads,
     /// The per-VM die-stacked quotas oversubscribe the fast device.
     QuotaOvercommit {
         /// Sum of all VM quotas in pages.
@@ -140,6 +142,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "VM slot {slot} needs at least one vCPU")
             }
             ConfigError::ZeroSliceAccesses => write!(f, "slice_accesses must be nonzero"),
+            ConfigError::ZeroThreads => {
+                write!(f, "threads must be nonzero (1 = serial slice execution)")
+            }
             ConfigError::QuotaOvercommit {
                 quota_sum,
                 fast_pages,

@@ -1,0 +1,218 @@
+//! The parallel slice engine's central contract: **bit-identical results
+//! for any thread count**.
+//!
+//! Every registered scenario runs at `Scale::Smoke` with `threads` ∈
+//! {1, 2, 4}; the resulting `ScenarioReport` JSON must be byte-identical
+//! once the machine-dependent wall-clock columns (`elapsed_ms`,
+//! `accesses_per_sec`) are stripped.  A property test then hammers the
+//! same invariant over randomized host configurations — vCPU/pCPU counts,
+//! sockets, mechanisms, schedulers, balloon events.
+
+use proptest::prelude::*;
+
+use hatric_host::scenario::{registry, Params, Scale};
+use hatric_host::{
+    BalloonParams, CoherenceMechanism, ConsolidatedHost, HostConfig, HostEvent, NumaConfig,
+    NumaPolicy, SchedPolicy, VmSpec,
+};
+
+/// Keys whose values are wall-clock measurements (never deterministic).
+const TIMING_KEYS: [&str; 2] = ["elapsed_ms", "accesses_per_sec"];
+
+/// Strips the timing fields from a report's JSON text: the records are
+/// single-line flat objects, so dropping the `"key":value` pairs (and the
+/// comma gluing them in) is a plain string operation.
+fn strip_timing(json: &str) -> String {
+    let mut out = json.to_string();
+    for key in TIMING_KEYS {
+        let needle = format!(",\"{key}\":");
+        while let Some(start) = out.find(&needle) {
+            let value_from = start + needle.len();
+            let rest = &out[value_from..];
+            let value_len = rest
+                .find([',', '}'])
+                .expect("a JSON record field is followed by , or }");
+            out.replace_range(start..value_from + value_len, "");
+        }
+        assert!(
+            !out.contains(&format!("\"{key}\"")),
+            "timing key {key} must only appear in stripping-friendly positions"
+        );
+    }
+    out
+}
+
+#[test]
+fn every_scenario_is_byte_identical_across_thread_counts() {
+    for scenario in registry() {
+        let has_threads = scenario
+            .default_params(Scale::Smoke)
+            .get("threads")
+            .is_some();
+        let runs: Vec<String> = if has_threads {
+            [1usize, 2, 4]
+                .iter()
+                .map(|&threads| {
+                    let report = scenario
+                        .run(&Params::new().with("threads", threads), Scale::Smoke)
+                        .unwrap_or_else(|err| {
+                            panic!("{} threads={threads}: {err}", scenario.name())
+                        });
+                    strip_timing(&report.to_json())
+                })
+                .collect()
+        } else {
+            // Single-VM scenarios take no threads knob; their contract is
+            // plain run-to-run determinism.
+            (0..2)
+                .map(|_| {
+                    let report = scenario
+                        .run(&Params::new(), Scale::Smoke)
+                        .unwrap_or_else(|err| panic!("{}: {err}", scenario.name()));
+                    strip_timing(&report.to_json())
+                })
+                .collect()
+        };
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            assert_eq!(
+                run.as_str(),
+                runs[0].as_str(),
+                "{}: run {i} diverged from run 0 (threads sweep: {has_threads})",
+                scenario.name()
+            );
+        }
+        assert!(
+            !runs[0].is_empty(),
+            "{}: stripped report must not be empty",
+            scenario.name()
+        );
+    }
+}
+
+#[test]
+fn host_scale_rows_strip_to_identical_model_metrics_per_vcpu_point() {
+    let scenario = hatric_host::scenario::find("host_scale").expect("host_scale is registered");
+    let report = scenario.run(&Params::new(), Scale::Smoke).unwrap();
+    for row in &report.rows {
+        let vcpus = row.number("vcpus").expect("rows carry vcpus");
+        let base = report
+            .rows
+            .iter()
+            .find(|r| r.number("vcpus") == Some(vcpus))
+            .expect("first row of the vcpus group");
+        for metric in ["host_runtime_cycles", "accesses", "aggressor_remaps"] {
+            assert_eq!(
+                row.number(metric),
+                base.number(metric),
+                "{}: {metric} must not depend on the thread count",
+                row.label()
+            );
+        }
+    }
+}
+
+/// Builds a randomized-but-valid host configuration from drawn knobs.
+#[allow(clippy::too_many_arguments)]
+fn build_config(
+    pcpus_per_socket: usize,
+    sockets: usize,
+    vm_vcpus: &[usize],
+    mechanism_pick: u8,
+    sched_pick: u8,
+    policy_pick: u8,
+    slice_accesses: u64,
+    with_balloon: bool,
+    threads: usize,
+    seed: u64,
+) -> HostConfig {
+    let num_pcpus = pcpus_per_socket * sockets;
+    let quota_per_vm = 96u64;
+    let fast_pages = quota_per_vm * vm_vcpus.len() as u64 + 64;
+    let mechanism = match mechanism_pick % 4 {
+        0 => CoherenceMechanism::Software,
+        1 => CoherenceMechanism::UnitdPlusPlus,
+        2 => CoherenceMechanism::Hatric,
+        _ => CoherenceMechanism::Ideal,
+    };
+    let sched = match sched_pick % 3 {
+        0 => SchedPolicy::Pinned,
+        1 => SchedPolicy::RoundRobin,
+        // SocketAffine needs the socket topology; it degenerates to the
+        // pinned deal-out on one socket, which is fine for this test.
+        _ => SchedPolicy::SocketAffine,
+    };
+    let policy = if policy_pick.is_multiple_of(2) {
+        NumaPolicy::FirstTouch
+    } else {
+        NumaPolicy::Interleaved
+    };
+    let mut cfg = HostConfig::scaled(num_pcpus, fast_pages)
+        .with_mechanism(mechanism)
+        .with_numa(NumaConfig::symmetric(sockets))
+        .with_numa_policy(policy)
+        .with_sched(sched)
+        .with_slice_accesses(slice_accesses)
+        .with_threads(threads)
+        .with_seed(seed);
+    for (slot, &vcpus) in vm_vcpus.iter().enumerate() {
+        let spec = if slot == 0 {
+            // Slot 0 pages hard so remap coherence (the cross-unit effect
+            // path) is actually exercised.
+            VmSpec::aggressor(vcpus, quota_per_vm)
+        } else {
+            VmSpec::victim(vcpus, quota_per_vm).with_home_socket(slot % sockets)
+        };
+        cfg = cfg.with_vm(spec);
+    }
+    if with_balloon && vm_vcpus.len() >= 2 {
+        cfg = cfg.with_event(HostEvent::Balloon(BalloonParams::at(1, 0, 32, 20)));
+    }
+    cfg
+}
+
+fn run_report(cfg: HostConfig) -> String {
+    let mut host = ConsolidatedHost::new(cfg).expect("drawn configurations are valid");
+    let report = host.run(25, 40);
+    format!("{report:?}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid host produces byte-identical reports at 1, 2 and 4
+    /// worker threads.
+    #[test]
+    fn random_hosts_are_thread_count_invariant(
+        pcpus_per_socket in 1usize..4,
+        sockets_pick in 0u8..2,
+        vm_vcpus in proptest::collection::vec(1usize..4, 1..5),
+        mechanism_pick in 0u8..4,
+        sched_pick in 0u8..3,
+        policy_pick in 0u8..2,
+        slice_accesses in 5u64..25,
+        with_balloon in 0u8..2,
+        seed in 0u64..1_000,
+    ) {
+        let sockets = usize::from(sockets_pick) + 1;
+        let cfg = |threads: usize| {
+            build_config(
+                pcpus_per_socket,
+                sockets,
+                &vm_vcpus,
+                mechanism_pick,
+                sched_pick,
+                policy_pick,
+                slice_accesses,
+                with_balloon == 1,
+                threads,
+                seed,
+            )
+        };
+        prop_assert!(cfg(1).validate().is_ok());
+        let serial = run_report(cfg(1));
+        let two = run_report(cfg(2));
+        let four = run_report(cfg(4));
+        prop_assert_eq!(&serial, &two, "threads=2 diverged from threads=1");
+        prop_assert_eq!(&serial, &four, "threads=4 diverged from threads=1");
+    }
+}
