@@ -33,14 +33,18 @@
 //!   at each barrier and recycling the VM's own frees, so the shared
 //!   allocator is never touched concurrently.
 
+use std::time::Instant;
+
 use hatric_cache::{CacheStatsDelta, HitLevel, PrivatePair, SharedCache, SharedCacheOp};
 use hatric_coherence::{
-    CoherenceCosts, DesignVariant, RemapContext, TargetAction, TranslationCoherence,
+    CoherenceCosts, CoherenceMechanism, DesignVariant, RemapContext, TargetAction,
+    TranslationCoherence,
 };
 use hatric_energy::{EnergyEvent, EnergyTally};
 use hatric_hypervisor::{NumaPolicy, Placement};
 use hatric_memory::{DramPending, MemoryBooking, MemoryKind, MemorySystem, NumaConfig};
 use hatric_pagetable::TwoDimWalker;
+use hatric_telemetry::{track, EnginePhase, PhaseProfiler, PhaseTotals, TraceEvent};
 use hatric_tlb::{TlbLevel, TranslationStructures};
 use hatric_types::{
     CacheLineAddr, CoTag, CpuId, GuestFrame, GuestVirtPage, PageSize, SocketId, SystemFrame,
@@ -50,7 +54,7 @@ use hatric_workloads::Access;
 
 use crate::config::LatencyConfig;
 use crate::driver::WorkloadDriver;
-use crate::platform::Platform;
+use crate::platform::{remap_span_name, Platform};
 use crate::vm_instance::{VmInstance, GUEST_PT_GPP_BASE};
 
 // ---------------------------------------------------------------------------
@@ -273,6 +277,8 @@ pub struct EngineState {
     /// largest per-slice allocation; reusing them keeps the steady-state
     /// slice loop allocation-free).
     effects_pool: Vec<UnitEffects>,
+    /// Wall-clock totals per engine phase (never read by model code).
+    profiler: PhaseProfiler,
 }
 
 /// Reusable buffers of the commit phase.
@@ -296,7 +302,17 @@ impl EngineState {
             pool: None,
             commit: CommitScratch::default(),
             effects_pool: Vec::new(),
+            profiler: PhaseProfiler::default(),
         }
+    }
+
+    /// Wall-clock time this engine instance has spent per phase (simulate,
+    /// bank replay, booking replay, serial commit, pool refill), plus the
+    /// number of slices executed.  Purely observational — the model never
+    /// reads it.
+    #[must_use]
+    pub fn phase_totals(&self) -> &PhaseTotals {
+        self.profiler.totals()
     }
 
     /// Makes sure the persistent worker pool exists with at least
@@ -348,6 +364,10 @@ struct UnitEffects {
     /// Scratch buffer `simulate_read`/`simulate_write` push into before the
     /// ops are folded into `effects` (keeps emission order).
     scratch: Vec<SharedCacheOp>,
+    /// Sim-time spans recorded during simulate (empty unless tracing is
+    /// on), merged into the platform sink in slot order at the barrier —
+    /// the same canonical merge the energy tallies use.
+    trace: Vec<TraceEvent>,
 }
 
 impl UnitEffects {
@@ -358,6 +378,7 @@ impl UnitEffects {
             energy: EnergyTally::new(),
             cache_stats: CacheStatsDelta::default(),
             scratch: Vec::new(),
+            trace: Vec::new(),
         }
     }
 
@@ -368,6 +389,7 @@ impl UnitEffects {
         self.energy.clear();
         self.cache_stats = CacheStatsDelta::default();
         self.scratch.clear();
+        self.trace.clear();
     }
 
     fn flush_scratch(&mut self) {
@@ -397,6 +419,10 @@ struct SliceShared<'a> {
     occupied: Vec<CpuId>,
     protocol: &'a dyn TranslationCoherence,
     observer_present: bool,
+    /// Whether a trace sink is installed on the platform (units buffer
+    /// spans only when it is, so tracing off allocates nothing).
+    tracing: bool,
+    mechanism: CoherenceMechanism,
     num_cpus: usize,
 }
 
@@ -404,6 +430,23 @@ impl SliceShared<'_> {
     fn socket_of_cpu(&self, cpu: CpuId) -> SocketId {
         let cpus_per_socket = self.num_cpus / self.numa.sockets;
         SocketId::new((cpu.index() / cpus_per_socket) as u32)
+    }
+
+    /// Mirror of `Platform::remap_distance_extra` over the frozen view.
+    fn remap_distance_extra(
+        &self,
+        initiator_socket: SocketId,
+        target_cpu: CpuId,
+        disruptive: bool,
+        does_work: bool,
+    ) -> (bool, u64) {
+        let cross_socket = does_work && self.socket_of_cpu(target_cpu) != initiator_socket;
+        let extra = match (cross_socket, disruptive) {
+            (false, _) => 0,
+            (true, true) => self.numa.remote_shootdown_extra_cycles,
+            (true, false) => self.numa.remote_hw_message_extra_cycles,
+        };
+        (cross_socket, extra)
     }
 }
 
@@ -559,10 +602,13 @@ fn unit_step(
         .service_miss(vm_id, asid, &walk, accessed_clear);
     out.energy
         .record(EnergyEvent::PageWalkStep, assist.refs.len() as u64);
+    let walk_start = *task.cpus[p].cycles;
     for addr in assist.refs {
         let sim = sim_read(shared, task, out, p, addr.cache_line());
         unit_charge_read(shared, task, out, p, addr, sim.level);
     }
+    let walk_cycles = *task.cpus[p].cycles - walk_start;
+    task.vm.latency_mut().walk.record(walk_cycles);
 
     unit_data_access(
         shared,
@@ -686,16 +732,17 @@ fn unit_charge_read(
                 numa.local_dram_accesses += 1;
             }
             let now = *task.cpus[p].cycles;
-            let dram = shared
+            let cost = shared
                 .memory
-                .plan_access(frame, cpu_socket, now, task.pending);
+                .plan_access_detail(frame, cpu_socket, now, task.pending);
+            task.vm.latency_mut().dram_queue.record(cost.queueing);
             out.effects.push(Effect::Mem(MemoryBooking::Access {
                 frame,
                 stream: task.slot,
                 from_socket: cpu_socket,
                 now,
             }));
-            lat.llc_hit + dram
+            lat.llc_hit + cost.total
         }
     };
     charge(task, p, cycles);
@@ -911,6 +958,7 @@ fn unit_remap_coherence(
     pte_addr: SystemPhysAddr,
 ) {
     task.vm.coherence_mut().remaps += 1;
+    let span_start = *task.cpus[p].cycles;
     let line = pte_addr.cache_line();
     let write = sim_write(shared, task, out, p, line);
     unit_charge_read(shared, task, out, p, pte_addr, write.level);
@@ -947,15 +995,47 @@ fn unit_remap_coherence(
 
     let cotag = CoTag::from_pte_addr(pte_addr, shared.cotag_bytes);
     let initiator_socket = shared.socket_of_cpu(initiator);
+    // Completion latency = initiator cycles plus the slowest target's
+    // invalidation, computed over the plan before the charging loop so the
+    // remap span precedes its per-target acks in the sink (trace order
+    // stays monotone per track).
+    let slowest_target = plan
+        .targets
+        .iter()
+        .map(|t| {
+            let disruptive = t.vm_exit || t.action == TargetAction::FlushAll;
+            let does_work = disruptive || t.action != TargetAction::None;
+            t.target_cycles
+                + shared
+                    .remap_distance_extra(initiator_socket, t.cpu, disruptive, does_work)
+                    .1
+        })
+        .max()
+        .unwrap_or(0);
+    task.vm
+        .latency_mut()
+        .shootdown
+        .record(plan.initiator_cycles + slowest_target);
+    if shared.tracing {
+        let dur = (*task.cpus[p].cycles - span_start) + slowest_target;
+        out.trace.push(TraceEvent {
+            name: remap_span_name(shared.mechanism),
+            cat: "coherence",
+            track: track::cpu(initiator.index()),
+            ts: span_start,
+            dur,
+            args: vec![
+                ("targets", plan.targets.len() as u64),
+                ("ipis", plan.ipis_sent),
+                ("hw_messages", plan.hw_messages),
+            ],
+        });
+    }
     for target in &plan.targets {
         let disruptive = target.vm_exit || target.action == TargetAction::FlushAll;
         let does_work = disruptive || target.action != TargetAction::None;
-        let cross_socket = does_work && shared.socket_of_cpu(target.cpu) != initiator_socket;
-        let distance_extra = match (cross_socket, disruptive) {
-            (false, _) => 0,
-            (true, true) => shared.numa.remote_shootdown_extra_cycles,
-            (true, false) => shared.numa.remote_hw_message_extra_cycles,
-        };
+        let (cross_socket, distance_extra) =
+            shared.remap_distance_extra(initiator_socket, target.cpu, disruptive, does_work);
         let target_cycles = target.target_cycles + distance_extra;
         if does_work {
             let numa = task.vm.numa_mut();
@@ -969,6 +1049,16 @@ fn unit_remap_coherence(
             // Own CPU: apply inline.  The occupant is this unit's own vCPU,
             // so no cross-VM interference is recorded (mirroring the serial
             // `occ_slot != slot` check).
+            if shared.tracing && does_work {
+                out.trace.push(TraceEvent {
+                    name: "inval_target",
+                    cat: "coherence",
+                    track: track::cpu(target.cpu.index()),
+                    ts: *task.cpus[q].cycles,
+                    dur: target_cycles,
+                    args: vec![("vm_exit", u64::from(target.vm_exit))],
+                });
+            }
             if disruptive {
                 charge(task, q, target_cycles);
             } else {
@@ -1091,14 +1181,24 @@ enum SerialEffect {
 fn commit_effects(
     platform: &mut Platform,
     vms: &mut [VmInstance],
-    effects: &[UnitEffects],
+    effects: &mut [UnitEffects],
     threads: usize,
     pool: Option<&WorkerPool>,
     scratch: &mut CommitScratch,
+    profiler: &mut PhaseProfiler,
 ) {
-    for unit in effects {
+    for unit in effects.iter_mut() {
         platform.caches.apply_stats_delta(&unit.cache_stats);
         unit.energy.apply_to(&mut platform.energy);
+        // Slot-ordered trace merge — the same canonical order as the
+        // energy tallies, so sink contents are thread-count invariant.
+        if let Some(sink) = platform.trace.as_mut() {
+            for event in unit.trace.drain(..) {
+                sink.record(event);
+            }
+        } else {
+            unit.trace.clear();
+        }
     }
 
     // Partition by destination, assigning each effect its global seq (slot
@@ -1121,7 +1221,7 @@ fn commit_effects(
     seq_slots.clear();
     privs.clear();
     let mut seq: u64 = 0;
-    for unit in effects {
+    for unit in effects.iter() {
         for effect in &unit.effects {
             match effect {
                 Effect::Cache(op) => {
@@ -1149,14 +1249,18 @@ fn commit_effects(
         let memory = &mut platform.memory;
         match pool.filter(|p| threads > 1 && p.workers() > 0) {
             None => {
+                let t = Instant::now();
                 for (bank, queue) in banks.iter_mut().zip(bank_queues.iter()) {
                     for (op_seq, op) in queue {
                         bank.apply_op(op, *op_seq, eager, privs);
                     }
                 }
+                profiler.record(EnginePhase::BankReplay, t.elapsed());
+                let t = Instant::now();
                 for booking in mem_queue.iter() {
                     memory.apply_booking(booking);
                 }
+                profiler.record(EnginePhase::BookingReplay, t.elapsed());
             }
             Some(pool) => {
                 // Workers replay the banks; the calling thread replays the
@@ -1184,17 +1288,32 @@ fn commit_effects(
                         job
                     })
                     .collect();
+                // The booking replay runs on the calling thread while the
+                // workers replay banks, so `BankReplay` here is the wall
+                // time of the fork-join barrier minus the local booking
+                // time (the two phases overlap; on the inline path they
+                // are disjoint).
+                let barrier = Instant::now();
+                let mut booking_elapsed = std::time::Duration::ZERO;
                 pool.run_with_local(jobs, || {
+                    let t = Instant::now();
                     for booking in mem_queue.iter() {
                         memory.apply_booking(booking);
                     }
+                    booking_elapsed = t.elapsed();
                 });
+                profiler.record(
+                    EnginePhase::BankReplay,
+                    barrier.elapsed().saturating_sub(booking_elapsed),
+                );
+                profiler.record(EnginePhase::BookingReplay, booking_elapsed);
                 for list in results {
                     privs.extend(list);
                 }
             }
         }
     }
+    let serial_start = Instant::now();
     // Per-bank emission order is already seq-ascending; a stable sort
     // merges the banks into the one canonical order.
     privs.sort_by_key(|(s, _)| *s);
@@ -1244,6 +1363,7 @@ fn commit_effects(
             }
         }
     }
+    profiler.record(EnginePhase::SerialCommit, serial_start.elapsed());
 }
 
 /// Applies one deferred cross-CPU coherence target: charging, interference
@@ -1255,6 +1375,17 @@ fn commit_remote_target(
     slot: usize,
     target: &RemoteTarget,
 ) {
+    let does_work = target.disruptive || target.action != TargetAction::None;
+    if platform.trace.is_some() && does_work {
+        platform.trace_event(TraceEvent {
+            name: "inval_target",
+            cat: "coherence",
+            track: track::cpu(target.cpu.index()),
+            ts: platform.cycles[target.cpu.index()],
+            dur: target.cycles,
+            args: vec![("vm_exit", u64::from(target.vm_exit))],
+        });
+    }
     platform.cycles[target.cpu.index()] += target.cycles;
     if target.disruptive {
         if let Some((occ_slot, vcpu)) = platform.occupancy[target.cpu.index()] {
@@ -1420,7 +1551,9 @@ pub fn run_slice_parallel(
         return;
     }
 
+    let refill_start = Instant::now();
     refill_pools(platform, vms, &units, state, slice_accesses);
+    let refill_elapsed = refill_start.elapsed();
     if threads > 1 {
         state.ensure_pool(threads);
     }
@@ -1434,8 +1567,10 @@ pub fn run_slice_parallel(
         pool,
         commit,
         effects_pool,
+        profiler,
     } = state;
     let pool = pool.as_ref();
+    profiler.record(EnginePhase::PoolRefill, refill_elapsed);
 
     let unit_slots: Vec<usize> = units.iter().map(|(slot, _)| *slot).collect();
     // Map each pCPU to the unit that owns it this slice.
@@ -1448,7 +1583,8 @@ pub fn run_slice_parallel(
         }
     }
 
-    let effects: Vec<UnitEffects> = {
+    let simulate_start = Instant::now();
+    let mut effects: Vec<UnitEffects> = {
         let (cache_shared, pairs) = platform.caches.split_simulate();
         let occupied: Vec<CpuId> = platform
             .occupancy
@@ -1469,6 +1605,8 @@ pub fn run_slice_parallel(
             occupied,
             protocol: &*platform.protocol,
             observer_present: platform.write_observer.is_some(),
+            tracing: platform.trace.is_some(),
+            mechanism: platform.mechanism,
             num_cpus: platform.num_cpus,
         };
 
@@ -1586,6 +1724,9 @@ pub fn run_slice_parallel(
         }
     };
 
-    commit_effects(platform, vms, &effects, threads, pool, commit);
+    profiler.record(EnginePhase::Simulate, simulate_start.elapsed());
+
+    commit_effects(platform, vms, &mut effects, threads, pool, commit, profiler);
+    profiler.record_slice();
     effects_pool.extend(effects);
 }

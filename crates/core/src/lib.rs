@@ -76,6 +76,7 @@ pub use vm_instance::{VmInstance, VmPagingParams};
 pub use hatric_coherence::{CoherenceCosts, CoherenceMechanism, DesignVariant};
 pub use hatric_hypervisor::{HypervisorKind, NumaPolicy, PagingPolicyKind};
 pub use hatric_memory::{LinkConfig, MemoryKind, NumaConfig};
+pub use hatric_telemetry as telemetry;
 pub use hatric_tlb::StructureSizes;
 pub use hatric_types::{CpuId, GuestFrame, GuestVirtPage, SocketId, SystemFrame, VcpuId, VmId};
 pub use hatric_workloads::{SpecMix, Workload, WorkloadKind};

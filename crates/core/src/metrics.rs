@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use hatric_cache::CacheStatsSnapshot;
 use hatric_energy::EnergyReport;
 use hatric_hypervisor::PagingStats;
+use hatric_telemetry::LatencyStats;
 use hatric_tlb::TranslationStatsSnapshot;
 
 /// Translation-coherence activity observed during a run.
@@ -232,6 +233,10 @@ pub struct SimReport {
     pub cache: CacheStatsSnapshot,
     /// Energy accounting.
     pub energy: EnergyReport,
+    /// Sim-time latency distributions (nested-walk latency, shootdown
+    /// completion latency, DRAM queueing delay).  Counted in simulated
+    /// cycles at the charge sites, so as deterministic as the charges.
+    pub latency: LatencyStats,
 }
 
 impl SimReport {

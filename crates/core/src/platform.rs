@@ -25,6 +25,7 @@ use hatric_energy::{EnergyEvent, EnergyModel, EnergyReport};
 use hatric_hypervisor::NumaPolicy;
 use hatric_memory::{MemoryKind, MemorySystem, NumaConfig};
 use hatric_pagetable::TwoDimWalker;
+use hatric_telemetry::{track, TraceEvent, TraceSink};
 use hatric_tlb::{TlbLevel, TranslationStatsSnapshot, TranslationStructures};
 use hatric_types::{
     CacheLineAddr, CoTag, CpuId, GuestFrame, GuestVirtPage, Result, SocketId, SystemFrame,
@@ -79,6 +80,22 @@ pub struct Platform {
     pub(crate) occupancy: Vec<Option<(usize, VcpuId)>>,
     /// Dirty-page tracking hook (installed while a live migration runs).
     pub(crate) write_observer: Option<Box<dyn WriteObserver>>,
+    /// Sim-time trace sink (installed only while `--trace` is active, so
+    /// the recording paths cost one `Option` check when tracing is off).
+    pub(crate) trace: Option<TraceSink>,
+}
+
+/// The trace-span name of a remap under `mechanism` (Chrome trace viewers
+/// group and colour by name, so the mechanism is encoded there rather than
+/// in an arg).
+pub(crate) fn remap_span_name(mechanism: CoherenceMechanism) -> &'static str {
+    match mechanism {
+        CoherenceMechanism::Software => "remap_software",
+        CoherenceMechanism::SoftwareXen => "remap_software_xen",
+        CoherenceMechanism::UnitdPlusPlus => "remap_unitd",
+        CoherenceMechanism::Hatric => "remap_hatric",
+        CoherenceMechanism::Ideal => "remap_ideal",
+    }
 }
 
 impl Platform {
@@ -134,7 +151,42 @@ impl Platform {
             cycles: vec![0; config.num_cpus],
             occupancy: vec![None; config.num_cpus],
             write_observer: None,
+            trace: None,
         })
+    }
+
+    // ----- sim-time tracing -------------------------------------------------
+
+    /// Installs a trace sink; subsequent remaps, shootdown targets and
+    /// migration activity record sim-time spans into it.  Replaces any
+    /// previous sink.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    /// Removes the trace sink, returning it (tracing stops).
+    pub fn take_trace_sink(&mut self) -> Option<TraceSink> {
+        self.trace.take()
+    }
+
+    /// The installed trace sink, if any.
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// Whether a trace sink is currently installed.  Callers that would
+    /// allocate span arguments check this first so tracing is free when off.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Records one span if a sink is installed (drops it otherwise).
+    pub fn trace_event(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(event);
+        }
     }
 
     // ----- dirty-page tracking ----------------------------------------------
@@ -327,6 +379,11 @@ impl Platform {
             s.reset_stats();
         }
         self.energy = EnergyModel::new(self.mechanism.energy_params(self.cotag_bytes));
+        // Cycle counters restart at zero, so a trace spanning the boundary
+        // would go backwards; a trace covers exactly one measurement phase.
+        if let Some(sink) = self.trace.as_mut() {
+            sink.clear();
+        }
     }
 
     // ----- cycle attribution -----------------------------------------------
@@ -442,11 +499,16 @@ impl Platform {
         let assist = self.structures[cpu.index()].service_miss(vm_id, asid, &walk, accessed_clear);
         self.energy
             .record(EnergyEvent::PageWalkStep, assist.refs.len() as u64);
+        let walk_start = self.cycles[cpu.index()];
         let refs = assist.refs;
         for addr in refs {
             let outcome = self.caches.read(cpu, addr.cache_line());
             self.charge_read(vms, slot, cpu, addr, &outcome);
         }
+        vms[slot]
+            .latency_mut()
+            .walk
+            .record(self.cycles[cpu.index()] - walk_start);
 
         self.data_access(
             vms,
@@ -528,7 +590,9 @@ impl Platform {
                     numa.local_dram_accesses += 1;
                 }
                 let now = self.cycles[cpu.index()];
-                lat.llc_hit + self.memory.access(frame, slot, cpu_socket, now)
+                let cost = self.memory.access_detail(frame, slot, cpu_socket, now);
+                vms[slot].latency_mut().dram_queue.record(cost.queueing);
+                lat.llc_hit + cost.total
             }
         };
         self.charge_occupant(vms, cpu, cycles);
@@ -746,6 +810,27 @@ impl Platform {
 
     // ----- translation coherence -------------------------------------------
 
+    /// Socket distance makes coherence asymmetric: a software shootdown
+    /// whose IPI and acknowledgement cross the inter-socket link costs the
+    /// target far more than a local one, while a hardware co-tag message
+    /// pays only a small interconnect-hop premium.  Returns
+    /// `(cross_socket, extra_cycles)` for one remap target.
+    fn remap_distance_extra(
+        &self,
+        initiator_socket: SocketId,
+        target_cpu: CpuId,
+        disruptive: bool,
+        does_work: bool,
+    ) -> (bool, u64) {
+        let cross_socket = does_work && self.socket_of_cpu(target_cpu) != initiator_socket;
+        let extra = match (cross_socket, disruptive) {
+            (false, _) => 0,
+            (true, true) => self.numa.remote_shootdown_extra_cycles,
+            (true, false) => self.numa.remote_hw_message_extra_cycles,
+        };
+        (cross_socket, extra)
+    }
+
     /// Performs the hypervisor's store to a nested page-table entry of VM
     /// `slot` and the resulting translation-coherence activity.
     ///
@@ -766,6 +851,7 @@ impl Platform {
         pte_addr: SystemPhysAddr,
     ) {
         vms[slot].coherence_mut().remaps += 1;
+        let span_start = self.cycles[initiator.index()];
         let line = pte_addr.cache_line();
         let write = self.caches.write(initiator, line);
         self.charge_read(vms, slot, initiator, pte_addr, &write.access);
@@ -806,21 +892,59 @@ impl Platform {
 
         let cotag = CoTag::from_pte_addr(pte_addr, self.cotag_bytes);
         let initiator_socket = self.socket_of_cpu(initiator);
+        // Completion latency = initiator cycles plus the slowest target's
+        // invalidation (the window the remap is in flight).  Computed over
+        // the plan before the charging loop so the remap span can precede
+        // its per-target acks in the sink (trace order stays monotone per
+        // track).
+        let slowest_target = plan
+            .targets
+            .iter()
+            .map(|t| {
+                let disruptive = t.vm_exit || t.action == TargetAction::FlushAll;
+                let does_work = disruptive || t.action != TargetAction::None;
+                t.target_cycles
+                    + self
+                        .remap_distance_extra(initiator_socket, t.cpu, disruptive, does_work)
+                        .1
+            })
+            .max()
+            .unwrap_or(0);
+        vms[slot]
+            .latency_mut()
+            .shootdown
+            .record(plan.initiator_cycles + slowest_target);
+        if self.trace.is_some() {
+            let dur = (self.cycles[initiator.index()] - span_start) + slowest_target;
+            self.trace_event(TraceEvent {
+                name: remap_span_name(self.mechanism),
+                cat: "coherence",
+                track: track::cpu(initiator.index()),
+                ts: span_start,
+                dur,
+                args: vec![
+                    ("targets", plan.targets.len() as u64),
+                    ("ipis", plan.ipis_sent),
+                    ("hw_messages", plan.hw_messages),
+                ],
+            });
+        }
         for target in &plan.targets {
             let disruptive = target.vm_exit || target.action == TargetAction::FlushAll;
             let does_work = disruptive || target.action != TargetAction::None;
-            // Socket distance makes coherence asymmetric: a software
-            // shootdown whose IPI and acknowledgement cross the inter-socket
-            // link costs the target far more than a local one, while a
-            // hardware co-tag message pays only a small interconnect-hop
-            // premium.
-            let cross_socket = does_work && self.socket_of_cpu(target.cpu) != initiator_socket;
-            let distance_extra = match (cross_socket, disruptive) {
-                (false, _) => 0,
-                (true, true) => self.numa.remote_shootdown_extra_cycles,
-                (true, false) => self.numa.remote_hw_message_extra_cycles,
-            };
+            let (cross_socket, distance_extra) =
+                self.remap_distance_extra(initiator_socket, target.cpu, disruptive, does_work);
             let target_cycles = target.target_cycles + distance_extra;
+            if self.trace.is_some() && does_work {
+                self.trace_event(TraceEvent {
+                    name: "inval_target",
+                    cat: "coherence",
+                    track: track::cpu(target.cpu.index()),
+                    ts: self.cycles[target.cpu.index()],
+                    dur: target_cycles,
+                    args: vec![("vm_exit", u64::from(target.vm_exit))],
+                });
+            }
             if does_work {
                 let numa = vms[slot].numa_mut();
                 if cross_socket {

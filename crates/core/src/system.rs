@@ -139,6 +139,7 @@ impl System {
             translation: self.platform.translation_snapshot(),
             cache: self.platform.cache_snapshot(),
             energy: self.platform.energy_report(),
+            latency: vm.latency,
         }
     }
 

@@ -12,6 +12,7 @@
 use hatric_hypervisor::{PagingConfig, PagingManager, VirtualMachine, VmConfig};
 use hatric_memory::MemorySystem;
 use hatric_pagetable::{GuestPageTable, NestedPageTable};
+use hatric_telemetry::LatencyStats;
 use hatric_types::{GuestFrame, SystemFrame, VcpuId, VmId};
 
 use crate::metrics::{
@@ -82,6 +83,7 @@ pub struct VmInstance {
     faults: FaultActivity,
     interference: InterferenceActivity,
     numa: NumaActivity,
+    latency: LatencyStats,
 }
 
 impl VmInstance {
@@ -137,6 +139,7 @@ impl VmInstance {
             faults: FaultActivity::default(),
             interference: InterferenceActivity::default(),
             numa: NumaActivity::default(),
+            latency: LatencyStats::default(),
         }
     }
 
@@ -222,6 +225,7 @@ impl VmInstance {
         self.faults = FaultActivity::default();
         self.interference = InterferenceActivity::default();
         self.numa = NumaActivity::default();
+        self.latency = LatencyStats::default();
         self.paging.reset_stats();
     }
 
@@ -238,6 +242,7 @@ impl VmInstance {
             interference: self.interference,
             numa: self.numa,
             paging: self.paging.stats(),
+            latency: self.latency,
             ..SimReport::default()
         }
     }
@@ -270,6 +275,10 @@ impl VmInstance {
 
     pub(crate) fn numa_mut(&mut self) -> &mut NumaActivity {
         &mut self.numa
+    }
+
+    pub(crate) fn latency_mut(&mut self) -> &mut LatencyStats {
+        &mut self.latency
     }
 
     pub(crate) fn bump_accesses(&mut self) {

@@ -3,27 +3,33 @@
 //!
 //! ```text
 //! scenarios --list [--md]
-//! scenarios run <name> [--scale smoke|bench|full] [--json PATH] [--set key=value]...
+//! scenarios run <name> [--scale smoke|bench|full] [--json PATH] [--trace PATH] [--set key=value]...
 //! ```
 //!
 //! `--list` prints the registry (with `--md`, as the markdown table the
 //! README's scenario catalog embeds, so the two cannot drift).  `run`
 //! executes one scenario at the requested scale (default `bench`), prints
 //! its report table, and with `--json` also writes the report in the
-//! `BENCH_*.json` schema.
+//! `BENCH_*.json` schema.  `--trace` additionally runs one representative
+//! traced configuration and writes its deterministic sim-time spans as a
+//! Chrome trace-event file (open in `chrome://tracing` or Perfetto).
 
 use std::process::ExitCode;
 
-use hatric_host::scenario::{find, registry, Params, Scale, Scenario};
+use hatric_host::scenario::{
+    append_meta_record, bench_meta_json, find, registry, Params, Scale, Scenario,
+};
 
 const USAGE: &str = "usage:
   scenarios --list [--md]
-  scenarios run <name> [--scale smoke|bench|full] [--json PATH] [--set key=value]...
+  scenarios run <name> [--scale smoke|bench|full] [--json PATH] [--trace PATH] [--set key=value]...
 
 Scenarios are registered in hatric_host::scenario::registry(); `--list`
 shows them.  `--scale` sizes the run (default: bench, the committed
-BENCH_*.json baseline scale).  `--set` overrides a scenario parameter
-(see its key set via the defaults printed on a bad key).";
+BENCH_*.json baseline scale).  `--trace` writes a Chrome trace-event JSON
+of one traced configuration (host scenarios only).  `--set` overrides a
+scenario parameter (see its key set via the defaults printed on a bad
+key).";
 
 fn list(markdown: bool) {
     if markdown {
@@ -45,6 +51,7 @@ struct RunArgs {
     scenario: &'static dyn Scenario,
     scale: Scale,
     json: Option<String>,
+    trace: Option<String>,
     overrides: Params,
 }
 
@@ -59,10 +66,11 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     })?;
     let mut scale = Scale::Bench;
     let mut json = None;
+    let mut trace = None;
     let mut overrides = Params::new();
     let mut rest = &args[1..];
     while let Some(flag) = rest.first() {
-        if !matches!(flag.as_str(), "--scale" | "--json" | "--set") {
+        if !matches!(flag.as_str(), "--scale" | "--json" | "--trace" | "--set") {
             return Err(format!("unknown flag `{flag}`\n{USAGE}"));
         }
         let value = rest
@@ -75,6 +83,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 })?;
             }
             "--json" => json = Some(value.clone()),
+            "--trace" => trace = Some(value.clone()),
             "--set" => {
                 let (key, val) = value
                     .split_once('=')
@@ -89,6 +98,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         scenario,
         scale,
         json,
+        trace,
         overrides,
     })
 }
@@ -98,6 +108,7 @@ fn run(args: &[String]) -> Result<(), String> {
         scenario,
         scale,
         json,
+        trace,
         overrides,
     } = parse_run_args(args)?;
     eprintln!(
@@ -128,9 +139,31 @@ fn run(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(path) = json {
-        std::fs::write(&path, report.to_json())
-            .map_err(|err| format!("cannot write {path}: {err}"))?;
+        // The writer layer — not Scenario::run — appends the ungated
+        // environment metadata, so run() output stays byte-identical
+        // whether or not it is being written to disk.
+        let threads = hatric_host::scenario::resolve_params(scenario, &overrides, scale)
+            .ok()
+            .and_then(|p| p.get("threads").and_then(|v| v.parse::<u64>().ok()));
+        let body = append_meta_record(&report.to_json(), &bench_meta_json(threads));
+        std::fs::write(&path, body).map_err(|err| format!("cannot write {path}: {err}"))?;
         println!("wrote {} rows to {path}", report.rows.len());
+    }
+    if let Some(path) = trace {
+        match scenario.trace_run(&overrides, scale) {
+            None => {
+                return Err(format!(
+                    "--trace: scenario `{}` has no traced configuration",
+                    scenario.name()
+                ));
+            }
+            Some(Err(err)) => return Err(format!("--trace: {err}")),
+            Some(Ok(trace_json)) => {
+                std::fs::write(&path, trace_json)
+                    .map_err(|err| format!("cannot write {path}: {err}"))?;
+                println!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+            }
+        }
     }
     Ok(())
 }

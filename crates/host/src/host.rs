@@ -2,6 +2,7 @@
 //! [`Platform`].
 
 use hatric::metrics::{HostReport, MigrationStats, SimReport};
+use hatric::telemetry::{track, PhaseTotals, TraceEvent, TraceSink};
 use hatric::{
     run_slice_parallel, EngineState, Platform, VmInstance, VmPagingParams, WorkloadDriver,
 };
@@ -161,6 +162,34 @@ impl ConsolidatedHost {
         self.slices_run
     }
 
+    // ----- observability -----------------------------------------------------
+
+    /// Installs a sim-time trace sink holding up to `capacity` spans
+    /// (oldest evicted first).  Recording is keyed entirely to simulated
+    /// cycle counters, so the trace is deterministic — byte-identical for
+    /// any worker thread count — and never perturbs the model.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.platform.set_trace_sink(TraceSink::new(capacity));
+    }
+
+    /// Exports the recorded spans as a Chrome trace-event JSON document
+    /// (openable in `chrome://tracing` or Perfetto), or `None` when
+    /// tracing was never enabled.
+    #[must_use]
+    pub fn export_trace(&self) -> Option<String> {
+        self.platform
+            .trace_sink()
+            .map(hatric::telemetry::TraceSink::export_chrome_trace)
+    }
+
+    /// Wall-clock totals the slice engine spent in each phase (simulate,
+    /// bank replay, booking replay, serial commit, pool refill) on this
+    /// host's slices.
+    #[must_use]
+    pub fn phase_totals(&self) -> &PhaseTotals {
+        self.engine.phase_totals()
+    }
+
     /// Runs `warmup_slices` unmeasured slices (to populate page tables,
     /// caches and the resident sets), clears the measurement counters, runs
     /// `measured_slices` measured slices and returns the report.
@@ -192,6 +221,12 @@ impl ConsolidatedHost {
             self.platform
                 .set_occupant(p.pcpu, Some((p.vm_slot, p.vcpu)));
         }
+        // Scheduler-slice spans are anchored to CPU 0's cycle counter: it
+        // only moves forward, so the scheduler track stays monotone.
+        let slice_start = self
+            .platform
+            .trace_enabled()
+            .then(|| self.platform.cycles_per_cpu()[0]);
         // Simulate the slice's VM shards (on `config.threads` workers) and
         // commit their effect logs at the barrier — bit-identical for any
         // thread count.
@@ -206,6 +241,20 @@ impl ConsolidatedHost {
         );
         self.next_slice_buf = std::mem::replace(&mut self.current_slice, placements);
         self.advance_events();
+        if let Some(start) = slice_start {
+            let now = self.platform.cycles_per_cpu()[0];
+            self.platform.trace_event(TraceEvent {
+                name: "slice",
+                cat: "scheduler",
+                track: track::SCHEDULER,
+                ts: start,
+                dur: now.saturating_sub(start),
+                args: vec![
+                    ("slice", self.slices_run),
+                    ("placed_vcpus", self.current_slice.len() as u64),
+                ],
+            });
+        }
         self.slices_run += 1;
     }
 
@@ -337,6 +386,7 @@ impl ConsolidatedHost {
             host.interference.merge(&vm.interference);
             host.numa.merge(&vm.numa);
             host.paging.merge(&vm.paging);
+            host.latency.merge(&vm.latency);
         }
         let mut migration = self.finished_migration_stats;
         if let Some(engine) = &self.migration {

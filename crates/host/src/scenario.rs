@@ -34,14 +34,18 @@
 //! ```
 
 use hatric::experiments::{fig9, xen, ExperimentParams};
+use hatric::metrics::HostReport;
+use hatric::telemetry::{global_phase_totals, EnginePhase};
 use hatric_coherence::CoherenceMechanism;
 use hatric_hypervisor::{NumaPolicy, SchedPolicy};
 use hatric_types::ConfigError;
 
+use crate::config::HostConfig;
 use crate::experiments::{
     host_scale, migration_storm, multivm, numa_contention, HostScaleParams, MigrationStormParams,
     MultiVmParams, NumaContentionParams,
 };
+use crate::host::ConsolidatedHost;
 
 // ---------------------------------------------------------------------------
 // Scale
@@ -426,11 +430,16 @@ impl ScenarioReport {
     /// as [`Metric::Count`]; anything else numeric as [`Metric::Ratio`] —
     /// so `to_json → from_json → to_json` is byte-stable.  Returns `None`
     /// if no records parse or a record does not have the row shape (a
-    /// textual label followed by a textual `mechanism` field).
+    /// textual label followed by a textual `mechanism` field).  A trailing
+    /// `"meta"` environment record (what [`bench_meta_json`] renders and
+    /// the JSON writers append) is skipped, not parsed as a row.
     #[must_use]
     pub fn from_json(scenario: &str, text: &str) -> Option<Self> {
         let mut rows = Vec::new();
         for record in parse_typed_records(text) {
+            if record.first().is_some_and(|(key, _)| key == "meta") {
+                continue;
+            }
             let has_row_shape = record.len() >= 2
                 && matches!(record[0].1, Metric::Text(_))
                 && record[1].0 == "mechanism"
@@ -589,6 +598,21 @@ pub trait Scenario: Sync {
     /// overrides or a parameter combination that fails host validation.
     fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError>;
 
+    /// Runs **one representative traced configuration** of this scenario
+    /// (with `params` overlaid on the defaults at `scale`) and returns the
+    /// Chrome trace-event JSON — what `scenarios run <name> --trace out.json`
+    /// writes.  The default is `None`: scenarios built on the single-VM
+    /// [`hatric::System`] (`fig9`, `xen`) have no host-level sink to drain.
+    ///
+    /// Host scenarios trace a single sweep point under one mechanism
+    /// (software shootdowns where the sweep includes them, for the richest
+    /// remap → IPI fan-out → ack lifecycles) rather than re-running the
+    /// whole matrix: a trace is a magnifying glass, not a report.
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let _ = (params, scale);
+        None
+    }
+
     /// Stem of this scenario's committed baseline trajectory
     /// (`BENCH_<stem>.json` at the workspace root), or `None` if the
     /// scenario has no committed baseline.
@@ -662,6 +686,82 @@ pub fn resolve_params(
 
 fn mechanism_label(mechanism: CoherenceMechanism) -> String {
     format!("{mechanism:?}")
+}
+
+// ---------------------------------------------------------------------------
+// Shared row plumbing, tracing and bench metadata
+// ---------------------------------------------------------------------------
+
+/// Appends the row tail every host scenario shares: the machine-dependent
+/// wall-clock columns (`elapsed_ms`, `accesses_per_sec` — never gated,
+/// stripped by the determinism cross-checks) followed by the deterministic
+/// latency-distribution percentiles the run accumulated — p50/p99, in
+/// simulated cycles, of nested-walk latency, shootdown completion latency
+/// and DRAM queueing delay.  One helper instead of four hand-rolled copies
+/// keeps the column set identical across scenarios.
+fn timing_columns(row: Row, report: &HostReport, elapsed_ms: f64, accesses_per_sec: f64) -> Row {
+    let lat = &report.host.latency;
+    row.ratio("elapsed_ms", elapsed_ms)
+        .ratio("accesses_per_sec", accesses_per_sec)
+        .count("walk_p50", lat.walk.p50())
+        .count("walk_p99", lat.walk.p99())
+        .count("shootdown_p50", lat.shootdown.p50())
+        .count("shootdown_p99", lat.shootdown.p99())
+        .count("dram_queue_p50", lat.dram_queue.p50())
+        .count("dram_queue_p99", lat.dram_queue.p99())
+}
+
+/// Spans a traced scenario run keeps before the ring starts evicting the
+/// oldest.  Sized for a bench-scale run; smoke traces fit with room to
+/// spare.
+const TRACE_CAPACITY: usize = 1 << 16;
+
+/// Runs `config` with sim-time tracing enabled and returns the Chrome
+/// trace-event JSON document ([`Scenario::trace_run`]'s workhorse).
+fn traced_host_run(config: HostConfig, warmup: u64, measured: u64) -> Result<String, ConfigError> {
+    config.validate()?;
+    let mut host = ConsolidatedHost::new(config).expect("the configuration was just validated");
+    host.enable_tracing(TRACE_CAPACITY);
+    host.run(warmup, measured);
+    Ok(host.export_trace().expect("tracing was enabled above"))
+}
+
+/// Renders the ungated environment-metadata record the JSON writers append
+/// after a report's rows: host parallelism, the run's worker-thread count
+/// (when the scenario has one) and the wall-clock totals the slice engine
+/// has spent in each phase so far in this process.  The record's first key
+/// is `"meta"`, which [`ScenarioReport::from_json`] and the bench gates
+/// skip — every value here is machine-dependent and must never gate.
+#[must_use]
+pub fn bench_meta_json(threads: Option<u64>) -> String {
+    let nproc = std::thread::available_parallelism().map_or(0, |n| n.get() as u64);
+    let totals = global_phase_totals();
+    let mut out = format!("{{\"meta\":\"env\",\"nproc\":{nproc}");
+    if let Some(threads) = threads {
+        out.push_str(&format!(",\"threads\":{threads}"));
+    }
+    for phase in EnginePhase::ALL {
+        out.push_str(&format!(
+            ",\"phase_{}_ms\":{:.6}",
+            phase.label(),
+            totals.millis(phase)
+        ));
+    }
+    out.push_str(&format!(",\"slices\":{}}}", totals.slices()));
+    out
+}
+
+/// Splices a flat `meta` record (e.g. [`bench_meta_json`] output) into a
+/// [`ScenarioReport::to_json`] document as its trailing record.  Applied
+/// only at the writer layer — `scenarios run --json` and the bench
+/// baseline writer — so `Scenario::run` output itself stays byte-identical
+/// with and without metadata.
+#[must_use]
+pub fn append_meta_record(json: &str, meta: &str) -> String {
+    match json.rfind("\n]") {
+        Some(pos) => format!("{},\n  {meta}{}", &json[..pos], &json[pos..]),
+        None => json.to_string(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -748,23 +848,41 @@ impl Scenario for MultivmScenario {
         for (pressure, factor) in PRESSURE_SWEEP {
             let rows = multivm::run(&base.with_aggressor_footprint_factor(factor));
             for row in &rows {
-                report.push(
-                    Row::new("pressure", pressure, &mechanism_label(row.mechanism))
-                        .ratio("victim_slowdown_vs_ideal", row.victim_slowdown_vs_ideal)
-                        .count("victim_disrupted_cycles", row.victim_disrupted_cycles)
-                        .count("aggressor_remaps", row.aggressor_remaps)
-                        .count("ipis", row.report.host.coherence.ipis)
-                        .count(
-                            "coherence_vm_exits",
-                            row.report.host.coherence.coherence_vm_exits,
-                        )
-                        .count("host_runtime_cycles", row.report.host.runtime_cycles())
-                        .ratio("elapsed_ms", row.elapsed_ms)
-                        .ratio("accesses_per_sec", row.accesses_per_sec),
-                );
+                let built = Row::new("pressure", pressure, &mechanism_label(row.mechanism))
+                    .ratio("victim_slowdown_vs_ideal", row.victim_slowdown_vs_ideal)
+                    .count("victim_disrupted_cycles", row.victim_disrupted_cycles)
+                    .count("aggressor_remaps", row.aggressor_remaps)
+                    .count("ipis", row.report.host.coherence.ipis)
+                    .count(
+                        "coherence_vm_exits",
+                        row.report.host.coherence.coherence_vm_exits,
+                    )
+                    .count("host_runtime_cycles", row.report.host.runtime_cycles());
+                report.push(timing_columns(
+                    built,
+                    &row.report,
+                    row.elapsed_ms,
+                    row.accesses_per_sec,
+                ));
             }
         }
         Ok(report)
+    }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| Self::typed(&merged))
+            .and_then(|base| {
+                // The severe sweep point under software shootdowns: the
+                // most remap traffic the scenario generates.
+                let point = base.with_aggressor_footprint_factor(2.0);
+                traced_host_run(
+                    point.host_config(CoherenceMechanism::Software),
+                    point.warmup_slices,
+                    point.measured_slices,
+                )
+            });
+        Some(traced)
     }
 
     fn baseline_stem(&self) -> Option<&'static str> {
@@ -883,21 +1001,39 @@ impl Scenario for MigrationStormScenario {
         for (label, point) in sweep {
             let rows = migration_storm::run(&point);
             for row in &rows {
-                report.push(
-                    Row::new("scenario", label, &mechanism_label(row.mechanism))
-                        .count("downtime_cycles", row.downtime_cycles)
-                        .ratio("victim_slowdown_vs_ideal", row.victim_slowdown_vs_ideal)
-                        .count("victim_disrupted_cycles", row.victim_disrupted_cycles)
-                        .count("migration_remaps", row.migration_remaps)
-                        .count("precopy_rounds", row.precopy_rounds)
-                        .count("pages_copied", row.pages_copied)
-                        .count("host_runtime_cycles", row.report.host.runtime_cycles())
-                        .ratio("elapsed_ms", row.elapsed_ms)
-                        .ratio("accesses_per_sec", row.accesses_per_sec),
-                );
+                let built = Row::new("scenario", label, &mechanism_label(row.mechanism))
+                    .count("downtime_cycles", row.downtime_cycles)
+                    .ratio("victim_slowdown_vs_ideal", row.victim_slowdown_vs_ideal)
+                    .count("victim_disrupted_cycles", row.victim_disrupted_cycles)
+                    .count("migration_remaps", row.migration_remaps)
+                    .count("precopy_rounds", row.precopy_rounds)
+                    .count("pages_copied", row.pages_copied)
+                    .count("host_runtime_cycles", row.report.host.runtime_cycles());
+                report.push(timing_columns(
+                    built,
+                    &row.report,
+                    row.elapsed_ms,
+                    row.accesses_per_sec,
+                ));
             }
         }
         Ok(report)
+    }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| Self::typed(&merged))
+            .and_then(|base| {
+                // The plain pre-copy storm under software shootdowns: the
+                // full lifecycle — write-protect remap fan-outs each round,
+                // then the stop-and-copy downtime burst — in one track set.
+                traced_host_run(
+                    base.host_config(CoherenceMechanism::Software),
+                    base.warmup_slices,
+                    base.measured_slices,
+                )
+            });
+        Some(traced)
     }
 
     fn baseline_stem(&self) -> Option<&'static str> {
@@ -1043,17 +1179,19 @@ impl Scenario for NumaContentionScenario {
                 }
             }
             for row in &rows {
-                report.push(
-                    Row::new("config", label, &mechanism_label(row.mechanism))
-                        .ratio("victim_slowdown_vs_ideal", row.victim_slowdown_vs_ideal)
-                        .count("victim_disrupted_cycles", row.victim_disrupted_cycles)
-                        .ratio("remote_access_ratio", row.remote_access_ratio)
-                        .ratio("remote_target_ratio", row.remote_target_ratio)
-                        .count("aggressor_remaps", row.aggressor_remaps)
-                        .count("host_runtime_cycles", row.report.host.runtime_cycles())
-                        .ratio("elapsed_ms", row.elapsed_ms)
-                        .ratio("accesses_per_sec", row.accesses_per_sec),
-                );
+                let built = Row::new("config", label, &mechanism_label(row.mechanism))
+                    .ratio("victim_slowdown_vs_ideal", row.victim_slowdown_vs_ideal)
+                    .count("victim_disrupted_cycles", row.victim_disrupted_cycles)
+                    .ratio("remote_access_ratio", row.remote_access_ratio)
+                    .ratio("remote_target_ratio", row.remote_target_ratio)
+                    .count("aggressor_remaps", row.aggressor_remaps)
+                    .count("host_runtime_cycles", row.report.host.runtime_cycles());
+                report.push(timing_columns(
+                    built,
+                    &row.report,
+                    row.elapsed_ms,
+                    row.accesses_per_sec,
+                ));
             }
         }
         if assert_claim {
@@ -1069,6 +1207,22 @@ impl Scenario for NumaContentionScenario {
             );
         }
         Ok(report)
+    }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| Self::typed(&merged))
+            .and_then(|base| {
+                // The two-socket interleaved point under software
+                // shootdowns: cross-socket invalidation acks dominate.
+                let point = base.with_sockets(2);
+                traced_host_run(
+                    point.host_config(CoherenceMechanism::Software),
+                    point.warmup_slices,
+                    point.measured_slices,
+                )
+            });
+        Some(traced)
     }
 
     fn baseline_stem(&self) -> Option<&'static str> {
@@ -1150,26 +1304,44 @@ impl Scenario for HostScaleScenario {
         }
         let mut report = ScenarioReport::new(self.name());
         for row in host_scale::run(&base) {
-            report.push(
-                Row::new(
-                    "config",
-                    &format!("v{}_t{}", row.vcpus, row.threads),
-                    "Hatric",
-                )
-                .count("vcpus", row.vcpus as u64)
-                .count("threads", row.threads as u64)
-                .count("host_runtime_cycles", row.report.host.runtime_cycles())
-                .count("accesses", row.report.host.accesses)
-                .count("aggressor_remaps", row.report.per_vm[0].coherence.remaps)
-                .count(
-                    "host_disrupted_cycles",
-                    row.report.host.interference.disrupted_cycles,
-                )
-                .ratio("elapsed_ms", row.elapsed_ms)
-                .ratio("accesses_per_sec", row.accesses_per_sec),
+            let built = Row::new(
+                "config",
+                &format!("v{}_t{}", row.vcpus, row.threads),
+                "Hatric",
+            )
+            .count("vcpus", row.vcpus as u64)
+            .count("threads", row.threads as u64)
+            .count("host_runtime_cycles", row.report.host.runtime_cycles())
+            .count("accesses", row.report.host.accesses)
+            .count("aggressor_remaps", row.report.per_vm[0].coherence.remaps)
+            .count(
+                "host_disrupted_cycles",
+                row.report.host.interference.disrupted_cycles,
             );
+            report.push(timing_columns(
+                built,
+                &row.report,
+                row.elapsed_ms,
+                row.accesses_per_sec,
+            ));
         }
         Ok(report)
+    }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| Self::typed(&merged))
+            .and_then(|base| {
+                // The largest machine at the full thread count: one traced
+                // run showing the HATRIC host the sweep peaks at.
+                let vcpus = base.vcpus_max;
+                traced_host_run(
+                    base.host_config(vcpus, base.threads_max),
+                    base.warmup_slices,
+                    base.measured_slices,
+                )
+            });
+        Some(traced)
     }
 
     fn baseline_stem(&self) -> Option<&'static str> {
@@ -1414,6 +1586,49 @@ mod tests {
         // failure, not a latent panic in label()/mechanism().
         assert!(ScenarioReport::from_json("demo", "[{\"a\":1,\"b\":2}]").is_none());
         assert!(ScenarioReport::from_json("demo", "[{\"a\":\"x\",\"b\":\"y\"}]").is_none());
+    }
+
+    #[test]
+    fn meta_record_splices_in_and_parses_back_out() {
+        let mut report = ScenarioReport::new("demo");
+        report.push(
+            Row::new("config", "a", "Software")
+                .ratio("slowdown", 1.25)
+                .count("cycles", 42),
+        );
+        let meta = bench_meta_json(Some(4));
+        assert!(meta.starts_with("{\"meta\":\"env\",\"nproc\":"));
+        assert!(meta.contains("\"threads\":4"));
+        assert!(meta.contains("\"phase_simulate_ms\":"));
+        assert!(meta.contains("\"phase_serial_commit_ms\":"));
+        assert!(meta.contains("\"slices\":"));
+        let body = append_meta_record(&report.to_json(), &meta);
+        assert!(body.contains(&meta), "meta record must land in the body");
+        // The reader skips the trailing meta record: the parsed report is
+        // exactly the rows, so gated comparisons never see the metadata.
+        let back = ScenarioReport::from_json("demo", &body).unwrap();
+        assert_eq!(back, report);
+        // Without a threads knob the key is simply absent.
+        assert!(!bench_meta_json(None).contains("\"threads\""));
+        // Splicing into something that is not a report array is a no-op.
+        assert_eq!(append_meta_record("not json", &meta), "not json");
+    }
+
+    #[test]
+    fn host_scenarios_trace_and_system_scenarios_do_not() {
+        for scenario in registry() {
+            let expects_trace = !matches!(scenario.name(), "fig9" | "xen");
+            assert_eq!(
+                scenario
+                    .trace_run(&Params::new().with("bogus", 1), Scale::Smoke)
+                    .map(|r| r.is_err()),
+                // Host scenarios surface the unknown-param error through
+                // trace_run; System scenarios advertise no trace at all.
+                expects_trace.then_some(true),
+                "{}: trace_run availability/override validation",
+                scenario.name()
+            );
+        }
     }
 
     #[test]

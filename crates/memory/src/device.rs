@@ -152,6 +152,13 @@ impl MemoryDevice {
     /// Performs one demand access by `stream` at time `now`; returns its
     /// latency (base + current queueing delay across all streams) in cycles.
     pub fn access(&mut self, stream: usize, now: u64) -> u64 {
+        self.access_detail(stream, now).0
+    }
+
+    /// Like [`MemoryDevice::access`], but returns `(latency, queueing)` so callers
+    /// can attribute the queueing component separately (the telemetry layer
+    /// histograms DRAM queueing delay on its own).
+    pub fn access_detail(&mut self, stream: usize, now: u64) -> (u64, u64) {
         self.drain(now);
         self.ensure_stream(stream);
         let queueing = self.total_backlog() as u64;
@@ -160,7 +167,7 @@ impl MemoryDevice {
         self.streams[stream].stats.queueing_cycles.add(queueing);
         self.stats.accesses.incr();
         self.stats.queueing_cycles.add(queueing);
-        self.config.base_latency_cycles + queueing
+        (self.config.base_latency_cycles + queueing, queueing)
     }
 
     /// The queueing delay an access at time `now` would observe, computed

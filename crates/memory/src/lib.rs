@@ -137,6 +137,18 @@ impl Default for MemorySystemConfig {
     }
 }
 
+/// The cost of one demand line access, with the queueing component broken
+/// out: `total` is what the caller charges to the requesting CPU, while
+/// `queueing` is the share of that spent waiting behind earlier requests
+/// (device backlog, plus the inter-socket link backlog for remote frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessCost {
+    /// Full access latency in cycles (base + queueing + NUMA penalties).
+    pub total: u64,
+    /// Cycles of the total spent queueing behind earlier requests.
+    pub queueing: u64,
+}
+
 /// One socket's memory group: its slice of each device plus the allocators
 /// over those slices.
 #[derive(Debug, Clone)]
@@ -378,15 +390,34 @@ impl MemorySystem {
         from_socket: SocketId,
         now: u64,
     ) -> u64 {
+        self.access_detail(frame, stream, from_socket, now).total
+    }
+
+    /// Like [`MemorySystem::access`], but also reports the queueing
+    /// component (device backlog plus, for remote frames, link backlog) on
+    /// its own so callers can histogram DRAM queueing delay separately
+    /// from the fixed device latency.
+    pub fn access_detail(
+        &mut self,
+        frame: SystemFrame,
+        stream: usize,
+        from_socket: SocketId,
+        now: u64,
+    ) -> AccessCost {
         let kind = self.kind_of(frame);
         let home = self.socket_of(frame);
         let device = self.device_mut(home, kind);
-        let mut cycles = device.access(stream, now);
+        let (mut cycles, mut queueing) = device.access_detail(stream, now);
         if home != from_socket {
             cycles += self.config.numa.remote_dram_extra_cycles;
-            cycles += self.links[home.index()].access(stream, now);
+            let (link_cycles, link_queueing) = self.links[home.index()].access_detail(stream, now);
+            cycles += link_cycles;
+            queueing += link_queueing;
         }
-        cycles
+        AccessCost {
+            total: cycles,
+            queueing,
+        }
     }
 
     /// Whether an access to `frame` from a CPU on `from_socket` crosses the
@@ -473,23 +504,40 @@ impl MemorySystem {
         now: u64,
         pending: &mut DramPending,
     ) -> u64 {
+        self.plan_access_detail(frame, from_socket, now, pending)
+            .total
+    }
+
+    /// Like [`MemorySystem::plan_access`], but also reports the projected
+    /// queueing component on its own (the frozen-state analogue of
+    /// [`MemorySystem::access_detail`]).
+    pub fn plan_access_detail(
+        &self,
+        frame: SystemFrame,
+        from_socket: SocketId,
+        now: u64,
+        pending: &mut DramPending,
+    ) -> AccessCost {
         let kind = self.kind_of(frame);
         let home = self.socket_of(frame);
         let device = self.device(home, kind);
         let bucket = pending.device_mut(home, kind);
-        let queueing = device.projected_queueing(now) + bucket.projected(now);
+        let mut queueing = device.projected_queueing(now) + bucket.projected(now);
         bucket.deposit(device.config().service_cycles_per_line as f64);
         let mut cycles = device.config().base_latency_cycles + queueing;
         if home != from_socket {
             cycles += self.config.numa.remote_dram_extra_cycles;
             let link = &self.links[home.index()];
             let link_bucket = pending.link_mut(home);
-            cycles += link.config().base_latency_cycles
-                + link.projected_queueing(now)
-                + link_bucket.projected(now);
+            let link_queueing = link.projected_queueing(now) + link_bucket.projected(now);
+            cycles += link.config().base_latency_cycles + link_queueing;
+            queueing += link_queueing;
             link_bucket.deposit(link.config().service_cycles_per_line as f64);
         }
-        cycles
+        AccessCost {
+            total: cycles,
+            queueing,
+        }
     }
 
     /// Predicts the cost of copying one 4 KiB page (the per-line occupancy

@@ -27,6 +27,7 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 
 use hatric::metrics::MigrationStats;
+use hatric::telemetry::{track, TraceEvent};
 use hatric::{Platform, VmInstance};
 use hatric_types::{CpuId, GuestFrame};
 
@@ -111,6 +112,10 @@ pub struct MigrationEngine {
     final_set: Vec<GuestFrame>,
     tracker: DirtyTracker,
     stats: MigrationStats,
+    /// `(start_cycle, pages_copied_at_start)` of the in-flight pre-copy
+    /// round, captured lazily on its first advance so the round span's
+    /// `ts` sits on the migration thread's cycle counter.
+    round_span: Option<(u64, u64)>,
 }
 
 impl MigrationEngine {
@@ -138,6 +143,7 @@ impl MigrationEngine {
             final_set: Vec::new(),
             tracker: DirtyTracker::new(params.vm_slot),
             stats,
+            round_span: None,
         }
     }
 
@@ -206,6 +212,10 @@ impl MigrationEngine {
                 ..MigrationStats::default()
             }
         };
+        // The platform's cycle counters (and trace sink) restart at the
+        // measured boundary, so a span anchored to a warmup cycle would
+        // dangle — re-anchor the in-flight round on its next advance.
+        self.round_span = None;
     }
 
     /// Advances the migration by one scheduler slice.  The caller runs this
@@ -225,6 +235,12 @@ impl MigrationEngine {
     }
 
     fn advance_precopy(&mut self, platform: &mut Platform, vms: &mut [VmInstance], cpu: CpuId) {
+        if self.round_span.is_none() {
+            self.round_span = Some((
+                platform.cycles_per_cpu()[cpu.index()],
+                self.stats.pages_copied,
+            ));
+        }
         for _ in 0..self.params.copy_pages_per_slice {
             let Some(gpp) = self.copy_queue.pop_front() else {
                 break;
@@ -237,6 +253,23 @@ impl MigrationEngine {
         // Round over: what did the guest dirty while we copied?
         let dirty = self.tracker.drain();
         self.stats.pages_redirtied += dirty.len() as u64;
+        if platform.trace_enabled() {
+            let (start, pages_at_start) = self.round_span.unwrap_or((0, 0));
+            let now = platform.cycles_per_cpu()[cpu.index()];
+            platform.trace_event(TraceEvent {
+                name: "precopy_round",
+                cat: "migration",
+                track: track::HYPERVISOR,
+                ts: start,
+                dur: now.saturating_sub(start),
+                args: vec![
+                    ("round", u64::from(self.round)),
+                    ("copied", self.stats.pages_copied - pages_at_start),
+                    ("dirtied", dirty.len() as u64),
+                ],
+            });
+        }
+        self.round_span = None;
         if dirty.len() as u64 <= self.params.dirty_page_threshold
             || self.round >= self.params.max_rounds
         {
@@ -264,6 +297,7 @@ impl MigrationEngine {
         let late = self.tracker.drain();
         self.stats.pages_redirtied += late.len() as u64;
         residue.extend(late);
+        let residual_pages = residue.len() as u64;
         for gpp in residue {
             self.copy_page(platform, vms, cpu, gpp);
         }
@@ -278,6 +312,19 @@ impl MigrationEngine {
         platform.remap_coherence(vms, slot, cpu, root.addr_at(0));
         self.stats.migration_remaps += 1;
         let after = platform.cycles_per_cpu()[cpu.index()];
+        if platform.trace_enabled() {
+            platform.trace_event(TraceEvent {
+                name: "stop_and_copy",
+                cat: "migration",
+                track: track::HYPERVISOR,
+                ts: before,
+                dur: after.saturating_sub(before),
+                args: vec![
+                    ("residual_pages", residual_pages),
+                    ("downtime_cycles", after.saturating_sub(before)),
+                ],
+            });
+        }
         self.stats.downtime_cycles += after - before;
         self.stats.migrations_completed += 1;
         self.phase = MigrationPhase::Completed;

@@ -1,0 +1,644 @@
+//! # hatric-telemetry
+//!
+//! Observability primitives for the HATRIC reproduction, shared by the
+//! core engine, the migration subsystem and the scenario layer:
+//!
+//! * [`LatencyHistogram`] — fixed-size power-of-two-bucket histograms for
+//!   sim-time latency distributions (nested-walk latency, shootdown
+//!   completion latency, DRAM queueing delay).  Integer bucket counters
+//!   merge deterministically, so per-VM histograms can ride the slice
+//!   engine's commit barrier exactly like the energy tallies.
+//! * [`TraceSink`] / [`TraceEvent`] — a ring-buffered recorder of spans
+//!   keyed by *simulated* cycles, exportable as Chrome trace-event JSON
+//!   ([`TraceSink::export_chrome_trace`]) for `chrome://tracing`/Perfetto.
+//! * [`PhaseProfiler`] / [`PhaseTotals`] — wall-clock totals of the slice
+//!   engine's phases (pool refill, simulate, bank replay, booking replay,
+//!   serial commit).  Wall-clock data never feeds back into the model; it
+//!   exists purely so the engine's own cost is measurable over time.
+//!
+//! Everything here is determinism-neutral by construction: histograms
+//! count simulated quantities only, the trace sink is an append-only log
+//! of simulated spans that no model code ever reads back, and the phase
+//! profiler is the single sanctioned home for wall-clock measurements.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Latency histograms
+// ---------------------------------------------------------------------------
+
+/// Number of buckets in a [`LatencyHistogram`].  Bucket 0 holds zero-cycle
+/// samples; bucket *i* (for `1 <= i < BUCKETS-1`) holds samples in
+/// `[2^(i-1), 2^i)`; the top bucket saturates (everything at or above
+/// `2^(BUCKETS-2)` lands there).
+pub const BUCKETS: usize = 32;
+
+/// A fixed-bucket power-of-two latency histogram.
+///
+/// Recording is one array increment — no allocation, no floating point —
+/// so histograms can sit on the per-access hot path unconditionally.
+/// Merging adds bucket counters and is order-independent, which makes the
+/// per-VM histograms thread-count invariant under the parallel slice
+/// engine: every worker increments its own VM's counters, and any merge
+/// order produces the same totals.
+///
+/// ```
+/// use hatric_telemetry::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::default();
+/// for v in [1, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.p50() <= h.p99());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// The bucket index a value falls into.
+    #[must_use]
+    fn bucket(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// The largest value a bucket can represent (the value percentile
+    /// queries report for samples in that bucket).  The top bucket is
+    /// saturating and reports [`u64::MAX`].
+    #[must_use]
+    fn bucket_upper(index: usize) -> u64 {
+        if index >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+    }
+
+    /// Total number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Accumulates `other` into `self` (used when summing per-VM
+    /// histograms into a host aggregate, or per-unit histograms at the
+    /// commit barrier).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// The value at percentile `p` (in `0.0..=100.0`), reported as the
+    /// upper bound of the bucket containing the rank-`p` sample — an
+    /// upper estimate, never an underestimate (except in the saturating
+    /// top bucket, where the true value is unbounded).  Returns 0 for an
+    /// empty histogram.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_upper(index);
+            }
+        }
+        Self::bucket_upper(BUCKETS - 1)
+    }
+
+    /// The median (50th percentile).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// The 99th percentile — the tail the paper's latency arguments
+    /// hinge on.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+}
+
+/// The three latency distributions the simulator tracks per VM.
+///
+/// All three are recorded in *simulated cycles* at the point where the
+/// model computes the charge, so the histograms are as deterministic as
+/// the charges themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// End-to-end nested page-table walk latency per translation miss
+    /// (the full two-dimensional walk, cache hits and DRAM included).
+    pub walk: LatencyHistogram,
+    /// Remap/shootdown completion latency per nested-PTE write: initiator
+    /// cycles plus the slowest target's invalidation, i.e. the window the
+    /// remap is in flight (paper Fig. 9's per-mechanism remap cost).
+    pub shootdown: LatencyHistogram,
+    /// DRAM queueing delay per memory-level access: cycles spent waiting
+    /// behind earlier requests at the bank and (on NUMA hosts) the
+    /// inter-socket link, excluding the device access itself.
+    pub dram_queue: LatencyHistogram,
+}
+
+impl LatencyStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.walk.merge(&other.walk);
+        self.shootdown.merge(&other.shootdown);
+        self.dram_queue.merge(&other.dram_queue);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sim-time trace events
+// ---------------------------------------------------------------------------
+
+/// Well-known trace track (Chrome `tid`) assignments.
+///
+/// Per-CPU spans use the CPU index as their track, so within each track
+/// timestamps follow that CPU's monotonically non-decreasing cycle
+/// counter.  Host-level activities get dedicated tracks well above any
+/// plausible CPU count.
+pub mod track {
+    /// Scheduler-slice spans.
+    pub const SCHEDULER: u32 = 10_000;
+    /// Hypervisor worker spans (migration rounds, stop-and-copy).
+    pub const HYPERVISOR: u32 = 10_001;
+
+    /// The track of physical CPU `index`.
+    #[must_use]
+    pub fn cpu(index: usize) -> u32 {
+        index as u32
+    }
+}
+
+/// One complete span: a named interval on a track, keyed by simulated
+/// cycles, with a small set of integer arguments.
+///
+/// `name` and `cat` are static so recording a span never allocates for
+/// them; only `args` allocates, and only while tracing is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (e.g. `"remap"`, `"precopy_round"`).
+    pub name: &'static str,
+    /// Category (Chrome `cat`), e.g. `"coherence"`, `"migration"`.
+    pub cat: &'static str,
+    /// Track (Chrome `tid`) — see [`track`].
+    pub track: u32,
+    /// Start of the span in simulated cycles.
+    pub ts: u64,
+    /// Duration of the span in simulated cycles.
+    pub dur: u64,
+    /// Integer arguments shown in the trace viewer's detail pane.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// A ring-buffered recorder of [`TraceEvent`]s.
+///
+/// The ring bounds memory on long runs: once `capacity` spans are held,
+/// each new span evicts the oldest.  Export order is always insertion
+/// order, and eviction is deterministic because recording order is —
+/// spans reach the sink either from serial model code or from the commit
+/// barrier's canonical slot-ordered merge.
+#[derive(Debug)]
+pub struct TraceSink {
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// Creates a sink holding at most `capacity` spans (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            events: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records one span, evicting the oldest if the ring is full.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of spans currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the sink holds no spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Spans evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discards all spans (the warmup/measured boundary does this so a
+    /// trace covers exactly the measured phase).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+
+    /// The held spans in insertion order (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events[self.head..]
+            .iter()
+            .chain(self.events[..self.head].iter())
+    }
+
+    /// Serialises the held spans as Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` object form), loadable in
+    /// `chrome://tracing` and Perfetto.  Each span becomes one complete
+    /// (`"ph":"X"`) event; simulated cycles map directly onto the
+    /// viewer's microsecond axis.
+    #[must_use]
+    pub fn export_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        for event in self.events() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{",
+                event.name, event.cat, event.ts, event.dur, event.track
+            ));
+            for (i, (key, value)) in event.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{key}\":{value}"));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine phase profiler (wall clock)
+// ---------------------------------------------------------------------------
+
+/// The slice engine's instrumented phases, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePhase {
+    /// Serial frame-pool refill at the start of a slice.
+    PoolRefill,
+    /// Parallel per-VM simulation of the slice's shards.
+    Simulate,
+    /// Parallel per-bank replay of cache effects at the commit barrier.
+    BankReplay,
+    /// Replay of DRAM timing bookings at the commit barrier.
+    BookingReplay,
+    /// The serial seq-ordered pass (back-invalidations, observer writes,
+    /// remote coherence targets).
+    SerialCommit,
+}
+
+/// Number of instrumented phases.
+pub const PHASE_COUNT: usize = 5;
+
+impl EnginePhase {
+    /// All phases, in execution order.
+    pub const ALL: [EnginePhase; PHASE_COUNT] = [
+        EnginePhase::PoolRefill,
+        EnginePhase::Simulate,
+        EnginePhase::BankReplay,
+        EnginePhase::BookingReplay,
+        EnginePhase::SerialCommit,
+    ];
+
+    /// Stable snake_case label (used for JSON keys).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EnginePhase::PoolRefill => "pool_refill",
+            EnginePhase::Simulate => "simulate",
+            EnginePhase::BankReplay => "bank_replay",
+            EnginePhase::BookingReplay => "booking_replay",
+            EnginePhase::SerialCommit => "serial_commit",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            EnginePhase::PoolRefill => 0,
+            EnginePhase::Simulate => 1,
+            EnginePhase::BankReplay => 2,
+            EnginePhase::BookingReplay => 3,
+            EnginePhase::SerialCommit => 4,
+        }
+    }
+}
+
+/// Accumulated wall-clock time per engine phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTotals {
+    nanos: [u64; PHASE_COUNT],
+    slices: u64,
+}
+
+impl PhaseTotals {
+    /// Adds `duration` to `phase`'s total.
+    pub fn add(&mut self, phase: EnginePhase, duration: Duration) {
+        self.nanos[phase.index()] += duration.as_nanos() as u64;
+    }
+
+    /// Counts one executed slice.
+    pub fn add_slice(&mut self) {
+        self.slices += 1;
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &PhaseTotals) {
+        for (mine, theirs) in self.nanos.iter_mut().zip(other.nanos.iter()) {
+            *mine += theirs;
+        }
+        self.slices += other.slices;
+    }
+
+    /// Total nanoseconds spent in `phase`.
+    #[must_use]
+    pub fn nanos(&self, phase: EnginePhase) -> u64 {
+        self.nanos[phase.index()]
+    }
+
+    /// Total milliseconds spent in `phase`.
+    #[must_use]
+    pub fn millis(&self, phase: EnginePhase) -> f64 {
+        self.nanos(phase) as f64 / 1e6
+    }
+
+    /// Slices executed while profiling.
+    #[must_use]
+    pub fn slices(&self) -> u64 {
+        self.slices
+    }
+}
+
+/// Process-wide phase totals, accumulated across every engine instance.
+/// The bench/scenario writers read these to stamp phase totals into their
+/// JSON `meta` blocks without threading profiler state through every
+/// layer.  Wall-clock only — nothing in the model ever reads them.
+static GLOBAL_PHASE_NANOS: [AtomicU64; PHASE_COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+static GLOBAL_SLICES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide phase totals accumulated so far.
+#[must_use]
+pub fn global_phase_totals() -> PhaseTotals {
+    let mut totals = PhaseTotals::default();
+    for phase in EnginePhase::ALL {
+        totals.nanos[phase.index()] = GLOBAL_PHASE_NANOS[phase.index()].load(Ordering::Relaxed);
+    }
+    totals.slices = GLOBAL_SLICES.load(Ordering::Relaxed);
+    totals
+}
+
+/// Wall-clock profiler one engine instance owns: every recorded duration
+/// lands both in the instance's local [`PhaseTotals`] and in the
+/// process-wide totals ([`global_phase_totals`]).
+#[derive(Debug, Default)]
+pub struct PhaseProfiler {
+    local: PhaseTotals,
+}
+
+impl PhaseProfiler {
+    /// Records `duration` against `phase`.
+    pub fn record(&mut self, phase: EnginePhase, duration: Duration) {
+        self.local.add(phase, duration);
+        GLOBAL_PHASE_NANOS[phase.index()].fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one executed slice.
+    pub fn record_slice(&mut self) {
+        self.local.add_slice();
+        GLOBAL_SLICES.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// This instance's accumulated totals.
+    #[must_use]
+    pub fn totals(&self) -> &PhaseTotals {
+        &self.local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero_everywhere() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.percentile(100.0), 0);
+    }
+
+    #[test]
+    fn single_sample_lands_in_its_power_of_two_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(100); // 2^6 <= 100 < 2^7 -> bucket 7, upper bound 127
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p99(), 127);
+        assert_eq!(h.percentile(0.0), 127, "rank clamps to the first sample");
+    }
+
+    #[test]
+    fn zero_samples_have_their_own_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 1);
+    }
+
+    #[test]
+    fn top_bucket_saturates() {
+        let mut h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        h.record(1u64 << 62);
+        h.record(1u64 << 31); // also >= 2^31, saturates
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.p50(), u64::MAX, "saturated samples report the open bound");
+    }
+
+    #[test]
+    fn percentiles_walk_the_cumulative_distribution() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(3); // bucket 2, upper 3
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10, upper 1023
+        }
+        assert_eq!(h.p50(), 3);
+        assert_eq!(h.percentile(90.0), 3);
+        assert_eq!(h.p99(), 1023);
+        assert_eq!(h.percentile(100.0), 1023);
+    }
+
+    #[test]
+    fn merge_adds_bucket_counts() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(5);
+        b.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        let mut c = LatencyHistogram::default();
+        c.record(5);
+        c.record(5);
+        c.record(500);
+        assert_eq!(a, c, "merge must equal recording the union");
+    }
+
+    #[test]
+    fn latency_stats_merge_fieldwise() {
+        let mut a = LatencyStats::default();
+        let mut b = LatencyStats::default();
+        a.walk.record(10);
+        b.shootdown.record(20);
+        b.dram_queue.record(30);
+        a.merge(&b);
+        assert_eq!(a.walk.count(), 1);
+        assert_eq!(a.shootdown.count(), 1);
+        assert_eq!(a.dram_queue.count(), 1);
+    }
+
+    fn span(name: &'static str, ts: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            cat: "test",
+            track: 0,
+            ts,
+            dur: 1,
+            args: vec![("k", ts)],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events_in_order() {
+        let mut sink = TraceSink::new(3);
+        for ts in 0..5 {
+            sink.record(span("e", ts));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let ts: Vec<u64> = sink.events().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn chrome_export_has_the_expected_shape() {
+        let mut sink = TraceSink::new(8);
+        sink.record(span("alpha", 10));
+        sink.record(TraceEvent {
+            args: Vec::new(),
+            ..span("beta", 20)
+        });
+        let json = sink.export_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"alpha\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"args\":{\"k\":10}"));
+        assert!(json.contains("\"args\":{}"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn phase_totals_accumulate_and_merge() {
+        let mut a = PhaseTotals::default();
+        a.add(EnginePhase::Simulate, Duration::from_nanos(500));
+        a.add_slice();
+        let mut b = PhaseTotals::default();
+        b.add(EnginePhase::Simulate, Duration::from_nanos(250));
+        b.add(EnginePhase::SerialCommit, Duration::from_nanos(100));
+        a.merge(&b);
+        assert_eq!(a.nanos(EnginePhase::Simulate), 750);
+        assert_eq!(a.nanos(EnginePhase::SerialCommit), 100);
+        assert_eq!(a.nanos(EnginePhase::PoolRefill), 0);
+        assert_eq!(a.slices(), 1);
+        assert!((a.millis(EnginePhase::Simulate) - 0.00075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiler_feeds_local_and_global_totals() {
+        let before = global_phase_totals();
+        let mut profiler = PhaseProfiler::default();
+        profiler.record(EnginePhase::BankReplay, Duration::from_nanos(42));
+        profiler.record_slice();
+        assert_eq!(profiler.totals().nanos(EnginePhase::BankReplay), 42);
+        let after = global_phase_totals();
+        assert!(after.nanos(EnginePhase::BankReplay) >= before.nanos(EnginePhase::BankReplay) + 42);
+        assert!(after.slices() > before.slices());
+    }
+
+    #[test]
+    fn phase_labels_are_stable_snake_case() {
+        let labels: Vec<&str> = EnginePhase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "pool_refill",
+                "simulate",
+                "bank_replay",
+                "booking_replay",
+                "serial_commit"
+            ]
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! The observability subsystem's contracts:
+//!
+//! 1. **Zero perturbation** — model metrics are byte-identical with
+//!    tracing on vs off, at every worker thread count.  The trace sink
+//!    and histograms are keyed entirely to simulated cycles; turning them
+//!    on must never move a simulated number.
+//! 2. **Chrome trace export round-trips** — the exported document is
+//!    well-formed JSON and every track's spans carry monotonically
+//!    non-decreasing timestamps (each track maps to a cycle counter that
+//!    only moves forward).
+//! 3. **The expected spans exist** — a traced migration run records the
+//!    full lifecycle: scheduler slices, remap fan-outs, per-target
+//!    invalidation acks, pre-copy rounds and the stop-and-copy burst.
+
+use std::collections::BTreeMap;
+
+use hatric_host::scenario::{find, Params, Scale};
+use hatric_host::{
+    CoherenceMechanism, ConsolidatedHost, HostConfig, HostEvent, MigrationParams, SchedPolicy,
+    VmSpec,
+};
+
+const WARMUP: u64 = 60;
+const MEASURED: u64 = 160;
+
+/// A small consolidated host that exercises every traced path: a
+/// paging-heavy aggressor (remap + shootdown spans), victims (scheduler
+/// interference) and a live migration starting inside the measured
+/// window (pre-copy rounds + stop-and-copy).
+fn storm_config(threads: usize) -> HostConfig {
+    HostConfig::scaled(4, 512)
+        .with_mechanism(CoherenceMechanism::Software)
+        .with_sched(SchedPolicy::RoundRobin)
+        .with_threads(threads)
+        .with_vm(VmSpec::aggressor(2, 192))
+        .with_vm(VmSpec::victim(2, 128))
+        .with_event(HostEvent::Migrate(MigrationParams::at(1, WARMUP + 20)))
+}
+
+fn run_report(threads: usize, tracing: bool) -> String {
+    let mut host = ConsolidatedHost::new(storm_config(threads)).expect("storm config is valid");
+    if tracing {
+        host.enable_tracing(1 << 14);
+    }
+    let report = host.run(WARMUP, MEASURED);
+    format!("{report:?}")
+}
+
+#[test]
+fn model_metrics_are_identical_with_tracing_on_or_off_at_any_thread_count() {
+    let baseline = run_report(1, false);
+    for threads in [1usize, 2, 4] {
+        for tracing in [false, true] {
+            let report = run_report(threads, tracing);
+            assert_eq!(
+                report, baseline,
+                "threads={threads} tracing={tracing}: model metrics diverged from \
+                 threads=1 tracing=off"
+            );
+        }
+    }
+}
+
+fn traced_host() -> ConsolidatedHost {
+    let mut host = ConsolidatedHost::new(storm_config(2)).expect("storm config is valid");
+    host.enable_tracing(1 << 14);
+    host.run(WARMUP, MEASURED);
+    host
+}
+
+#[test]
+fn traced_run_records_the_full_lifecycle() {
+    let host = traced_host();
+    let sink = host.platform().trace_sink().expect("tracing is enabled");
+    assert!(!sink.is_empty(), "a traced storm run must record spans");
+    let names: Vec<&str> = sink.events().map(|e| e.name).collect();
+    for expected in [
+        "slice",
+        "remap_software",
+        "inval_target",
+        "precopy_round",
+        "stop_and_copy",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "trace must contain a `{expected}` span (got: {:?})",
+            {
+                let mut distinct: Vec<&str> = names.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                distinct
+            }
+        );
+    }
+    // The warmup/measured boundary clears the sink, so every span sits in
+    // the measured phase — no timestamp can predate the counter reset.
+    let max_dur_end = sink.events().map(|e| e.ts + e.dur).max().unwrap_or(0);
+    assert!(max_dur_end > 0, "measured-phase spans must have extent");
+}
+
+#[test]
+fn trace_timestamps_are_monotone_within_each_track() {
+    let host = traced_host();
+    let sink = host.platform().trace_sink().expect("tracing is enabled");
+    let mut last_ts: BTreeMap<u32, u64> = BTreeMap::new();
+    for event in sink.events() {
+        let prev = last_ts.entry(event.track).or_insert(0);
+        assert!(
+            event.ts >= *prev,
+            "track {} went backwards: span `{}` at ts {} after ts {}",
+            event.track,
+            event.name,
+            event.ts,
+            prev
+        );
+        *prev = event.ts;
+    }
+    assert!(last_ts.len() > 1, "spans must land on more than one track");
+}
+
+#[test]
+fn chrome_trace_export_is_well_formed() {
+    let host = traced_host();
+    let sink = host.platform().trace_sink().expect("tracing is enabled");
+    let json = host.export_trace().expect("tracing is enabled");
+    assert!(json.starts_with("{\"traceEvents\":[\n"));
+    assert!(json.ends_with("\n]}\n"));
+    // Structural well-formedness: brackets and braces balance, and never
+    // go negative (the minimal-JSON writer emits no strings containing
+    // either, so plain counting is exact).
+    let mut depth = 0i64;
+    for ch in json.chars() {
+        match ch {
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced close in exported trace");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "exported trace must balance its brackets");
+    // One complete-event record per held span.
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), sink.len());
+    // Every record carries the fixed Chrome fields.
+    assert_eq!(json.matches("\"pid\":0").count(), sink.len());
+}
+
+#[test]
+fn scenario_trace_run_emits_migration_spans() {
+    let scenario = find("migration_storm").expect("migration_storm is registered");
+    let traced = scenario
+        .trace_run(&Params::new(), Scale::Smoke)
+        .expect("migration_storm supports tracing")
+        .expect("smoke trace run succeeds");
+    for expected in ["remap_software", "precopy_round", "stop_and_copy", "slice"] {
+        assert!(
+            traced.contains(&format!("\"name\":\"{expected}\"")),
+            "migration_storm trace must contain `{expected}` spans"
+        );
+    }
+    // fig9/xen run on the single-VM System and advertise no traced
+    // configuration rather than writing an empty file.
+    assert!(find("fig9")
+        .expect("fig9 is registered")
+        .trace_run(&Params::new(), Scale::Smoke)
+        .is_none());
+}
+
+#[test]
+fn report_rows_carry_latency_percentiles() {
+    let scenario = find("multivm").expect("multivm is registered");
+    let report = scenario
+        .run(&Params::new(), Scale::Smoke)
+        .expect("smoke run succeeds");
+    for row in &report.rows {
+        for key in [
+            "walk_p50",
+            "walk_p99",
+            "shootdown_p50",
+            "shootdown_p99",
+            "dram_queue_p50",
+            "dram_queue_p99",
+        ] {
+            assert!(
+                row.number(key).is_some(),
+                "{}/{}: row must carry {key}",
+                row.label(),
+                row.mechanism()
+            );
+        }
+        assert!(
+            row.number("walk_p99") >= row.number("walk_p50"),
+            "p99 can never undercut p50"
+        );
+        assert!(
+            row.number("walk_p50").unwrap_or(0.0) > 0.0,
+            "every VM performs nested walks, so the median is positive"
+        );
+    }
+}
