@@ -2,9 +2,11 @@
 //!
 //! One generic loop over the scenario registry: every scenario with a
 //! committed baseline (`Scenario::baseline_stem`) is re-run at
-//! `Scale::Bench` — the exact scale and seeds the benches use — and each
-//! of its gated metrics (`Scenario::gated_metrics`, smaller-is-better) is
-//! compared row by row against the committed `BENCH_*.json`:
+//! `Scale::Bench` — the exact scale and seeds the benches use — and its
+//! gated metrics (`Scenario::gated_metrics`, smaller-is-better) are
+//! compared against the committed `BENCH_*.json` by the same diff engine
+//! the `scenarios diff` observatory exposes
+//! ([`hatric_host::diff::diff_reports`] with [`DiffOptions::gate`]):
 //!
 //! * no gated metric may regress by more than 10% on any
 //!   (config, mechanism) row.
@@ -23,59 +25,18 @@
 //!
 //! Run with: `cargo run --release -p hatric-bench --bin bench_check`
 
-use hatric_bench::{baseline_path, collect_records, parse_json_records, record_field};
-use hatric_host::scenario::registry;
+use hatric_bench::{baseline_path, collect_records};
+use hatric_host::diff::{diff_reports, DiffOptions, MetricDelta};
+use hatric_host::scenario::{registry, ScenarioReport};
 
 /// Allowed relative regression before the gate fails.
 const TOLERANCE: f64 = 0.10;
-
-/// One comparison: a labelled metric, its baseline and its fresh value.
-struct Check {
-    label: String,
-    baseline: f64,
-    current: f64,
-}
-
-impl Check {
-    /// A regression is `current` exceeding `baseline` by more than the
-    /// tolerance.  Metrics where smaller is better (slowdowns, downtime)
-    /// all fit this shape.  Tiny baselines (ideal rows are exactly 1.0,
-    /// downtime is always positive) need no absolute-epsilon special case.
-    fn regressed(&self) -> bool {
-        self.current > self.baseline * (1.0 + TOLERANCE)
-    }
-}
-
-fn baseline_records(path: &str) -> Vec<Vec<(String, String)>> {
-    match std::fs::read_to_string(path) {
-        Ok(text) => parse_json_records(&text),
-        Err(err) => {
-            eprintln!("bench_check: cannot read baseline {path}: {err}");
-            Vec::new()
-        }
-    }
-}
-
-fn find_baseline<'a>(
-    baselines: &'a [Vec<(String, String)>],
-    key_field: &str,
-    key: &str,
-    mechanism: &str,
-) -> Option<&'a [(String, String)]> {
-    baselines
-        .iter()
-        .find(|r| {
-            record_field(r, key_field) == Some(key)
-                && record_field(r, "mechanism") == Some(mechanism)
-        })
-        .map(Vec::as_slice)
-}
 
 /// The parallel slice engine's determinism contract, enforced on the
 /// freshly collected `host_scale` report: rows that differ only in their
 /// thread count must carry bit-identical *model* metrics (the timing
 /// columns are machine-dependent and exempt).
-fn check_thread_determinism(report: &hatric_host::ScenarioReport) -> usize {
+fn check_thread_determinism(report: &ScenarioReport) -> usize {
     const MODEL_METRICS: [&str; 4] = [
         "host_runtime_cycles",
         "accesses",
@@ -107,7 +68,7 @@ fn check_thread_determinism(report: &hatric_host::ScenarioReport) -> usize {
 }
 
 fn main() {
-    let mut checks: Vec<Check> = Vec::new();
+    let mut deltas: Vec<(String, MetricDelta)> = Vec::new();
     let mut missing: Vec<String> = Vec::new();
     let mut thread_drift = 0usize;
 
@@ -115,55 +76,73 @@ fn main() {
         let Some(path) = baseline_path(scenario.name()) else {
             continue; // table-only scenario, nothing committed to gate
         };
-        let baselines = baseline_records(&path);
         let report = collect_records(scenario.name(), false);
         if scenario.name() == "host_scale" {
             thread_drift += check_thread_determinism(&report);
         }
-        for row in &report.rows {
-            let baseline = find_baseline(&baselines, row.label_key(), row.label(), row.mechanism());
-            for &metric in scenario.gated_metrics() {
-                let label = format!(
-                    "{}/{}/{} {metric}",
-                    scenario.name(),
-                    row.label(),
-                    row.mechanism()
-                );
-                let current = row
-                    .number(metric)
-                    .unwrap_or_else(|| panic!("{label}: gated metrics are numeric"));
-                match baseline
-                    .and_then(|b| record_field(b, metric))
-                    .and_then(|v| v.parse::<f64>().ok())
-                {
-                    Some(baseline) => checks.push(Check {
-                        label,
-                        baseline,
-                        current,
-                    }),
-                    None => missing.push(label),
+        let baseline = std::fs::read_to_string(&path)
+            .map_err(|err| eprintln!("bench_check: cannot read baseline {path}: {err}"))
+            .ok()
+            .and_then(|text| ScenarioReport::from_json(scenario.name(), &text));
+        let Some(baseline) = baseline else {
+            // No parseable baseline at all: every fresh gated row is
+            // uncovered, which the fail-closed verdict below rejects.
+            for row in &report.rows {
+                for &metric in scenario.gated_metrics() {
+                    missing.push(format!(
+                        "{}/{}/{} {metric}",
+                        scenario.name(),
+                        row.label(),
+                        row.mechanism()
+                    ));
                 }
             }
-        }
+            continue;
+        };
+        // The same engine `scenarios diff` runs, in gate mode: baseline as
+        // run A, the fresh report as run B, smaller-is-better on exactly
+        // the gated metrics.
+        let diff = diff_reports(
+            &baseline,
+            &report,
+            scenario.gated_metrics(),
+            DiffOptions::gate(TOLERANCE),
+        );
+        deltas.extend(
+            diff.deltas
+                .into_iter()
+                .map(|d| (scenario.name().to_string(), d)),
+        );
+        // Both alignment failures disable part of the gate: a baseline row
+        // the fresh run no longer produces, and a fresh row the committed
+        // baseline has never seen.
+        missing.extend(
+            diff.missing
+                .iter()
+                .map(|m| format!("{}/{m}", scenario.name())),
+        );
+        missing.extend(
+            diff.extra
+                .iter()
+                .map(|row| format!("{}/{row}: no committed baseline row", scenario.name())),
+        );
     }
 
     // ----- verdict ---------------------------------------------------------
     let mut regressions = 0;
-    for check in &checks {
-        let delta = if check.baseline == 0.0 {
-            0.0
-        } else {
-            (check.current / check.baseline - 1.0) * 100.0
-        };
-        let verdict = if check.regressed() {
+    for (scenario, delta) in &deltas {
+        let verdict = if delta.regressed {
             regressions += 1;
             "REGRESSED"
         } else {
             "ok"
         };
         println!(
-            "{verdict:>9}  {:<72} baseline {:>14.3}  current {:>14.3}  ({delta:+.1}%)",
-            check.label, check.baseline, check.current
+            "{verdict:>9}  {:<72} baseline {:>14.3}  current {:>14.3}  ({:+.1}%)",
+            format!("{scenario}/{} {}", delta.row, delta.metric),
+            delta.a,
+            delta.b,
+            delta.delta_percent()
         );
     }
     for label in &missing {
@@ -203,7 +182,7 @@ fn main() {
     }
     println!(
         "bench_check: {} metrics within {:.0}% of committed baselines",
-        checks.len(),
+        deltas.len(),
         TOLERANCE * 100.0
     );
 }

@@ -753,6 +753,18 @@ impl CacheHierarchy {
         total
     }
 
+    /// Number of lines currently tracked by the coherence directory,
+    /// summed over banks — the occupancy gauge the counter timelines
+    /// sample.  Read-only: sampling it never perturbs the model.
+    #[must_use]
+    pub fn directory_len(&self) -> usize {
+        self.shared
+            .banks
+            .iter()
+            .map(|bank| bank.directory.len())
+            .sum()
+    }
+
     /// Splits the hierarchy for a simulate phase: the shared level is
     /// frozen, the private pairs are handed out for exclusive per-worker
     /// mutation (the caller partitions them by slice ownership).

@@ -44,7 +44,7 @@ use hatric_energy::{EnergyEvent, EnergyTally};
 use hatric_hypervisor::{NumaPolicy, Placement};
 use hatric_memory::{DramPending, MemoryBooking, MemoryKind, MemorySystem, NumaConfig};
 use hatric_pagetable::TwoDimWalker;
-use hatric_telemetry::{track, EnginePhase, PhaseProfiler, PhaseTotals, TraceEvent};
+use hatric_telemetry::{track, EnginePhase, PhaseProfiler, PhaseTotals, RemapId, TraceEvent};
 use hatric_tlb::{TlbLevel, TranslationStructures};
 use hatric_types::{
     CacheLineAddr, CoTag, CpuId, GuestFrame, GuestVirtPage, PageSize, SocketId, SystemFrame,
@@ -339,6 +339,10 @@ struct RemoteTarget {
     cycles: u64,
     cotag: CoTag,
     line: CacheLineAddr,
+    /// The initiating VM's remap ordinal — carried so the commit phase can
+    /// charge this target's disruption to the causing remap's
+    /// [`hatric_telemetry::RemapId`].
+    remap_ordinal: u64,
 }
 
 /// One deferred shared-state mutation, applied at the slice barrier.
@@ -957,7 +961,12 @@ fn unit_remap_coherence(
     p: usize,
     pte_addr: SystemPhysAddr,
 ) {
-    task.vm.coherence_mut().remaps += 1;
+    let slot = task.vm.slot() as u32;
+    let remap_id = {
+        let coherence = task.vm.coherence_mut();
+        coherence.remaps += 1;
+        RemapId::new(slot, coherence.remaps)
+    };
     let span_start = *task.cpus[p].cycles;
     let line = pte_addr.cache_line();
     let write = sim_write(shared, task, out, p, line);
@@ -1044,6 +1053,7 @@ fn unit_remap_coherence(
             } else {
                 numa.local_coherence_targets += 1;
             }
+            task.vm.causal_mut().charge_target(remap_id);
         }
         if let Some(q) = task.local_index(target.cpu) {
             // Own CPU: apply inline.  The occupant is this unit's own vCPU,
@@ -1072,14 +1082,18 @@ fn unit_remap_coherence(
             }
             let holds_line = task.cpus[q].pair.holds(line);
             let energy = &mut out.energy;
-            if apply_target_action(
+            let (demote, invalidated) = apply_target_action(
                 task.cpus[q].structures,
                 holds_line,
                 task.vm.coherence_mut(),
                 &mut |event, count| energy.record(event, count),
                 target.action,
                 cotag,
-            ) {
+            );
+            task.vm
+                .causal_mut()
+                .charge_invalidations(remap_id, invalidated);
+            if demote {
                 out.effects.push(Effect::Cache(SharedCacheOp::DemoteSharer {
                     cpu: target.cpu,
                     line,
@@ -1094,6 +1108,7 @@ fn unit_remap_coherence(
                 cycles: target_cycles,
                 cotag,
                 line,
+                remap_ordinal: remap_id.ordinal,
             }));
         }
     }
@@ -1110,8 +1125,10 @@ fn unit_remap_coherence(
 /// energy (via `energy`, so both the simulate-side [`EnergyTally`] and the
 /// commit-side [`hatric_energy::EnergyModel`] fit).  `holds_line` is
 /// whether the target CPU's private caches currently hold the page-table
-/// line; returns `true` when a spurious message means the caller must
-/// lazily demote the target from the line's sharer list.
+/// line; returns `(demote, invalidated)` — `demote` is `true` when a
+/// spurious message means the caller must lazily demote the target from
+/// the line's sharer list, `invalidated` is the number of translation
+/// entries removed (for per-remap causal attribution).
 fn apply_target_action(
     structures: &mut TranslationStructures,
     holds_line: bool,
@@ -1119,13 +1136,13 @@ fn apply_target_action(
     energy: &mut dyn FnMut(EnergyEvent, u64),
     action: TargetAction,
     cotag: CoTag,
-) -> bool {
+) -> (bool, u64) {
     match action {
         TargetAction::FlushAll => {
             let counts = structures.flush_all();
             coherence.full_flushes += 1;
             coherence.entries_flushed += counts.total();
-            false
+            (false, counts.total())
         }
         TargetAction::InvalidateCotag => {
             energy(EnergyEvent::CotagMatch, 1);
@@ -1134,9 +1151,9 @@ fn apply_target_action(
             energy(EnergyEvent::TranslationInvalidation, counts.total());
             if counts.total() == 0 && !holds_line {
                 coherence.spurious_messages += 1;
-                true
+                (true, 0)
             } else {
-                false
+                (false, counts.total())
             }
         }
         TargetAction::InvalidateCotagTlbOnly => {
@@ -1147,12 +1164,12 @@ fn apply_target_action(
             energy(EnergyEvent::TranslationInvalidation, counts.total());
             if counts.total() == 0 && !holds_line {
                 coherence.spurious_messages += 1;
-                true
+                (true, 0)
             } else {
-                false
+                (false, counts.total())
             }
         }
-        TargetAction::None => false,
+        TargetAction::None => (false, 0),
     }
 }
 
@@ -1345,6 +1362,16 @@ fn commit_effects(
                 for cpu in sharers.iter() {
                     let counts = platform.structures[cpu.index()].invalidate_cotag(cotag);
                     vms[slot].coherence_mut().back_invalidated_entries += counts.total();
+                    // Charged to the evicting VM's latest remap (the commit
+                    // pass is serial and `remaps` holds the full-slice value
+                    // here, so the ordinal is thread-count invariant).
+                    let remaps = vms[slot].coherence_mut().remaps;
+                    if remaps > 0 {
+                        vms[slot].causal_mut().charge_invalidations(
+                            RemapId::new(slot as u32, remaps),
+                            counts.total(),
+                        );
+                    }
                     platform
                         .energy
                         .record(EnergyEvent::TranslationInvalidation, counts.total());
@@ -1387,6 +1414,7 @@ fn commit_remote_target(
         });
     }
     platform.cycles[target.cpu.index()] += target.cycles;
+    let remap_id = RemapId::new(slot as u32, target.remap_ordinal);
     if target.disruptive {
         if let Some((occ_slot, vcpu)) = platform.occupancy[target.cpu.index()] {
             vms[occ_slot].charge(vcpu, target.cycles);
@@ -1395,6 +1423,9 @@ fn commit_remote_target(
                 victim.disrupted_cycles += target.cycles;
                 victim.disruptions_received += 1;
                 vms[slot].interference_mut().inflicted_cycles += target.cycles;
+                vms[slot]
+                    .causal_mut()
+                    .charge_victim_cycles(remap_id, target.cycles);
             }
         }
     }
@@ -1404,14 +1435,18 @@ fn commit_remote_target(
     }
     let holds_line = platform.caches.cpu_holds_line(target.cpu, target.line);
     let energy = &mut platform.energy;
-    if apply_target_action(
+    let (demote, invalidated) = apply_target_action(
         &mut platform.structures[target.cpu.index()],
         holds_line,
         vms[slot].coherence_mut(),
         &mut |event, count| energy.record(event, count),
         target.action,
         target.cotag,
-    ) {
+    );
+    vms[slot]
+        .causal_mut()
+        .charge_invalidations(remap_id, invalidated);
+    if demote {
         platform.caches.demote_sharer(target.line, target.cpu);
     }
 }

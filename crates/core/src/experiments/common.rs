@@ -180,6 +180,29 @@ pub fn execute(spec: &RunSpec, params: &ExperimentParams) -> SimReport {
     system.run(&mut driver, params.warmup, params.measured)
 }
 
+/// Runs one workload/mechanism combination with sim-time tracing enabled
+/// and returns the report alongside the Chrome trace-event JSON document.
+///
+/// # Panics
+///
+/// Panics if the derived configuration is invalid (it never is for the
+/// built-in parameter sets).
+#[must_use]
+pub fn execute_traced(
+    spec: &RunSpec,
+    params: &ExperimentParams,
+    trace_capacity: usize,
+) -> (SimReport, String) {
+    let config = spec.config(params);
+    let mut system = System::new(config).expect("experiment configurations are valid");
+    system.enable_tracing(trace_capacity);
+    let workload = Workload::build(spec.workload, params.vcpus, params.fast_pages, params.seed);
+    let mut driver = WorkloadDriver::from(workload);
+    let report = system.run(&mut driver, params.warmup, params.measured);
+    let trace = system.export_trace().expect("tracing was enabled above");
+    (report, trace)
+}
+
 /// Runs one multiprogrammed mix (Fig. 10) and returns its report.
 ///
 /// # Panics

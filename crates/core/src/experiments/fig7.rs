@@ -27,12 +27,20 @@ pub struct Fig7Row {
 /// vCPU counts swept by the figure.
 pub const VCPU_SWEEP: [usize; 3] = [4, 8, 16];
 
-/// Runs the Fig. 7 experiment.
+/// Runs the Fig. 7 experiment over the paper's full vCPU sweep.
 #[must_use]
 pub fn run(params: &ExperimentParams) -> Vec<Fig7Row> {
+    run_with_sweep(params, &VCPU_SWEEP)
+}
+
+/// Runs the Fig. 7 experiment over an explicit vCPU sweep (callers that
+/// size runs down — smoke tests, the scenario registry — pass a subset of
+/// [`VCPU_SWEEP`]).
+#[must_use]
+pub fn run_with_sweep(params: &ExperimentParams, sweep: &[usize]) -> Vec<Fig7Row> {
     let mut rows = Vec::new();
     for &kind in &WorkloadKind::big_memory_suite() {
-        for &vcpus in &VCPU_SWEEP {
+        for &vcpus in sweep {
             let p = params.with_vcpus(vcpus);
             let baseline = execute(
                 &RunSpec::new(kind, CoherenceMechanism::Software)

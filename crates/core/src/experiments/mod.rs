@@ -30,4 +30,4 @@ pub mod fig8;
 pub mod fig9;
 pub mod xen;
 
-pub use common::{execute, execute_mix, ExperimentParams, RunSpec};
+pub use common::{execute, execute_mix, execute_traced, ExperimentParams, RunSpec};

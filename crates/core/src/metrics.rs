@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use hatric_cache::CacheStatsSnapshot;
 use hatric_energy::EnergyReport;
 use hatric_hypervisor::PagingStats;
-use hatric_telemetry::LatencyStats;
+use hatric_telemetry::{CausalLedger, LatencyStats};
 use hatric_tlb::TranslationStatsSnapshot;
 
 /// Translation-coherence activity observed during a run.
@@ -237,6 +237,12 @@ pub struct SimReport {
     /// completion latency, DRAM queueing delay).  Counted in simulated
     /// cycles at the charge sites, so as deterministic as the charges.
     pub latency: LatencyStats,
+    /// Per-remap causal attribution: the disruption each of this VM's
+    /// remaps caused, keyed by [`hatric_telemetry::RemapId`].  The
+    /// ledger's summed `victim_cycles` reconciles exactly with
+    /// `interference.inflicted_cycles` — the charges are mirrored at the
+    /// same sites.
+    pub causal: CausalLedger,
 }
 
 impl SimReport {

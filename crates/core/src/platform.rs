@@ -25,7 +25,7 @@ use hatric_energy::{EnergyEvent, EnergyModel, EnergyReport};
 use hatric_hypervisor::NumaPolicy;
 use hatric_memory::{MemoryKind, MemorySystem, NumaConfig};
 use hatric_pagetable::TwoDimWalker;
-use hatric_telemetry::{track, TraceEvent, TraceSink};
+use hatric_telemetry::{track, RemapId, TraceEvent, TraceSink};
 use hatric_tlb::{TlbLevel, TranslationStatsSnapshot, TranslationStructures};
 use hatric_types::{
     CacheLineAddr, CoTag, CpuId, GuestFrame, GuestVirtPage, Result, SocketId, SystemFrame,
@@ -850,7 +850,11 @@ impl Platform {
         initiator: CpuId,
         pte_addr: SystemPhysAddr,
     ) {
-        vms[slot].coherence_mut().remaps += 1;
+        let remap_id = {
+            let coherence = vms[slot].coherence_mut();
+            coherence.remaps += 1;
+            RemapId::new(slot as u32, coherence.remaps)
+        };
         let span_start = self.cycles[initiator.index()];
         let line = pte_addr.cache_line();
         let write = self.caches.write(initiator, line);
@@ -952,6 +956,7 @@ impl Platform {
                 } else {
                     numa.local_coherence_targets += 1;
                 }
+                vms[slot].causal_mut().charge_target(remap_id);
             }
             if disruptive {
                 self.charge_occupant(vms, target.cpu, target_cycles);
@@ -961,6 +966,9 @@ impl Platform {
                         victim.disrupted_cycles += target_cycles;
                         victim.disruptions_received += 1;
                         vms[slot].interference_mut().inflicted_cycles += target_cycles;
+                        vms[slot]
+                            .causal_mut()
+                            .charge_victim_cycles(remap_id, target_cycles);
                     }
                 }
             } else {
@@ -977,11 +985,17 @@ impl Platform {
                     let counts = self.structures[target.cpu.index()].flush_all();
                     vms[slot].coherence_mut().full_flushes += 1;
                     vms[slot].coherence_mut().entries_flushed += counts.total();
+                    vms[slot]
+                        .causal_mut()
+                        .charge_invalidations(remap_id, counts.total());
                 }
                 TargetAction::InvalidateCotag => {
                     self.energy.record(EnergyEvent::CotagMatch, 1);
                     let counts = self.structures[target.cpu.index()].invalidate_cotag(cotag);
                     vms[slot].coherence_mut().entries_selectively_invalidated += counts.total();
+                    vms[slot]
+                        .causal_mut()
+                        .charge_invalidations(remap_id, counts.total());
                     self.energy
                         .record(EnergyEvent::TranslationInvalidation, counts.total());
                     if counts.total() == 0 && !self.caches.cpu_holds_line(target.cpu, line) {
@@ -995,6 +1009,9 @@ impl Platform {
                         self.structures[target.cpu.index()].invalidate_cotag_tlb_only(cotag);
                     vms[slot].coherence_mut().entries_selectively_invalidated += counts.tlb;
                     vms[slot].coherence_mut().entries_flushed += counts.mmu_cache + counts.ntlb;
+                    vms[slot]
+                        .causal_mut()
+                        .charge_invalidations(remap_id, counts.total());
                     self.energy
                         .record(EnergyEvent::TranslationInvalidation, counts.total());
                     if counts.total() == 0 && !self.caches.cpu_holds_line(target.cpu, line) {
@@ -1027,6 +1044,16 @@ impl Platform {
             for cpu in sharers.iter() {
                 let counts = self.structures[cpu.index()].invalidate_cotag(cotag);
                 vms[slot].coherence_mut().back_invalidated_entries += counts.total();
+                // Directory evictions have no single remap as their cause;
+                // they are charged to the evicting VM's latest remap (the
+                // activity that filled the directory), or nowhere if the VM
+                // never remapped.
+                let remaps = vms[slot].coherence_mut().remaps;
+                if remaps > 0 {
+                    vms[slot]
+                        .causal_mut()
+                        .charge_invalidations(RemapId::new(slot as u32, remaps), counts.total());
+                }
                 self.energy
                     .record(EnergyEvent::TranslationInvalidation, counts.total());
             }

@@ -140,7 +140,28 @@ impl System {
             cache: self.platform.cache_snapshot(),
             energy: self.platform.energy_report(),
             latency: vm.latency,
+            causal: vm.causal,
         }
+    }
+
+    // ----- observability ----------------------------------------------------
+
+    /// Installs a sim-time trace sink holding up to `capacity` spans
+    /// (oldest evicted first), exactly like the consolidated host's
+    /// tracing: keyed to simulated cycles, deterministic, and invisible
+    /// to the model.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.platform
+            .set_trace_sink(hatric_telemetry::TraceSink::new(capacity));
+    }
+
+    /// Exports the recorded spans as a Chrome trace-event JSON document,
+    /// or `None` when tracing was never enabled.
+    #[must_use]
+    pub fn export_trace(&self) -> Option<String> {
+        self.platform
+            .trace_sink()
+            .map(hatric_telemetry::TraceSink::export_chrome_trace)
     }
 
     // ----- single-access pipeline ------------------------------------------

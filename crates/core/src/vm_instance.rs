@@ -12,7 +12,7 @@
 use hatric_hypervisor::{PagingConfig, PagingManager, VirtualMachine, VmConfig};
 use hatric_memory::MemorySystem;
 use hatric_pagetable::{GuestPageTable, NestedPageTable};
-use hatric_telemetry::LatencyStats;
+use hatric_telemetry::{CausalLedger, LatencyStats};
 use hatric_types::{GuestFrame, SystemFrame, VcpuId, VmId};
 
 use crate::metrics::{
@@ -84,6 +84,7 @@ pub struct VmInstance {
     interference: InterferenceActivity,
     numa: NumaActivity,
     latency: LatencyStats,
+    causal: CausalLedger,
 }
 
 impl VmInstance {
@@ -140,6 +141,7 @@ impl VmInstance {
             interference: InterferenceActivity::default(),
             numa: NumaActivity::default(),
             latency: LatencyStats::default(),
+            causal: CausalLedger::default(),
         }
     }
 
@@ -226,7 +228,22 @@ impl VmInstance {
         self.interference = InterferenceActivity::default();
         self.numa = NumaActivity::default();
         self.latency = LatencyStats::default();
+        self.causal.clear();
         self.paging.reset_stats();
+    }
+
+    /// Per-remap causal attribution for the remaps this VM initiated.
+    #[must_use]
+    pub fn causal(&self) -> &CausalLedger {
+        &self.causal
+    }
+
+    /// Socket-locality counters accumulated so far (for inspection; the
+    /// host's counter timelines sample the coherence-target counters
+    /// between slices).
+    #[must_use]
+    pub fn numa(&self) -> &NumaActivity {
+        &self.numa
     }
 
     /// This VM's view of the run: cycles per vCPU and the VM's own activity.
@@ -243,6 +260,7 @@ impl VmInstance {
             numa: self.numa,
             paging: self.paging.stats(),
             latency: self.latency,
+            causal: self.causal.clone(),
             ..SimReport::default()
         }
     }
@@ -279,6 +297,10 @@ impl VmInstance {
 
     pub(crate) fn latency_mut(&mut self) -> &mut LatencyStats {
         &mut self.latency
+    }
+
+    pub(crate) fn causal_mut(&mut self) -> &mut CausalLedger {
+        &mut self.causal
     }
 
     pub(crate) fn bump_accesses(&mut self) {

@@ -1,9 +1,11 @@
-//! The `scenarios` CLI: list and run every registered experiment through
-//! the unified scenario API.
+//! The `scenarios` CLI: list, run and diff every registered experiment
+//! through the unified scenario API.
 //!
 //! ```text
 //! scenarios --list [--md]
-//! scenarios run <name> [--scale smoke|bench|full] [--json PATH] [--trace PATH] [--set key=value]...
+//! scenarios run <name> [--scale smoke|bench|full] [--json PATH] [--trace PATH]
+//!                      [--timeline PATH] [--set key=value]...
+//! scenarios diff <run-a.json> <run-b.json> [--scenario NAME] [--tolerance FRAC]
 //! ```
 //!
 //! `--list` prints the registry (with `--md`, as the markdown table the
@@ -12,24 +14,35 @@
 //! its report table, and with `--json` also writes the report in the
 //! `BENCH_*.json` schema.  `--trace` additionally runs one representative
 //! traced configuration and writes its deterministic sim-time spans as a
-//! Chrome trace-event file (open in `chrome://tracing` or Perfetto).
+//! Chrome trace-event file (open in `chrome://tracing` or Perfetto);
+//! `--timeline` does the same with the commit-barrier counter sampler and
+//! writes Chrome counter events plus a CSV sibling.  `diff` is the run
+//! observatory: it aligns two report files by (label, mechanism), prints
+//! per-metric deltas, and exits nonzero when a gated metric drifted beyond
+//! the tolerance or a row disappeared.
 
 use std::process::ExitCode;
 
+use hatric_host::diff::{diff_json, DiffOptions};
 use hatric_host::scenario::{
     append_meta_record, bench_meta_json, find, registry, Params, Scale, Scenario,
 };
 
 const USAGE: &str = "usage:
   scenarios --list [--md]
-  scenarios run <name> [--scale smoke|bench|full] [--json PATH] [--trace PATH] [--set key=value]...
+  scenarios run <name> [--scale smoke|bench|full] [--json PATH] [--trace PATH]
+                       [--timeline PATH] [--set key=value]...
+  scenarios diff <run-a.json> <run-b.json> [--scenario NAME] [--tolerance FRAC]
 
 Scenarios are registered in hatric_host::scenario::registry(); `--list`
 shows them.  `--scale` sizes the run (default: bench, the committed
 BENCH_*.json baseline scale).  `--trace` writes a Chrome trace-event JSON
-of one traced configuration (host scenarios only).  `--set` overrides a
-scenario parameter (see its key set via the defaults printed on a bad
-key).";
+of one traced configuration; `--timeline` writes the commit-barrier
+counter timeline as Chrome counter events plus a CSV sibling (host
+scenarios only).  `--set` overrides a scenario parameter (see its key set
+via the defaults printed on a bad key).  `diff` compares two report files
+row by row; with `--scenario` the scenario's gated metrics decide the
+exit code (default tolerance 0.10).";
 
 fn list(markdown: bool) {
     if markdown {
@@ -52,6 +65,7 @@ struct RunArgs {
     scale: Scale,
     json: Option<String>,
     trace: Option<String>,
+    timeline: Option<String>,
     overrides: Params,
 }
 
@@ -67,10 +81,14 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut scale = Scale::Bench;
     let mut json = None;
     let mut trace = None;
+    let mut timeline = None;
     let mut overrides = Params::new();
     let mut rest = &args[1..];
     while let Some(flag) = rest.first() {
-        if !matches!(flag.as_str(), "--scale" | "--json" | "--trace" | "--set") {
+        if !matches!(
+            flag.as_str(),
+            "--scale" | "--json" | "--trace" | "--timeline" | "--set"
+        ) {
             return Err(format!("unknown flag `{flag}`\n{USAGE}"));
         }
         let value = rest
@@ -84,6 +102,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--json" => json = Some(value.clone()),
             "--trace" => trace = Some(value.clone()),
+            "--timeline" => timeline = Some(value.clone()),
             "--set" => {
                 let (key, val) = value
                     .split_once('=')
@@ -99,8 +118,31 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         scale,
         json,
         trace,
+        timeline,
         overrides,
     })
+}
+
+/// Reads the `droppedSpans` count back out of an exported Chrome trace's
+/// metadata object — the sink is a bounded ring, and a wrapped ring means
+/// the file's earliest spans are gone.
+fn trace_dropped_spans(trace_json: &str) -> u64 {
+    trace_json
+        .rsplit_once("\"droppedSpans\":")
+        .and_then(|(_, tail)| {
+            let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+/// The CSV sibling of a timeline export path: `t.json` → `t.csv`,
+/// extensionless paths get `.csv` appended.
+fn csv_sibling(path: &str) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, _ext)) => format!("{stem}.csv"),
+        None => format!("{path}.csv"),
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -109,6 +151,7 @@ fn run(args: &[String]) -> Result<(), String> {
         scale,
         json,
         trace,
+        timeline,
         overrides,
     } = parse_run_args(args)?;
     eprintln!(
@@ -159,13 +202,101 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Some(Err(err)) => return Err(format!("--trace: {err}")),
             Some(Ok(trace_json)) => {
+                let dropped = trace_dropped_spans(&trace_json);
                 std::fs::write(&path, trace_json)
                     .map_err(|err| format!("cannot write {path}: {err}"))?;
                 println!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+                if dropped > 0 {
+                    eprintln!(
+                        "warning: the trace ring wrapped — {dropped} oldest span(s) were \
+                         dropped before export (see droppedSpans in the file's metadata)"
+                    );
+                }
+            }
+        }
+    }
+    if let Some(path) = timeline {
+        match scenario.timeline_run(&overrides, scale) {
+            None => {
+                return Err(format!(
+                    "--timeline: scenario `{}` has no host commit barrier to sample \
+                     (host scenarios only)",
+                    scenario.name()
+                ));
+            }
+            Some(Err(err)) => return Err(format!("--timeline: {err}")),
+            Some(Ok(recorded)) => {
+                std::fs::write(&path, recorded.export_chrome_counters())
+                    .map_err(|err| format!("cannot write {path}: {err}"))?;
+                let csv_path = csv_sibling(&path);
+                std::fs::write(&csv_path, recorded.export_csv())
+                    .map_err(|err| format!("cannot write {csv_path}: {err}"))?;
+                println!(
+                    "wrote {} timeline samples × {} series to {path} (Chrome counters) \
+                     and {csv_path} (CSV)",
+                    recorded.len(),
+                    recorded.series().len()
+                );
             }
         }
     }
     Ok(())
+}
+
+/// `scenarios diff <run-a.json> <run-b.json>`: exit 0 when aligned and
+/// clean, 1 on gated drift or missing rows, 2 on usage/IO/parse errors.
+fn diff(args: &[String]) -> Result<bool, String> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut options = DiffOptions::default();
+    let mut gated: &[&str] = &[];
+    let mut rest = args;
+    while let Some(token) = rest.first() {
+        if !token.starts_with("--") {
+            paths.push(token);
+            rest = &rest[1..];
+            continue;
+        }
+        let value = rest
+            .get(1)
+            .ok_or_else(|| format!("{token}: missing value"))?;
+        match token.as_str() {
+            "--scenario" => {
+                let scenario =
+                    find(value).ok_or_else(|| format!("--scenario: unknown scenario `{value}`"))?;
+                gated = scenario.gated_metrics();
+            }
+            "--tolerance" => {
+                options.tolerance = value
+                    .parse()
+                    .map_err(|_| format!("--tolerance: not a number: `{value}`"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+        rest = &rest[2..];
+    }
+    let [path_a, path_b] = paths.as_slice() else {
+        return Err(format!("diff: expected exactly two report files\n{USAGE}"));
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))
+    };
+    let report = diff_json(&read(path_a)?, &read(path_b)?, gated, options)?;
+    print!("{}", report.format_text());
+    println!(
+        "diff: {} metric(s) compared, {} regression(s), {} missing row(s)/metric(s), \
+         {} extra row(s)",
+        report.deltas.len(),
+        report.regressions(),
+        report.missing.len(),
+        report.extra.len()
+    );
+    if gated.is_empty() {
+        eprintln!(
+            "note: no --scenario given, so no metrics are gated — only missing rows \
+             can fail this diff"
+        );
+    }
+    Ok(report.passed())
 }
 
 fn main() -> ExitCode {
@@ -177,6 +308,14 @@ fn main() -> ExitCode {
         }
         Some("run") => match run(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("scenarios: {err}");
+                ExitCode::from(2)
+            }
+        },
+        Some("diff") => match diff(&args[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
             Err(err) => {
                 eprintln!("scenarios: {err}");
                 ExitCode::from(2)

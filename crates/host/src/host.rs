@@ -2,7 +2,7 @@
 //! [`Platform`].
 
 use hatric::metrics::{HostReport, MigrationStats, SimReport};
-use hatric::telemetry::{track, PhaseTotals, TraceEvent, TraceSink};
+use hatric::telemetry::{track, CounterTimeline, PhaseTotals, TraceEvent, TraceSink};
 use hatric::{
     run_slice_parallel, EngineState, Platform, VmInstance, VmPagingParams, WorkloadDriver,
 };
@@ -59,6 +59,12 @@ pub struct ConsolidatedHost {
     balloons: Vec<BalloonDriver>,
     /// Stats of migrations already replaced by a newer one.
     finished_migration_stats: MigrationStats,
+    /// The counter timeline, when gauge sampling is enabled.
+    timeline: Option<CounterTimeline>,
+    /// Coherence-target total at the previous timeline sample (the
+    /// `shootdown_targets` series is a per-window delta of the cumulative
+    /// per-VM counters).
+    timeline_prev_targets: u64,
 }
 
 impl ConsolidatedHost {
@@ -131,6 +137,8 @@ impl ConsolidatedHost {
             migration: None,
             balloons: Vec::new(),
             finished_migration_stats: MigrationStats::default(),
+            timeline: None,
+            timeline_prev_targets: 0,
         })
     }
 
@@ -188,6 +196,95 @@ impl ConsolidatedHost {
     #[must_use]
     pub fn phase_totals(&self) -> &PhaseTotals {
         self.engine.phase_totals()
+    }
+
+    /// The gauge series a host timeline samples, in column order.
+    pub const TIMELINE_SERIES: [&'static str; 6] = [
+        "directory_lines",
+        "dram_queue_offchip",
+        "dram_queue_diestacked",
+        "ntlb_hit_rate_bp",
+        "shootdown_targets",
+        "dirty_pages",
+    ];
+
+    /// Enables counter-timeline sampling every `interval` slices: after
+    /// each `interval`-th slice commits, the host records directory
+    /// occupancy, per-device DRAM queue depth, the nested-TLB hit rate
+    /// (basis points), coherence targets generated since the previous
+    /// sample, and the in-flight migration's pending page count.
+    ///
+    /// Sampling happens at the commit barrier, where every gauge reads
+    /// the canonical committed state — so the timeline is byte-identical
+    /// for any worker thread count, and enabling it never changes any
+    /// model metric.
+    pub fn enable_timeline(&mut self, interval: u64) {
+        self.timeline = Some(CounterTimeline::new(
+            interval,
+            Self::TIMELINE_SERIES.to_vec(),
+        ));
+        self.timeline_prev_targets = 0;
+    }
+
+    /// The recorded counter timeline, or `None` when sampling was never
+    /// enabled.
+    #[must_use]
+    pub fn timeline(&self) -> Option<&CounterTimeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Records one timeline sample if sampling is enabled and the slice
+    /// counter sits on the interval.  Every gauge is a read of committed
+    /// state; nothing here feeds back into the model.
+    fn sample_timeline(&mut self) {
+        let due = self
+            .timeline
+            .as_ref()
+            .is_some_and(|t| self.slices_run.is_multiple_of(t.interval()));
+        if !due {
+            return;
+        }
+        let now = self
+            .platform
+            .cycles_per_cpu()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        let directory_lines = self.platform.caches().directory_len() as u64;
+        let memory = self.platform.memory();
+        let queue_off = memory.projected_queueing(MemoryKind::OffChip, now);
+        let queue_die = memory.projected_queueing(MemoryKind::DieStacked, now);
+        let ntlb = self.platform.translation_snapshot().ntlb;
+        let ntlb_bp = if ntlb.total() == 0 {
+            0
+        } else {
+            ntlb.hits() * 10_000 / ntlb.total()
+        };
+        let targets_total: u64 = self
+            .vms
+            .iter()
+            .map(|vm| vm.numa().local_coherence_targets + vm.numa().remote_coherence_targets)
+            .sum();
+        let targets_window = targets_total - self.timeline_prev_targets;
+        self.timeline_prev_targets = targets_total;
+        let dirty_pages = self
+            .migration
+            .as_ref()
+            .map_or(0, MigrationEngine::pending_pages);
+        if let Some(timeline) = &mut self.timeline {
+            timeline.record(
+                now,
+                &[
+                    directory_lines,
+                    queue_off,
+                    queue_die,
+                    ntlb_bp,
+                    targets_window,
+                    dirty_pages,
+                ],
+            );
+        }
     }
 
     /// Runs `warmup_slices` unmeasured slices (to populate page tables,
@@ -256,6 +353,7 @@ impl ConsolidatedHost {
             });
         }
         self.slices_run += 1;
+        self.sample_timeline();
     }
 
     // ----- hypervisor events (live migration, ballooning) -------------------
@@ -365,6 +463,12 @@ impl ConsolidatedHost {
         for balloon in &mut self.balloons {
             balloon.reset_stats();
         }
+        if let Some(timeline) = &mut self.timeline {
+            timeline.clear();
+        }
+        // The per-VM coherence-target counters were just zeroed; the
+        // windowed delta restarts from zero with them.
+        self.timeline_prev_targets = 0;
     }
 
     /// Produces the host report: one [`SimReport`] per VM plus the
@@ -387,6 +491,7 @@ impl ConsolidatedHost {
             host.numa.merge(&vm.numa);
             host.paging.merge(&vm.paging);
             host.latency.merge(&vm.latency);
+            host.causal.merge(&vm.causal);
         }
         let mut migration = self.finished_migration_stats;
         if let Some(engine) = &self.migration {

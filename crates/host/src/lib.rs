@@ -51,11 +51,13 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod config;
+pub mod diff;
 pub mod experiments;
 pub mod host;
 pub mod scenario;
 
 pub use config::{HostConfig, HostConfigBuilder, VmSpec, VmSpecBuilder};
+pub use diff::{DiffOptions, DiffReport};
 pub use host::ConsolidatedHost;
 pub use scenario::{Params, Scale, Scenario, ScenarioReport};
 

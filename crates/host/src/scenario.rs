@@ -33,9 +33,10 @@
 //! assert_eq!(report.scenario, "multivm");
 //! ```
 
-use hatric::experiments::{fig9, xen, ExperimentParams};
+use hatric::experiments::{execute_traced, fig2, fig7, fig9, xen, ExperimentParams, RunSpec};
 use hatric::metrics::HostReport;
-use hatric::telemetry::{global_phase_totals, EnginePhase};
+use hatric::telemetry::{global_phase_totals, CounterTimeline, EnginePhase};
+use hatric::WorkloadKind;
 use hatric_coherence::CoherenceMechanism;
 use hatric_hypervisor::{NumaPolicy, SchedPolicy};
 use hatric_types::ConfigError;
@@ -302,6 +303,15 @@ impl Row {
     #[must_use]
     pub fn count(mut self, key: &str, value: u64) -> Self {
         self.fields.push((key.to_string(), Metric::Count(value)));
+        self
+    }
+
+    /// Appends a textual metric (beyond the label and mechanism fields the
+    /// constructor installs — e.g. an attribution column naming a remap).
+    #[must_use]
+    pub fn text(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_string(), Metric::Text(value.to_string())));
         self
     }
 
@@ -601,14 +611,32 @@ pub trait Scenario: Sync {
     /// Runs **one representative traced configuration** of this scenario
     /// (with `params` overlaid on the defaults at `scale`) and returns the
     /// Chrome trace-event JSON — what `scenarios run <name> --trace out.json`
-    /// writes.  The default is `None`: scenarios built on the single-VM
-    /// [`hatric::System`] (`fig9`, `xen`) have no host-level sink to drain.
+    /// writes.  The default is `None` for scenarios with nothing to trace;
+    /// every registered scenario overrides it (host scenarios through their
+    /// [`ConsolidatedHost`], figure scenarios through the single-VM
+    /// [`hatric::System`]).
     ///
-    /// Host scenarios trace a single sweep point under one mechanism
-    /// (software shootdowns where the sweep includes them, for the richest
-    /// remap → IPI fan-out → ack lifecycles) rather than re-running the
-    /// whole matrix: a trace is a magnifying glass, not a report.
+    /// Scenarios trace a single sweep point under one mechanism (software
+    /// shootdowns where the sweep includes them, for the richest remap →
+    /// IPI fan-out → ack lifecycles) rather than re-running the whole
+    /// matrix: a trace is a magnifying glass, not a report.
     fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let _ = (params, scale);
+        None
+    }
+
+    /// Runs **one representative configuration** with the commit-barrier
+    /// counter sampler enabled and returns its [`CounterTimeline`] — what
+    /// `scenarios run <name> --timeline out.json` exports as Chrome counter
+    /// events plus a CSV sibling.  The default is `None`: the sampler hooks
+    /// the consolidated host's commit barrier, so scenarios built on the
+    /// single-VM [`hatric::System`] (`fig2`, `fig7`, `fig9`, `xen`) have no
+    /// timeline to sample.
+    fn timeline_run(
+        &self,
+        params: &Params,
+        scale: Scale,
+    ) -> Option<Result<CounterTimeline, ConfigError>> {
         let _ = (params, scale);
         None
     }
@@ -635,6 +663,8 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &MigrationStormScenario,
         &NumaContentionScenario,
         &HostScaleScenario,
+        &Fig2Scenario,
+        &Fig7Scenario,
         &Fig9Scenario,
         &XenScenario,
     ];
@@ -694,21 +724,50 @@ fn mechanism_label(mechanism: CoherenceMechanism) -> String {
 
 /// Appends the row tail every host scenario shares: the machine-dependent
 /// wall-clock columns (`elapsed_ms`, `accesses_per_sec` — never gated,
-/// stripped by the determinism cross-checks) followed by the deterministic
+/// stripped by the determinism cross-checks), the deterministic
 /// latency-distribution percentiles the run accumulated — p50/p99, in
 /// simulated cycles, of nested-walk latency, shootdown completion latency
-/// and DRAM queueing delay.  One helper instead of four hand-rolled copies
-/// keeps the column set identical across scenarios.
+/// and DRAM queueing delay — and the per-remap causal-attribution columns
+/// ([`attribution_columns`]).  One helper instead of four hand-rolled
+/// copies keeps the column set identical across scenarios.
 fn timing_columns(row: Row, report: &HostReport, elapsed_ms: f64, accesses_per_sec: f64) -> Row {
     let lat = &report.host.latency;
-    row.ratio("elapsed_ms", elapsed_ms)
+    let timed = row
+        .ratio("elapsed_ms", elapsed_ms)
         .ratio("accesses_per_sec", accesses_per_sec)
         .count("walk_p50", lat.walk.p50())
         .count("walk_p99", lat.walk.p99())
         .count("shootdown_p50", lat.shootdown.p50())
         .count("shootdown_p99", lat.shootdown.p99())
         .count("dram_queue_p50", lat.dram_queue.p50())
-        .count("dram_queue_p99", lat.dram_queue.p99())
+        .count("dram_queue_p99", lat.dram_queue.p99());
+    attribution_columns(timed, report)
+}
+
+/// Appends the per-remap causal-attribution columns (never gated): how many
+/// distinct remaps the run's causal ledger charged disruption to, the summed
+/// victim cycles they inflicted, and the single costliest remap — its id
+/// (`vm<slot>#<ordinal>`), its victim cycles and its share of the total.
+/// Deterministic like every model metric, but new columns stay out of the
+/// gate so committed baselines never need regenerating for observability.
+fn attribution_columns(row: Row, report: &HostReport) -> Row {
+    let causal = &report.host.causal;
+    let total = causal.total();
+    let top = causal.top_by_victim_cycles(1);
+    let (top_id, top_cycles) = top.first().map_or_else(
+        || ("-".to_string(), 0),
+        |(id, c)| (id.to_string(), c.victim_cycles),
+    );
+    let top_share = if total.victim_cycles == 0 {
+        0.0
+    } else {
+        top_cycles as f64 / total.victim_cycles as f64
+    };
+    row.count("attr_remaps", causal.len() as u64)
+        .count("attr_victim_cycles", total.victim_cycles)
+        .text("attr_top_remap", &top_id)
+        .count("attr_top_victim_cycles", top_cycles)
+        .ratio("attr_top_share", top_share)
 }
 
 /// Spans a traced scenario run keeps before the ring starts evicting the
@@ -724,6 +783,38 @@ fn traced_host_run(config: HostConfig, warmup: u64, measured: u64) -> Result<Str
     host.enable_tracing(TRACE_CAPACITY);
     host.run(warmup, measured);
     Ok(host.export_trace().expect("tracing was enabled above"))
+}
+
+/// Samples a timeline run targets roughly this many points across its
+/// measured phase, independent of scale — enough resolution to see phase
+/// structure, few enough that the export stays small.
+const TIMELINE_TARGET_SAMPLES: u64 = 256;
+
+/// Runs `config` with commit-barrier counter sampling enabled and returns
+/// the recorded timeline ([`Scenario::timeline_run`]'s workhorse).  The
+/// warmup phase is sampled too, then discarded with the other warmup
+/// measurements, so the timeline covers exactly the measured slices.
+fn timeline_host_run(
+    config: HostConfig,
+    warmup: u64,
+    measured: u64,
+) -> Result<CounterTimeline, ConfigError> {
+    config.validate()?;
+    let mut host = ConsolidatedHost::new(config).expect("the configuration was just validated");
+    host.enable_timeline((measured / TIMELINE_TARGET_SAMPLES).max(1));
+    host.run(warmup, measured);
+    Ok(host
+        .timeline()
+        .expect("the timeline was enabled above")
+        .clone())
+}
+
+/// Runs one traced single-VM figure configuration and returns the Chrome
+/// trace-event JSON (the [`Scenario::trace_run`] workhorse of the figure
+/// scenarios, mirroring [`traced_host_run`] for [`hatric::System`] runs).
+fn traced_system_run(spec: &RunSpec, params: &ExperimentParams) -> String {
+    let (_report, trace) = execute_traced(spec, params, TRACE_CAPACITY);
+    trace
 }
 
 /// Renders the ungated environment-metadata record the JSON writers append
@@ -885,6 +976,25 @@ impl Scenario for MultivmScenario {
         Some(traced)
     }
 
+    fn timeline_run(
+        &self,
+        params: &Params,
+        scale: Scale,
+    ) -> Option<Result<CounterTimeline, ConfigError>> {
+        let timeline = resolve_params(self, params, scale)
+            .and_then(|merged| Self::typed(&merged))
+            .and_then(|base| {
+                // The same severe software point the trace magnifies.
+                let point = base.with_aggressor_footprint_factor(2.0);
+                timeline_host_run(
+                    point.host_config(CoherenceMechanism::Software),
+                    point.warmup_slices,
+                    point.measured_slices,
+                )
+            });
+        Some(timeline)
+    }
+
     fn baseline_stem(&self) -> Option<&'static str> {
         Some("multivm")
     }
@@ -1034,6 +1144,27 @@ impl Scenario for MigrationStormScenario {
                 )
             });
         Some(traced)
+    }
+
+    fn timeline_run(
+        &self,
+        params: &Params,
+        scale: Scale,
+    ) -> Option<Result<CounterTimeline, ConfigError>> {
+        let timeline = resolve_params(self, params, scale)
+            .and_then(|merged| Self::typed(&merged))
+            .and_then(|base| {
+                // The plain pre-copy storm under software shootdowns: the
+                // dirty-page gauge drains round by round while the
+                // shootdown-target gauge spikes with each write-protect
+                // fan-out.
+                timeline_host_run(
+                    base.host_config(CoherenceMechanism::Software),
+                    base.warmup_slices,
+                    base.measured_slices,
+                )
+            });
+        Some(timeline)
     }
 
     fn baseline_stem(&self) -> Option<&'static str> {
@@ -1225,6 +1356,26 @@ impl Scenario for NumaContentionScenario {
         Some(traced)
     }
 
+    fn timeline_run(
+        &self,
+        params: &Params,
+        scale: Scale,
+    ) -> Option<Result<CounterTimeline, ConfigError>> {
+        let timeline = resolve_params(self, params, scale)
+            .and_then(|merged| Self::typed(&merged))
+            .and_then(|base| {
+                // The same two-socket interleaved software point the trace
+                // magnifies.
+                let point = base.with_sockets(2);
+                timeline_host_run(
+                    point.host_config(CoherenceMechanism::Software),
+                    point.warmup_slices,
+                    point.measured_slices,
+                )
+            });
+        Some(timeline)
+    }
+
     fn baseline_stem(&self) -> Option<&'static str> {
         Some("numa")
     }
@@ -1344,6 +1495,25 @@ impl Scenario for HostScaleScenario {
         Some(traced)
     }
 
+    fn timeline_run(
+        &self,
+        params: &Params,
+        scale: Scale,
+    ) -> Option<Result<CounterTimeline, ConfigError>> {
+        let timeline = resolve_params(self, params, scale)
+            .and_then(|merged| Self::typed(&merged))
+            .and_then(|base| {
+                // The same peak machine the trace magnifies.
+                let vcpus = base.vcpus_max;
+                timeline_host_run(
+                    base.host_config(vcpus, base.threads_max),
+                    base.warmup_slices,
+                    base.measured_slices,
+                )
+            });
+        Some(timeline)
+    }
+
     fn baseline_stem(&self) -> Option<&'static str> {
         Some("scale")
     }
@@ -1406,6 +1576,124 @@ fn fig_typed(params: &Params) -> Result<ExperimentParams, ConfigError> {
     })
 }
 
+/// The Fig. 2 scenario (`fig2`): the potential of hypervisor-managed
+/// die-stacked DRAM per workload — no-HBM baseline, infinite-HBM lower
+/// bound, today's best paging under software coherence, and what
+/// zero-overhead coherence would achieve.
+pub struct Fig2Scenario;
+
+impl Scenario for Fig2Scenario {
+    fn name(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn describe(&self) -> &'static str {
+        "software translation coherence forfeits much of die-stacked DRAM's \
+         paging win (Fig. 2)"
+    }
+
+    fn default_params(&self, scale: Scale) -> Params {
+        fig_default_params(scale)
+    }
+
+    fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError> {
+        let merged = resolve_params(self, params, scale)?;
+        let base = fig_typed(&merged)?;
+        let mut report = ScenarioReport::new(self.name());
+        for fig_row in fig2::run(&base) {
+            for (mechanism, runtime) in [
+                ("NoHbm", fig_row.no_hbm),
+                ("InfiniteHbm", fig_row.inf_hbm),
+                ("Software", fig_row.curr_best),
+                ("Ideal", fig_row.achievable),
+            ] {
+                report.push(
+                    Row::new("config", &fig_row.workload, mechanism)
+                        .ratio("runtime_vs_nohbm", runtime),
+                );
+            }
+        }
+        Ok(report)
+    }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| fig_typed(&merged))
+            .map(|base| {
+                // The curr-best bar of the first workload: paged memory
+                // under software shootdowns, where the figure's forfeited
+                // win comes from.
+                traced_system_run(
+                    &RunSpec::new(WorkloadKind::Canneal, CoherenceMechanism::Software),
+                    &base,
+                )
+            });
+        Some(traced)
+    }
+}
+
+/// The Fig. 7 scenario (`fig7`): HATRIC's benefit as a function of vCPU
+/// count, per workload, under software / HATRIC / ideal coherence.  The
+/// paper's [`fig7::VCPU_SWEEP`] is clipped to the scenario's `vcpus`
+/// parameter so smoke runs stay small.
+pub struct Fig7Scenario;
+
+impl Scenario for Fig7Scenario {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn describe(&self) -> &'static str {
+        "HATRIC's benefit grows with the vCPU count (Fig. 7)"
+    }
+
+    fn default_params(&self, scale: Scale) -> Params {
+        fig_default_params(scale)
+    }
+
+    fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError> {
+        let merged = resolve_params(self, params, scale)?;
+        let base = fig_typed(&merged)?;
+        let sweep: Vec<usize> = fig7::VCPU_SWEEP
+            .iter()
+            .copied()
+            .filter(|&vcpus| vcpus <= base.vcpus)
+            .collect();
+        let sweep = if sweep.is_empty() {
+            vec![base.vcpus]
+        } else {
+            sweep
+        };
+        let mut report = ScenarioReport::new(self.name());
+        for fig_row in fig7::run_with_sweep(&base, &sweep) {
+            let label = format!("{}/v{}", fig_row.workload, fig_row.vcpus);
+            for (mechanism, runtime) in [
+                ("Software", fig_row.sw),
+                ("Hatric", fig_row.hatric),
+                ("Ideal", fig_row.ideal),
+            ] {
+                report
+                    .push(Row::new("config", &label, mechanism).ratio("runtime_vs_nohbm", runtime));
+            }
+        }
+        Ok(report)
+    }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| fig_typed(&merged))
+            .map(|base| {
+                // The software bar at the scenario's full vCPU count: the
+                // widest shootdown fan-outs of the sweep.
+                traced_system_run(
+                    &RunSpec::new(WorkloadKind::Canneal, CoherenceMechanism::Software),
+                    &base,
+                )
+            });
+        Some(traced)
+    }
+}
+
 /// The Fig. 9 scenario (`fig9`): runtime versus translation-structure
 /// sizes, per workload and size multiplier, under software / HATRIC /
 /// ideal coherence.
@@ -1441,6 +1729,22 @@ impl Scenario for Fig9Scenario {
             }
         }
         Ok(report)
+    }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| fig_typed(&merged))
+            .map(|base| {
+                // The software bar at the largest structure multiplier:
+                // the flushes the figure shows bigger structures cannot
+                // absorb.
+                traced_system_run(
+                    &RunSpec::new(WorkloadKind::Canneal, CoherenceMechanism::Software)
+                        .with_structure_scale(4),
+                    &base,
+                )
+            });
+        Some(traced)
     }
 }
 
@@ -1479,6 +1783,22 @@ impl Scenario for XenScenario {
         }
         Ok(report)
     }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| fig_typed(&merged))
+            .map(|base| {
+                // Xen's software translation coherence on the first of the
+                // paper's Xen workloads: the costlier shootdown path the
+                // generality claim is measured against.
+                traced_system_run(
+                    &RunSpec::new(WorkloadKind::Canneal, CoherenceMechanism::SoftwareXen)
+                        .with_hypervisor(hatric::HypervisorKind::Xen),
+                    &base,
+                )
+            });
+        Some(traced)
+    }
 }
 
 #[cfg(test)]
@@ -1495,6 +1815,8 @@ mod tests {
                 "migration_storm",
                 "numa_contention",
                 "host_scale",
+                "fig2",
+                "fig7",
                 "fig9",
                 "xen"
             ]
@@ -1615,17 +1937,27 @@ mod tests {
     }
 
     #[test]
-    fn host_scenarios_trace_and_system_scenarios_do_not() {
+    fn every_scenario_traces_and_only_host_scenarios_sample_timelines() {
         for scenario in registry() {
-            let expects_trace = !matches!(scenario.name(), "fig9" | "xen");
+            // Every registered scenario advertises a traced configuration,
+            // and all of them surface the unknown-param error through it.
             assert_eq!(
                 scenario
                     .trace_run(&Params::new().with("bogus", 1), Scale::Smoke)
                     .map(|r| r.is_err()),
-                // Host scenarios surface the unknown-param error through
-                // trace_run; System scenarios advertise no trace at all.
-                expects_trace.then_some(true),
+                Some(true),
                 "{}: trace_run availability/override validation",
+                scenario.name()
+            );
+            // The counter sampler hooks the consolidated host's commit
+            // barrier, so only host scenarios expose a timeline.
+            let expects_timeline = !matches!(scenario.name(), "fig2" | "fig7" | "fig9" | "xen");
+            assert_eq!(
+                scenario
+                    .timeline_run(&Params::new().with("bogus", 1), Scale::Smoke)
+                    .map(|r| r.is_err()),
+                expects_timeline.then_some(true),
+                "{}: timeline_run availability/override validation",
                 scenario.name()
             );
         }

@@ -626,6 +626,21 @@ impl MemorySystem {
         }
     }
 
+    /// The queueing backlog (in cycles) an access at time `now` would
+    /// observe on devices of `kind`, summed over sockets, computed
+    /// against frozen device state (no mutation) — the DRAM queue-depth
+    /// gauge the counter timelines sample.  Inter-socket links are not
+    /// included.
+    #[must_use]
+    pub fn projected_queueing(&self, kind: MemoryKind, now: u64) -> u64 {
+        (0..self.sockets.len())
+            .map(|s| {
+                self.device(SocketId::new(s as u32), kind)
+                    .projected_queueing(now)
+            })
+            .sum()
+    }
+
     /// Per-device-kind statistics, summed over sockets.
     #[must_use]
     pub fn device_stats(&self, kind: MemoryKind) -> DeviceStats {

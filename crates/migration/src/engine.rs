@@ -177,6 +177,19 @@ impl MigrationEngine {
         self.phase == MigrationPhase::StopAndCopy
     }
 
+    /// Pages still awaiting transfer: the in-flight round's copy queue,
+    /// the residual set carried into stop-and-copy, and pages dirtied
+    /// since the round began.  Zero once the migration completed.  This
+    /// is the dirty-page gauge the counter timelines sample; it only
+    /// reads engine state.
+    #[must_use]
+    pub fn pending_pages(&self) -> u64 {
+        if self.phase == MigrationPhase::Completed {
+            return 0;
+        }
+        self.copy_queue.len() as u64 + self.final_set.len() as u64 + self.tracker.dirty_pages()
+    }
+
     /// Whether the migration has finished.
     #[must_use]
     pub fn is_complete(&self) -> bool {

@@ -15,15 +15,30 @@
 //!   engine's phases (pool refill, simulate, bank replay, booking replay,
 //!   serial commit).  Wall-clock data never feeds back into the model; it
 //!   exists purely so the engine's own cost is measurable over time.
+//! * [`CounterTimeline`] — a sim-time gauge sampler: named series sampled
+//!   at a fixed slice interval (directory occupancy, DRAM queue depth,
+//!   TLB hit rate, in-flight shootdown targets, migration dirty pages),
+//!   exportable as Chrome counter events
+//!   ([`CounterTimeline::export_chrome_counters`]) or CSV
+//!   ([`CounterTimeline::export_csv`]).
+//! * [`RemapId`] / [`CausalCost`] / [`CausalLedger`] — per-remap causal
+//!   attribution: every nested-PTE remap gets an id, and every disruptive
+//!   consequence (shootdown target stall, TLB/cotag invalidation,
+//!   back-invalidation) is charged to the remap that caused it, so
+//!   reports can answer "which 1% of remaps caused 50% of victim
+//!   slowdown".
 //!
 //! Everything here is determinism-neutral by construction: histograms
 //! count simulated quantities only, the trace sink is an append-only log
-//! of simulated spans that no model code ever reads back, and the phase
-//! profiler is the single sanctioned home for wall-clock measurements.
+//! of simulated spans that no model code ever reads back, timelines and
+//! causal ledgers only *read* model state, and the phase profiler is the
+//! single sanctioned home for wall-clock measurements.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -290,7 +305,10 @@ impl TraceSink {
     /// `{"traceEvents": [...]}` object form), loadable in
     /// `chrome://tracing` and Perfetto.  Each span becomes one complete
     /// (`"ph":"X"`) event; simulated cycles map directly onto the
-    /// viewer's microsecond axis.
+    /// viewer's microsecond axis.  The document's `metadata` object
+    /// carries `droppedSpans` — the number of spans evicted because the
+    /// ring wrapped — so consumers can tell a complete trace from a
+    /// truncated one.
     #[must_use]
     pub fn export_chrome_trace(&self) -> String {
         let mut out = String::from("{\"traceEvents\":[\n");
@@ -312,8 +330,303 @@ impl TraceSink {
             }
             out.push_str("}}");
         }
+        out.push_str(&format!(
+            "\n],\"metadata\":{{\"droppedSpans\":{}}}}}\n",
+            self.dropped
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter timelines
+// ---------------------------------------------------------------------------
+
+/// A deterministic sim-time gauge sampler: a fixed set of named series,
+/// each sampled together at a fixed scheduler-slice interval.
+///
+/// The host samples at the commit barrier (after a slice's effects have
+/// been committed), so every sample reflects the same canonical state any
+/// thread count produces — timelines are byte-identical across worker
+/// thread counts, and sampling only *reads* model state so enabling it
+/// never changes a single gated metric.
+///
+/// ```
+/// use hatric_telemetry::CounterTimeline;
+///
+/// let mut t = CounterTimeline::new(4, vec!["occupancy", "queue"]);
+/// t.record(100, &[7, 3]);
+/// t.record(200, &[9, 0]);
+/// assert_eq!(t.len(), 2);
+/// assert!(t.export_csv().starts_with("ts,occupancy,queue\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterTimeline {
+    interval: u64,
+    series: Vec<&'static str>,
+    samples: Vec<(u64, Vec<u64>)>,
+}
+
+impl CounterTimeline {
+    /// Creates an empty timeline sampling every `interval` slices
+    /// (minimum 1) with the given series names.
+    #[must_use]
+    pub fn new(interval: u64, series: Vec<&'static str>) -> Self {
+        Self {
+            interval: interval.max(1),
+            series,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The sampling interval in scheduler slices.
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// The series names, in column order.
+    #[must_use]
+    pub fn series(&self) -> &[&'static str] {
+        &self.series
+    }
+
+    /// Appends one sample: the gauge value of every series at simulated
+    /// time `ts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of series.
+    pub fn record(&mut self, ts: u64, values: &[u64]) {
+        assert_eq!(
+            values.len(),
+            self.series.len(),
+            "one value per series is required"
+        );
+        self.samples.push((ts, values.to_vec()));
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The recorded samples, oldest first: `(ts, values)` with one value
+    /// per series.
+    #[must_use]
+    pub fn samples(&self) -> &[(u64, Vec<u64>)] {
+        &self.samples
+    }
+
+    /// Discards all samples (the warmup/measured boundary does this so a
+    /// timeline covers exactly the measured phase).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Serialises the timeline as Chrome trace-event JSON counter events
+    /// (`"ph":"C"`): one event per series per sample, loadable in
+    /// `chrome://tracing` and Perfetto, where each series renders as a
+    /// stacked area chart over simulated time.
+    #[must_use]
+    pub fn export_chrome_counters(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        for (ts, values) in &self.samples {
+            for (name, value) in self.series.iter().zip(values.iter()) {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                out.push_str(&format!(
+                    "  {{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"args\":{{\"value\":{value}}}}}"
+                ));
+            }
+        }
         out.push_str("\n]}\n");
         out
+    }
+
+    /// Serialises the timeline as CSV: a `ts,<series...>` header followed
+    /// by one row per sample.
+    #[must_use]
+    pub fn export_csv(&self) -> String {
+        let mut out = String::from("ts");
+        for name in &self.series {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for (ts, values) in &self.samples {
+            out.push_str(&ts.to_string());
+            for value in values {
+                out.push(',');
+                out.push_str(&value.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-remap causal attribution
+// ---------------------------------------------------------------------------
+
+/// The identity of one nested-PTE remap: the host slot of the VM whose
+/// hypervisor initiated it, and that VM's 1-based remap ordinal.
+///
+/// Ordinals count *per VM*, not globally: a VM's shard executes on
+/// exactly one worker per slice, so its ordinal sequence is identical for
+/// any thread count — which keeps attribution as deterministic as the
+/// counters it explains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RemapId {
+    /// Host slot of the initiating VM.
+    pub slot: u32,
+    /// 1-based ordinal among that VM's remaps.
+    pub ordinal: u64,
+}
+
+impl RemapId {
+    /// Builds the id of VM `slot`'s `ordinal`-th remap.
+    #[must_use]
+    pub fn new(slot: u32, ordinal: u64) -> Self {
+        Self { slot, ordinal }
+    }
+}
+
+impl fmt::Display for RemapId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}#{}", self.slot, self.ordinal)
+    }
+}
+
+/// The disruption one remap caused, accumulated across its consequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CausalCost {
+    /// Cycles charged to *other* VMs' occupants because of this remap
+    /// (shootdown target stalls on CPUs another VM occupied).  Summed
+    /// over a ledger, this reconciles exactly with the owning VM's
+    /// `inflicted_cycles` interference counter.
+    pub victim_cycles: u64,
+    /// Coherence targets (CPUs stalled) the remap generated, disruptive
+    /// or not.
+    pub targets: u64,
+    /// Translation entries invalidated on its behalf: selective cotag
+    /// invalidations, full-flush casualties and directory
+    /// back-invalidations.
+    pub invalidations: u64,
+}
+
+impl CausalCost {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &CausalCost) {
+        self.victim_cycles += other.victim_cycles;
+        self.targets += other.targets;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// Per-remap causal costs, keyed by [`RemapId`].
+///
+/// Each VM owns one ledger covering the remaps *it* initiated; merging
+/// per-VM ledgers into a host aggregate never collides because every key
+/// carries its owner's slot.  The BTreeMap keeps iteration (and therefore
+/// `Debug` output and top-K selection tie-breaks) deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CausalLedger {
+    costs: BTreeMap<RemapId, CausalCost>,
+}
+
+impl CausalLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `remap` with one coherence target (a CPU it stalled);
+    /// whether the stall hit another VM's occupant is charged separately
+    /// via [`CausalLedger::charge_victim_cycles`].
+    pub fn charge_target(&mut self, remap: RemapId) {
+        self.costs.entry(remap).or_default().targets += 1;
+    }
+
+    /// Charges `remap` with `cycles` of victim stall: cycles a shootdown
+    /// target burned on a CPU occupied by a *different* VM.
+    pub fn charge_victim_cycles(&mut self, remap: RemapId, cycles: u64) {
+        self.costs.entry(remap).or_default().victim_cycles += cycles;
+    }
+
+    /// Charges `remap` with `entries` invalidated translation entries
+    /// (selective invalidations, flush casualties or directory
+    /// back-invalidations).
+    pub fn charge_invalidations(&mut self, remap: RemapId, entries: u64) {
+        if entries > 0 {
+            self.costs.entry(remap).or_default().invalidations += entries;
+        }
+    }
+
+    /// Accumulates `other` into `self`, merging costs of identical ids.
+    pub fn merge(&mut self, other: &CausalLedger) {
+        for (id, cost) in &other.costs {
+            self.costs.entry(*id).or_default().merge(cost);
+        }
+    }
+
+    /// Number of remaps with recorded costs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether no costs have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Discards all recorded costs.
+    pub fn clear(&mut self) {
+        self.costs.clear();
+    }
+
+    /// Iterates `(id, cost)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RemapId, &CausalCost)> {
+        self.costs.iter()
+    }
+
+    /// The sum of all per-remap costs.
+    #[must_use]
+    pub fn total(&self) -> CausalCost {
+        let mut total = CausalCost::default();
+        for cost in self.costs.values() {
+            total.merge(cost);
+        }
+        total
+    }
+
+    /// The `k` remaps with the highest `victim_cycles`, most damaging
+    /// first (ties broken by id order, so the ranking is deterministic).
+    #[must_use]
+    pub fn top_by_victim_cycles(&self, k: usize) -> Vec<(RemapId, CausalCost)> {
+        let mut ranked: Vec<(RemapId, CausalCost)> =
+            self.costs.iter().map(|(id, c)| (*id, *c)).collect();
+        ranked.sort_by(|a, b| {
+            b.1.victim_cycles
+                .cmp(&a.1.victim_cycles)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
     }
 }
 
@@ -596,7 +909,90 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"args\":{\"k\":10}"));
         assert!(json.contains("\"args\":{}"));
+        assert!(json
+            .trim_end()
+            .ends_with("],\"metadata\":{\"droppedSpans\":0}}"));
+    }
+
+    #[test]
+    fn chrome_export_metadata_reports_dropped_spans() {
+        let mut sink = TraceSink::new(2);
+        for ts in 0..5 {
+            sink.record(span("e", ts));
+        }
+        let json = sink.export_chrome_trace();
+        assert!(json
+            .trim_end()
+            .ends_with("\"metadata\":{\"droppedSpans\":3}}"));
+    }
+
+    #[test]
+    fn timeline_records_and_exports_csv() {
+        let mut t = CounterTimeline::new(0, vec!["a", "b"]);
+        assert_eq!(t.interval(), 1, "interval clamps to at least 1");
+        assert!(t.is_empty());
+        t.record(10, &[1, 2]);
+        t.record(20, &[3, 4]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.samples()[1], (20, vec![3, 4]));
+        assert_eq!(t.export_csv(), "ts,a,b\n10,1,2\n20,3,4\n");
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn timeline_chrome_counters_are_well_formed() {
+        let mut t = CounterTimeline::new(8, vec!["occ", "queue"]);
+        t.record(100, &[7, 0]);
+        let json = t.export_chrome_counters();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 2);
+        assert!(json.contains(
+            "{\"name\":\"occ\",\"ph\":\"C\",\"ts\":100,\"pid\":0,\"args\":{\"value\":7}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"queue\",\"ph\":\"C\",\"ts\":100,\"pid\":0,\"args\":{\"value\":0}}"
+        ));
         assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per series")]
+    fn timeline_rejects_mismatched_sample_width() {
+        let mut t = CounterTimeline::new(1, vec!["a", "b"]);
+        t.record(0, &[1]);
+    }
+
+    #[test]
+    fn causal_ledger_accumulates_merges_and_ranks() {
+        let early = RemapId::new(0, 1);
+        let late = RemapId::new(0, 2);
+        let other_vm = RemapId::new(1, 1);
+        assert_eq!(early.to_string(), "vm0#1");
+        let mut a = CausalLedger::new();
+        a.charge_target(early);
+        a.charge_victim_cycles(early, 100);
+        a.charge_invalidations(early, 4);
+        a.charge_invalidations(early, 0); // no-op, must not create churn
+        a.charge_target(late);
+        a.charge_victim_cycles(late, 900);
+        let mut b = CausalLedger::new();
+        b.charge_victim_cycles(other_vm, 900);
+        b.charge_victim_cycles(early, 50);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        let total = a.total();
+        assert_eq!(total.victim_cycles, 1950);
+        assert_eq!(total.targets, 2);
+        assert_eq!(total.invalidations, 4);
+        let top = a.top_by_victim_cycles(2);
+        assert_eq!(top.len(), 2);
+        // 900-cycle tie between vm0#2 and vm1#1 breaks by id order.
+        assert_eq!(top[0].0, late);
+        assert_eq!(top[1].0, other_vm);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.total(), CausalCost::default());
     }
 
     #[test]
