@@ -1,0 +1,313 @@
+//! The message-passing slice engine: components as actors, effects as
+//! timestamped messages.
+//!
+//! [`MessageEngine`] is the second implementation of the
+//! [`EngineBackend`] contract.  Where the
+//! phased engine of [`crate::engine`] commits every unit's effect log in
+//! one barrier sweep, this engine models the commit as an actor system:
+//!
+//! * **per-VM unit actors** simulate their slice (reusing the phased
+//!   engine's `simulate_phase`, so unit semantics are shared by
+//!   construction) and then *post* each produced effect as a message;
+//! * **LLC bank actors**, the **DRAM device actor** and the **serial
+//!   committer actor** each own an inbox (the same `CommitScratch` queues
+//!   the phased engine partitions into) and drain it when a barrier
+//!   marker arrives.
+//!
+//! Messages travel through a deterministic *delayed delivery queue*: a
+//! priority queue ordered by the key `(deliver_cycle, vm_slot, seq)`.
+//! Each slice spans `TICKS_PER_SLICE` delivery cycles — tallies at tick
+//! 0, effects at tick 1, the bank-flush marker at tick 2 and the commit
+//! marker at tick 3 — so the queue's pop order *is* the phased engine's
+//! canonical `(vm slot, emission order)` commit order, and the dispatcher
+//! can assign global sequence numbers at delivery time.  Because the
+//! message payloads are the existing `Effect` values and every payload
+//! is consumed by the same `route_effect`/`replay_banks`/`serial_pass`
+//! helpers the phased engine uses, the two backends can only differ in
+//! orchestration, never in semantics — the `engine_conformance`
+//! integration test asserts byte-identical reports.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use hatric_hypervisor::Placement;
+use hatric_telemetry::{EnginePhase, PhaseTotals};
+
+use crate::driver::WorkloadDriver;
+use crate::engine::{
+    apply_unit_tallies, group_units, refill_pools, replay_banks, route_effect, serial_pass,
+    simulate_phase, CommitScratch, Effect, EngineBackend, EngineState,
+};
+use crate::platform::Platform;
+use crate::vm_instance::VmInstance;
+
+/// Delivery cycles one scheduler slice spans on the message interconnect.
+const TICKS_PER_SLICE: u64 = 4;
+
+/// Tick (within a slice) at which unit actors post their slice tallies.
+const TICK_TALLY: u64 = 0;
+/// Tick at which unit actors post their effect messages.
+const TICK_EFFECTS: u64 = 1;
+/// Tick of the bank-flush barrier marker.
+const TICK_BANK_FLUSH: u64 = 2;
+/// Tick of the serial-commit barrier marker.
+const TICK_COMMIT: u64 = 3;
+
+/// Delivery key of a message: `(deliver_cycle, vm_slot, seq)`, where `seq`
+/// is the *sender-local* emission index — the dispatcher assigns global
+/// sequence numbers at delivery time, in pop order.
+type MsgKey = (u64, u32, u64);
+
+/// One message on the interconnect.
+#[derive(Debug)]
+enum Message {
+    /// A unit actor's slice summary (stat deltas, energy, trace spans);
+    /// `unit` indexes the slice's effect logs.
+    Tally { unit: usize },
+    /// One shared-state effect, addressed by [`route_effect`] to the bank,
+    /// device or committer actor that consumes it.
+    Effect(Effect),
+    /// Barrier marker: the bank and device actors drain their inboxes.
+    BankFlush,
+    /// Barrier marker: the serial committer drains its inbox.
+    Commit,
+}
+
+/// A keyed message in flight.
+#[derive(Debug)]
+struct Envelope {
+    key: MsgKey,
+    msg: Message,
+}
+
+impl PartialEq for Envelope {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for Envelope {}
+
+impl PartialOrd for Envelope {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Envelope {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// The deterministic delayed delivery queue: a min-heap over
+/// [`MsgKey`]s.  Every key posted within a slice is unique (ticks separate
+/// message classes, slots separate units, sender-local indices separate a
+/// unit's effects), so pop order is a total order independent of post
+/// order — the property that makes delivery deterministic.
+#[derive(Debug, Default)]
+struct DelayedQueue {
+    heap: BinaryHeap<Reverse<Envelope>>,
+}
+
+impl DelayedQueue {
+    fn post(&mut self, deliver_cycle: u64, vm_slot: u32, seq: u64, msg: Message) {
+        self.heap.push(Reverse(Envelope {
+            key: (deliver_cycle, vm_slot, seq),
+            msg,
+        }));
+    }
+
+    fn pop(&mut self) -> Option<(MsgKey, Message)> {
+        self.heap.pop().map(|Reverse(env)| (env.key, env.msg))
+    }
+}
+
+/// The message-passing slice executor.
+///
+/// Wraps the same persistent component state as the phased engine (frame
+/// pools, DRAM pending overlays, interleave cursors, the worker pool, the
+/// component inboxes, recycled effect logs, the phase profiler) plus the
+/// delayed delivery queue and the slice counter that advances the
+/// interconnect clock.
+#[derive(Debug)]
+pub struct MessageEngine {
+    state: EngineState,
+    queue: DelayedQueue,
+    /// Slices executed so far — `slices * TICKS_PER_SLICE` is the current
+    /// slice's base delivery cycle, keeping keys strictly increasing
+    /// across slices.
+    slices: u64,
+}
+
+impl MessageEngine {
+    /// A message-passing engine for a host with `num_vms` VM slots on
+    /// `sockets` sockets.
+    #[must_use]
+    pub fn new(num_vms: usize, sockets: usize) -> Self {
+        Self {
+            state: EngineState::new(num_vms, sockets),
+            queue: DelayedQueue::default(),
+            slices: 0,
+        }
+    }
+}
+
+impl EngineBackend for MessageEngine {
+    fn run_slice(
+        &mut self,
+        platform: &mut Platform,
+        vms: &mut [VmInstance],
+        drivers: &mut [WorkloadDriver],
+        placements: &[Placement],
+        slice_accesses: u64,
+        threads: usize,
+    ) {
+        let units = group_units(placements);
+        if units.is_empty() {
+            return;
+        }
+
+        let refill_start = Instant::now();
+        refill_pools(platform, vms, &units, &mut self.state, slice_accesses);
+        self.state
+            .profiler
+            .record(EnginePhase::PoolRefill, refill_start.elapsed());
+        if threads > 1 {
+            self.state.ensure_pool(threads);
+        }
+
+        let simulate_start = Instant::now();
+        let mut effects = simulate_phase(
+            platform,
+            vms,
+            drivers,
+            &units,
+            slice_accesses,
+            threads,
+            &mut self.state,
+        );
+        self.state
+            .profiler
+            .record(EnginePhase::Simulate, simulate_start.elapsed());
+
+        // Unit actors post their timestamped messages.  `simulate_phase`
+        // returns the logs in ascending slot order, but delivery does not
+        // depend on that: the queue orders by key alone.
+        let base = self.slices * TICKS_PER_SLICE;
+        for (u, unit) in effects.iter().enumerate() {
+            let slot = unit.slot as u32;
+            self.queue
+                .post(base + TICK_TALLY, slot, 0, Message::Tally { unit: u });
+            for (i, effect) in unit.effects.iter().enumerate() {
+                self.queue.post(
+                    base + TICK_EFFECTS,
+                    slot,
+                    i as u64,
+                    Message::Effect(*effect),
+                );
+            }
+        }
+        self.queue.post(
+            base + TICK_BANK_FLUSH,
+            u32::MAX,
+            u64::MAX,
+            Message::BankFlush,
+        );
+        self.queue
+            .post(base + TICK_COMMIT, u32::MAX, u64::MAX, Message::Commit);
+
+        // The interconnect delivers; each actor consumes its messages.
+        // Pop order is (tick, slot, emission index): tallies land in slot
+        // order, then every effect in the canonical commit order — the
+        // dispatcher assigns global seqs as they arrive — then the
+        // barriers fire the shared replay and serial-commit helpers.
+        self.state.commit.reset(platform.caches.bank_count());
+        let MessageEngine { state, queue, .. } = self;
+        let EngineState {
+            pool,
+            commit,
+            effects_pool,
+            profiler,
+            ..
+        } = state;
+        let pool = pool.as_ref();
+        let CommitScratch {
+            bank_queues,
+            mem_queue,
+            serial_queue,
+            seq_slots,
+            privs,
+        } = commit;
+        let mut seq: u64 = 0;
+        while let Some(((_, slot, _), msg)) = queue.pop() {
+            match msg {
+                Message::Tally { unit } => apply_unit_tallies(platform, &mut effects[unit]),
+                Message::Effect(effect) => {
+                    route_effect(
+                        platform,
+                        bank_queues,
+                        mem_queue,
+                        serial_queue,
+                        seq,
+                        slot as usize,
+                        &effect,
+                    );
+                    seq_slots.push(slot);
+                    seq += 1;
+                }
+                Message::BankFlush => replay_banks(
+                    platform,
+                    threads,
+                    pool,
+                    bank_queues,
+                    mem_queue,
+                    privs,
+                    profiler,
+                ),
+                Message::Commit => {
+                    serial_pass(platform, vms, privs, serial_queue, seq_slots, profiler);
+                }
+            }
+        }
+        profiler.record_slice();
+        effects_pool.extend(effects);
+        self.slices += 1;
+    }
+
+    fn phase_totals(&self) -> &PhaseTotals {
+        self.state.profiler.totals()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delayed_queue_pops_in_key_order_regardless_of_post_order() {
+        let mut queue = DelayedQueue::default();
+        queue.post(1, 2, 0, Message::BankFlush);
+        queue.post(0, 7, 3, Message::Commit);
+        queue.post(1, 0, 5, Message::Tally { unit: 0 });
+        queue.post(0, 7, 1, Message::Tally { unit: 1 });
+        queue.post(2, 0, 0, Message::BankFlush);
+        let keys: Vec<MsgKey> = std::iter::from_fn(|| queue.pop().map(|(key, _)| key)).collect();
+        assert_eq!(
+            keys,
+            vec![(0, 7, 1), (0, 7, 3), (1, 0, 5), (1, 2, 0), (2, 0, 0)]
+        );
+    }
+
+    #[test]
+    fn slice_ticks_are_disjoint_across_slices() {
+        // Tick layout: the commit marker of slice k precedes every message
+        // of slice k + 1.
+        let last_of_slice = |k: u64| k * TICKS_PER_SLICE + TICK_COMMIT;
+        let first_of_slice = |k: u64| k * TICKS_PER_SLICE + TICK_TALLY;
+        for k in 0..4 {
+            assert!(last_of_slice(k) < first_of_slice(k + 1));
+        }
+    }
+}

@@ -3,9 +3,7 @@
 
 use hatric::metrics::{HostReport, MigrationStats, SimReport};
 use hatric::telemetry::{track, CounterTimeline, PhaseTotals, TraceEvent, TraceSink};
-use hatric::{
-    run_slice_parallel, EngineState, Platform, VmInstance, VmPagingParams, WorkloadDriver,
-};
+use hatric::{EngineBackend, Platform, VmInstance, VmPagingParams, WorkloadDriver};
 use hatric_hypervisor::{Placement, Scheduler, VmConfig};
 use hatric_memory::MemoryKind;
 use hatric_migration::{BalloonDriver, HostEvent, MigrationEngine, MigrationPhase};
@@ -43,9 +41,10 @@ pub struct ConsolidatedHost {
     /// with `current_slice` after the context switch — no per-slice
     /// allocation).
     next_slice_buf: Vec<Placement>,
-    /// Frame pools, DRAM overlays and interleave cursors of the parallel
-    /// slice engine.
-    engine: EngineState,
+    /// The slice-executor backend ([`HostConfig::engine`] picks the
+    /// phased or the message-passing implementation; both are
+    /// byte-identical in their reports).
+    engine: Box<dyn EngineBackend>,
     slices_run: u64,
     /// Events not yet started (a migration due while another is in flight
     /// is deferred until the slot frees up).
@@ -121,7 +120,7 @@ impl ConsolidatedHost {
             Scheduler::new(config.sched, config.num_pcpus, &vcpu_counts)
         };
         let pending_events = config.events.clone();
-        let engine = EngineState::new(config.vms.len(), config.numa.sockets);
+        let engine = config.engine.build(config.vms.len(), config.numa.sockets);
         Ok(Self {
             config,
             platform,
@@ -326,15 +325,14 @@ impl ConsolidatedHost {
             .then(|| self.platform.cycles_per_cpu()[0]);
         // Simulate the slice's VM shards (on `config.threads` workers) and
         // commit their effect logs at the barrier — bit-identical for any
-        // thread count.
-        run_slice_parallel(
+        // thread count and either engine backend.
+        self.engine.run_slice(
             &mut self.platform,
             &mut self.vms,
             &mut self.drivers,
             &placements,
             self.config.slice_accesses,
             self.config.threads,
-            &mut self.engine,
         );
         self.next_slice_buf = std::mem::replace(&mut self.current_slice, placements);
         self.advance_events();
@@ -556,6 +554,26 @@ mod tests {
     fn oversubscription_shares_cpus_between_vms() {
         let host = tiny_host(CoherenceMechanism::Software);
         assert!(host.config().is_oversubscribed());
+    }
+
+    #[test]
+    fn message_engine_report_is_byte_identical_to_sliced() {
+        let cfg = HostConfig::scaled(4, 512)
+            .with_mechanism(CoherenceMechanism::Hatric)
+            .with_sched(SchedPolicy::RoundRobin)
+            .with_vm(VmSpec::aggressor(2, 256))
+            .with_vm(VmSpec::victim(2, 128));
+        let sliced = ConsolidatedHost::new(cfg.clone())
+            .expect("valid config")
+            .run(60, 120);
+        let mp = ConsolidatedHost::new(cfg.with_engine(hatric::EngineKind::MessagePassing))
+            .expect("valid config")
+            .run(60, 120);
+        assert_eq!(
+            format!("{sliced:?}"),
+            format!("{mp:?}"),
+            "the two engine backends must agree byte-for-byte"
+        );
     }
 
     #[test]

@@ -895,6 +895,7 @@ impl MultivmScenario {
             sched: SchedPolicy::RoundRobin,
             seed: params.u64("seed")?,
             threads: params.usize("threads")?,
+            engine: params.parsed("engine")?,
             aggressor_footprint_factor: 1.0,
         })
     }
@@ -923,6 +924,7 @@ impl Scenario for MultivmScenario {
             .with("slice_accesses", base.slice_accesses)
             .with("seed", base.seed)
             .with("threads", base.threads)
+            .with("engine", base.engine)
     }
 
     fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError> {
@@ -1051,6 +1053,7 @@ impl MigrationStormScenario {
             sched: SchedPolicy::RoundRobin,
             seed: params.u64("seed")?,
             threads: params.usize("threads")?,
+            engine: params.parsed("engine")?,
             copy_pages_per_slice: params.u64("copy_pages_per_slice")?,
             dirty_page_threshold: params.u64("dirty_page_threshold")?,
             max_rounds: params.u32("max_rounds")?,
@@ -1086,6 +1089,7 @@ impl Scenario for MigrationStormScenario {
             .with("max_rounds", base.max_rounds)
             .with("page_copy_cycles", base.page_copy_cycles)
             .with("threads", base.threads)
+            .with("engine", base.engine)
     }
 
     fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError> {
@@ -1214,6 +1218,7 @@ impl NumaContentionScenario {
             sched: SchedPolicy::RoundRobin,
             seed: params.u64("seed")?,
             threads: params.usize("threads")?,
+            engine: params.parsed("engine")?,
             aggressor_footprint_factor: params.f64("aggressor_footprint_factor")?,
         })
     }
@@ -1246,6 +1251,7 @@ impl Scenario for NumaContentionScenario {
                 base.aggressor_footprint_factor,
             )
             .with("threads", base.threads)
+            .with("engine", base.engine)
     }
 
     /// # Panics
@@ -1469,12 +1475,13 @@ impl Scenario for HostScaleScenario {
                 "host_disrupted_cycles",
                 row.report.host.interference.disrupted_cycles,
             );
-            report.push(timing_columns(
-                built,
-                &row.report,
-                row.elapsed_ms,
-                row.accesses_per_sec,
-            ));
+            // Each point also ran under the message-passing engine (its
+            // report asserted equal inside `host_scale::run`); its wall
+            // clock lands in ungated side-by-side timing columns.
+            let timed = timing_columns(built, &row.report, row.elapsed_ms, row.accesses_per_sec)
+                .ratio("mp_elapsed_ms", row.mp_elapsed_ms)
+                .ratio("mp_accesses_per_sec", row.mp_accesses_per_sec);
+            report.push(timed);
         }
         Ok(report)
     }

@@ -1,0 +1,168 @@
+//! The two-engine conformance contract: the message-passing slice
+//! executor (`engine=mp`) must produce **byte-identical** results to the
+//! phased slice executor (`engine=sliced`) — on every registered
+//! scenario, at every worker thread count, and across a fuzzed space of
+//! host configurations.
+//!
+//! The engines share unit simulation and the commit helpers by
+//! construction (`crate::engine_mp` routes the same effect payloads
+//! through the same `route_effect`/`replay_banks`/`serial_pass` code the
+//! phased engine uses), so any divergence this harness can observe is an
+//! orchestration-order bug — exactly what the delayed-queue delivery key
+//! is meant to pin down.
+
+mod common;
+
+use proptest::prelude::*;
+
+use common::{divergence_summary, sorted_row_keys, strip_timing, RandomHostSpec};
+use hatric_host::scenario::{registry, Params, Scale, Scenario};
+use hatric_host::EngineKind;
+
+/// Runs `scenario` at `Scale::Smoke` with the given overrides and returns
+/// its report JSON with the wall-clock columns stripped.
+fn stripped_run(scenario: &dyn Scenario, params: &Params) -> String {
+    let report = scenario
+        .run(params, Scale::Smoke)
+        .unwrap_or_else(|err| panic!("{}: {err}", scenario.name()));
+    strip_timing(&report.to_json())
+}
+
+#[test]
+fn every_engine_scenario_is_byte_identical_under_both_backends() {
+    let mut swept = 0;
+    for scenario in registry() {
+        let defaults = scenario.default_params(Scale::Smoke);
+        if defaults.get("engine").is_none() {
+            // Single-VM figure scenarios and host_scale take no engine
+            // knob (host_scale runs both engines internally; see below).
+            continue;
+        }
+        swept += 1;
+        let threads_points: &[usize] = if defaults.get("threads").is_some() {
+            &[1, 2, 4]
+        } else {
+            &[1]
+        };
+        for &threads in threads_points {
+            let with = |engine: &str| {
+                let mut params = Params::new().with("engine", engine);
+                if defaults.get("threads").is_some() {
+                    params = params.with("threads", threads);
+                }
+                stripped_run(*scenario, &params)
+            };
+            let sliced = with("sliced");
+            let mp = with("mp");
+            assert!(
+                !sliced.is_empty(),
+                "{}: stripped report must not be empty",
+                scenario.name()
+            );
+            assert_eq!(
+                sliced,
+                mp,
+                "{} threads={threads}: engine=mp diverged from engine=sliced",
+                scenario.name()
+            );
+        }
+    }
+    assert!(
+        swept >= 3,
+        "the multivm, migration_storm and numa_contention scenarios all take \
+         the engine knob; only {swept} scenarios swept"
+    );
+}
+
+#[test]
+fn host_scale_rows_carry_side_by_side_per_engine_timings() {
+    // host_scale has no engine parameter: its sweep runs every point under
+    // both backends, asserts the reports equal internally, and lands the
+    // message-passing wall clock in its own (ungated) columns.
+    let scenario = hatric_host::scenario::find("host_scale").expect("host_scale is registered");
+    let report = scenario.run(&Params::new(), Scale::Smoke).unwrap();
+    assert!(!report.rows.is_empty());
+    for row in &report.rows {
+        for key in [
+            "elapsed_ms",
+            "accesses_per_sec",
+            "mp_elapsed_ms",
+            "mp_accesses_per_sec",
+        ] {
+            let value = row
+                .number(key)
+                .unwrap_or_else(|| panic!("{}: row must carry {key}", row.label()));
+            assert!(value > 0.0, "{}: {key} must be positive", row.label());
+        }
+    }
+}
+
+#[test]
+fn engine_override_reaches_the_run_and_bad_values_are_typed_errors() {
+    let scenario = hatric_host::scenario::find("multivm").expect("multivm is registered");
+    // `--set engine=mp` flows through the generic override path; the row
+    // set must be identical to the default engine's.
+    let sliced = scenario.run(&Params::new(), Scale::Smoke).unwrap();
+    let mp = scenario
+        .run(&Params::new().with("engine", "mp"), Scale::Smoke)
+        .unwrap();
+    assert_eq!(sorted_row_keys(&sliced), sorted_row_keys(&mp));
+    let err = scenario
+        .run(&Params::new().with("engine", "warp"), Scale::Smoke)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        hatric_types::ConfigError::BadValue {
+            key: "engine".into(),
+            value: "warp".into()
+        }
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid host produces byte-identical reports under both engine
+    /// backends, for any thread count and with every observability knob
+    /// in the draw space (sockets, schedulers, mechanisms, balloons,
+    /// in-flight migrations, tracing, counter timelines).
+    #[test]
+    fn random_hosts_are_engine_invariant(
+        pcpus_per_socket in 1usize..4,
+        sockets_pick in 0u8..2,
+        vm_vcpus in proptest::collection::vec(1usize..4, 1..5),
+        mechanism_pick in 0u8..4,
+        sched_pick in 0u8..3,
+        policy_pick in 0u8..2,
+        slice_accesses in 5u64..25,
+        with_balloon in 0u8..2,
+        with_migration in 0u8..2,
+        tracing in 0u8..2,
+        timeline in 0u8..2,
+        threads_pick in 0u8..3,
+        seed in 0u64..1_000,
+    ) {
+        let spec = RandomHostSpec {
+            pcpus_per_socket,
+            sockets: usize::from(sockets_pick) + 1,
+            vm_vcpus,
+            mechanism_pick,
+            sched_pick,
+            policy_pick,
+            slice_accesses,
+            with_balloon: with_balloon == 1,
+            with_migration: with_migration == 1,
+            threads: 1 << threads_pick,
+            engine: EngineKind::Sliced,
+            tracing: tracing == 1,
+            timeline: timeline == 1,
+            seed,
+        };
+        prop_assert!(spec.config().validate().is_ok());
+        let sliced = spec.run();
+        let mp = spec.clone().with_engine(EngineKind::MessagePassing).run();
+        if let Some(diff) = divergence_summary(&sliced, &mp) {
+            prop_assert!(false, "engine=mp diverged from engine=sliced ({} threads):\n{diff}", spec.threads);
+        }
+    }
+}

@@ -4,43 +4,20 @@
 //! Every registered scenario runs at `Scale::Smoke` with `threads` ∈
 //! {1, 2, 4}; the resulting `ScenarioReport` JSON must be byte-identical
 //! once the machine-dependent wall-clock columns (`elapsed_ms`,
-//! `accesses_per_sec`) are stripped.  A property test then hammers the
-//! same invariant over randomized host configurations — vCPU/pCPU counts,
-//! sockets, mechanisms, schedulers, balloon events.
+//! `accesses_per_sec` and their `mp_` twins) are stripped.  A property
+//! test then hammers the same invariant over randomized host
+//! configurations — vCPU/pCPU counts, sockets, mechanisms, schedulers,
+//! balloon events, in-flight migrations, tracing and counter-timeline
+//! sampling — reporting any failure as a labeled per-metric divergence
+//! diff rather than two full report blobs.
+
+mod common;
 
 use proptest::prelude::*;
 
+use common::{divergence_summary, strip_timing, RandomHostSpec};
 use hatric_host::scenario::{registry, Params, Scale};
-use hatric_host::{
-    BalloonParams, CoherenceMechanism, ConsolidatedHost, HostConfig, HostEvent, NumaConfig,
-    NumaPolicy, SchedPolicy, VmSpec,
-};
-
-/// Keys whose values are wall-clock measurements (never deterministic).
-const TIMING_KEYS: [&str; 2] = ["elapsed_ms", "accesses_per_sec"];
-
-/// Strips the timing fields from a report's JSON text: the records are
-/// single-line flat objects, so dropping the `"key":value` pairs (and the
-/// comma gluing them in) is a plain string operation.
-fn strip_timing(json: &str) -> String {
-    let mut out = json.to_string();
-    for key in TIMING_KEYS {
-        let needle = format!(",\"{key}\":");
-        while let Some(start) = out.find(&needle) {
-            let value_from = start + needle.len();
-            let rest = &out[value_from..];
-            let value_len = rest
-                .find([',', '}'])
-                .expect("a JSON record field is followed by , or }");
-            out.replace_range(start..value_from + value_len, "");
-        }
-        assert!(
-            !out.contains(&format!("\"{key}\"")),
-            "timing key {key} must only appear in stripping-friendly positions"
-        );
-    }
-    out
-}
+use hatric_host::EngineKind;
 
 #[test]
 fn every_scenario_is_byte_identical_across_thread_counts() {
@@ -111,76 +88,13 @@ fn host_scale_rows_strip_to_identical_model_metrics_per_vcpu_point() {
     }
 }
 
-/// Builds a randomized-but-valid host configuration from drawn knobs.
-#[allow(clippy::too_many_arguments)]
-fn build_config(
-    pcpus_per_socket: usize,
-    sockets: usize,
-    vm_vcpus: &[usize],
-    mechanism_pick: u8,
-    sched_pick: u8,
-    policy_pick: u8,
-    slice_accesses: u64,
-    with_balloon: bool,
-    threads: usize,
-    seed: u64,
-) -> HostConfig {
-    let num_pcpus = pcpus_per_socket * sockets;
-    let quota_per_vm = 96u64;
-    let fast_pages = quota_per_vm * vm_vcpus.len() as u64 + 64;
-    let mechanism = match mechanism_pick % 4 {
-        0 => CoherenceMechanism::Software,
-        1 => CoherenceMechanism::UnitdPlusPlus,
-        2 => CoherenceMechanism::Hatric,
-        _ => CoherenceMechanism::Ideal,
-    };
-    let sched = match sched_pick % 3 {
-        0 => SchedPolicy::Pinned,
-        1 => SchedPolicy::RoundRobin,
-        // SocketAffine needs the socket topology; it degenerates to the
-        // pinned deal-out on one socket, which is fine for this test.
-        _ => SchedPolicy::SocketAffine,
-    };
-    let policy = if policy_pick.is_multiple_of(2) {
-        NumaPolicy::FirstTouch
-    } else {
-        NumaPolicy::Interleaved
-    };
-    let mut cfg = HostConfig::scaled(num_pcpus, fast_pages)
-        .with_mechanism(mechanism)
-        .with_numa(NumaConfig::symmetric(sockets))
-        .with_numa_policy(policy)
-        .with_sched(sched)
-        .with_slice_accesses(slice_accesses)
-        .with_threads(threads)
-        .with_seed(seed);
-    for (slot, &vcpus) in vm_vcpus.iter().enumerate() {
-        let spec = if slot == 0 {
-            // Slot 0 pages hard so remap coherence (the cross-unit effect
-            // path) is actually exercised.
-            VmSpec::aggressor(vcpus, quota_per_vm)
-        } else {
-            VmSpec::victim(vcpus, quota_per_vm).with_home_socket(slot % sockets)
-        };
-        cfg = cfg.with_vm(spec);
-    }
-    if with_balloon && vm_vcpus.len() >= 2 {
-        cfg = cfg.with_event(HostEvent::Balloon(BalloonParams::at(1, 0, 32, 20)));
-    }
-    cfg
-}
-
-fn run_report(cfg: HostConfig) -> String {
-    let mut host = ConsolidatedHost::new(cfg).expect("drawn configurations are valid");
-    let report = host.run(25, 40);
-    format!("{report:?}")
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Any valid host produces byte-identical reports at 1, 2 and 4
-    /// worker threads.
+    /// worker threads — with tracing, interval-1 counter sampling and an
+    /// in-flight live migration in the draw space, since none of those
+    /// may move a model metric either.
     #[test]
     fn random_hosts_are_thread_count_invariant(
         pcpus_per_socket in 1usize..4,
@@ -191,28 +105,33 @@ proptest! {
         policy_pick in 0u8..2,
         slice_accesses in 5u64..25,
         with_balloon in 0u8..2,
+        with_migration in 0u8..2,
+        tracing in 0u8..2,
+        timeline in 0u8..2,
         seed in 0u64..1_000,
     ) {
-        let sockets = usize::from(sockets_pick) + 1;
-        let cfg = |threads: usize| {
-            build_config(
-                pcpus_per_socket,
-                sockets,
-                &vm_vcpus,
-                mechanism_pick,
-                sched_pick,
-                policy_pick,
-                slice_accesses,
-                with_balloon == 1,
-                threads,
-                seed,
-            )
+        let spec = RandomHostSpec {
+            pcpus_per_socket,
+            sockets: usize::from(sockets_pick) + 1,
+            vm_vcpus,
+            mechanism_pick,
+            sched_pick,
+            policy_pick,
+            slice_accesses,
+            with_balloon: with_balloon == 1,
+            with_migration: with_migration == 1,
+            threads: 1,
+            engine: EngineKind::Sliced,
+            tracing: tracing == 1,
+            timeline: timeline == 1,
+            seed,
         };
-        prop_assert!(cfg(1).validate().is_ok());
-        let serial = run_report(cfg(1));
-        let two = run_report(cfg(2));
-        let four = run_report(cfg(4));
-        prop_assert_eq!(&serial, &two, "threads=2 diverged from threads=1");
-        prop_assert_eq!(&serial, &four, "threads=4 diverged from threads=1");
+        prop_assert!(spec.config().validate().is_ok());
+        let serial = spec.run();
+        for threads in [2usize, 4] {
+            if let Some(diff) = divergence_summary(&serial, &spec.clone().with_threads(threads).run()) {
+                prop_assert!(false, "threads={threads} diverged from threads=1:\n{diff}");
+            }
+        }
     }
 }

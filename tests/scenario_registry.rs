@@ -5,6 +5,8 @@
 //! `experiments_smoke.rs`; the bench-scale sweeps are gated by
 //! `bench_check` against the committed baselines.)
 
+mod common;
+
 use hatric_host::scenario::{find, registry, Params, Scale, ScenarioReport};
 use hatric_types::ConfigError;
 
@@ -50,10 +52,12 @@ fn every_scenario_smokes_with_rows_and_byte_stable_round_trips() {
             .unwrap_or_else(|| panic!("{}: report must parse back", scenario.name()));
         assert_eq!(back.to_json(), json, "{}", scenario.name());
         assert_eq!(back.rows.len(), report.rows.len());
-        for (a, b) in back.rows.iter().zip(&report.rows) {
-            assert_eq!(a.label(), b.label());
-            assert_eq!(a.mechanism(), b.mechanism());
-        }
+        assert_eq!(
+            common::sorted_row_keys(&back),
+            common::sorted_row_keys(&report),
+            "{}",
+            scenario.name()
+        );
     }
 }
 

@@ -19,10 +19,13 @@
 //!    equal the interference and NUMA counters charged at the same sites,
 //!    exactly.
 
+mod common;
+
 use std::collections::BTreeMap;
 
 use hatric_host::diff::{diff_json, DiffOptions};
 use hatric_host::scenario::{append_meta_record, bench_meta_json, find, Metric, Params, Scale};
+use hatric_host::HostReport;
 use hatric_host::{
     CoherenceMechanism, ConsolidatedHost, HostConfig, HostEvent, MigrationParams, SchedPolicy,
     VmSpec,
@@ -45,13 +48,12 @@ fn storm_config(threads: usize) -> HostConfig {
         .with_event(HostEvent::Migrate(MigrationParams::at(1, WARMUP + 20)))
 }
 
-fn run_report(threads: usize, tracing: bool) -> String {
+fn run_report(threads: usize, tracing: bool) -> HostReport {
     let mut host = ConsolidatedHost::new(storm_config(threads)).expect("storm config is valid");
     if tracing {
         host.enable_tracing(1 << 14);
     }
-    let report = host.run(WARMUP, MEASURED);
-    format!("{report:?}")
+    host.run(WARMUP, MEASURED)
 }
 
 #[test]
@@ -59,12 +61,13 @@ fn model_metrics_are_identical_with_tracing_on_or_off_at_any_thread_count() {
     let baseline = run_report(1, false);
     for threads in [1usize, 2, 4] {
         for tracing in [false, true] {
-            let report = run_report(threads, tracing);
-            assert_eq!(
-                report, baseline,
-                "threads={threads} tracing={tracing}: model metrics diverged from \
-                 threads=1 tracing=off"
-            );
+            if let Some(diff) = common::divergence_summary(&baseline, &run_report(threads, tracing))
+            {
+                panic!(
+                    "threads={threads} tracing={tracing}: model metrics diverged from \
+                     threads=1 tracing=off:\n{diff}"
+                );
+            }
         }
     }
 }
@@ -217,13 +220,12 @@ fn report_rows_carry_latency_percentiles() {
 // Counter timelines
 // ---------------------------------------------------------------------------
 
-fn run_report_with_sampling(threads: usize, interval: Option<u64>) -> String {
+fn run_report_with_sampling(threads: usize, interval: Option<u64>) -> HostReport {
     let mut host = ConsolidatedHost::new(storm_config(threads)).expect("storm config is valid");
     if let Some(interval) = interval {
         host.enable_timeline(interval);
     }
-    let report = host.run(WARMUP, MEASURED);
-    format!("{report:?}")
+    host.run(WARMUP, MEASURED)
 }
 
 #[test]
@@ -231,12 +233,14 @@ fn model_metrics_are_identical_with_sampling_on_or_off_at_any_thread_count() {
     let baseline = run_report_with_sampling(1, None);
     for threads in [1usize, 2, 4] {
         for interval in [None, Some(1), Some(8)] {
-            assert_eq!(
-                run_report_with_sampling(threads, interval),
-                baseline,
-                "threads={threads} sampling={interval:?}: model metrics diverged from \
-                 threads=1 sampling=off"
-            );
+            if let Some(diff) =
+                common::divergence_summary(&baseline, &run_report_with_sampling(threads, interval))
+            {
+                panic!(
+                    "threads={threads} sampling={interval:?}: model metrics diverged from \
+                     threads=1 sampling=off:\n{diff}"
+                );
+            }
         }
     }
 }
