@@ -1,0 +1,51 @@
+//! The cluster tier under concurrent inter-host migrations: a fleet of
+//! consolidated hosts swept over the simultaneously in-flight migration
+//! count, with churn-driven placement running throughout.
+//!
+//! Two claims are recorded per run:
+//!
+//! * **bounded damage** — HATRIC's aggregate victim slowdown and p99
+//!   migration downtime stay at or below the software path's in every
+//!   sweep point (asserted by the scenario and, against the committed
+//!   baseline, by `bench_check`);
+//! * **monotonic degradation** — the software path's victim slowdown
+//!   grows with every added concurrent migration.
+//!
+//! Results land in `BENCH_cluster.json` (or `$HATRIC_BENCH_CLUSTER_JSON`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric_bench::{collect_records, skip_tables, write_baseline};
+use hatric_host::experiments::{cluster_churn, ClusterChurnParams};
+use hatric_host::CoherenceMechanism;
+
+fn bench(c: &mut Criterion) {
+    let report = if skip_tables() {
+        None
+    } else {
+        Some(collect_records("cluster_churn", true))
+    };
+
+    let mut group = c.benchmark_group("cluster_churn");
+    group.sample_size(10);
+    group.bench_function("fleet_4host_4mig_kernel", |b| {
+        b.iter(|| {
+            let params = ClusterChurnParams::quick();
+            let mut cluster = params.build_cluster(CoherenceMechanism::Hatric, 4);
+            cluster.run(params.warmup_epochs, params.measured_epochs)
+        })
+    });
+    group.bench_function("fleet_4host_churn_table", |b| {
+        b.iter(|| cluster_churn::run(&ClusterChurnParams::quick(), 2))
+    });
+    group.finish();
+
+    if let Some(report) = report {
+        match write_baseline(&report) {
+            Ok(path) => println!("\nwrote {} cluster rows to {path}", report.rows.len()),
+            Err(err) => eprintln!("could not write cluster JSON: {err}"),
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

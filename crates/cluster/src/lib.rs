@@ -1,0 +1,131 @@
+//! # hatric-cluster
+//!
+//! The datacenter tier: a [`Cluster`] owns N consolidated hosts — each
+//! with its own platform, cache hierarchy, HATRIC directory and memory
+//! system — and advances them in **lockstep epochs** of a fixed number of
+//! scheduler slices.  Hosts are completely independent *within* an epoch,
+//! so the cluster shards them across the slice engine's
+//! [`WorkerPool`](hatric::WorkerPool) (contiguous chunks, one per worker);
+//! everything that couples hosts — migration page streams, VM
+//! arrival/departure churn, placement decisions — happens serially at the
+//! epoch boundary in host-index order.  The result is byte-identical for
+//! any thread count, the same discipline the per-host slice engine
+//! follows for its VM units.
+//!
+//! On top of the epoch loop the cluster models **inter-host live
+//! migration end-to-end**:
+//!
+//! * **Pre-copy** — the source host runs the existing
+//!   [`MigrationEngine`](hatric_migration::MigrationEngine) (write-protect
+//!   storms, dirty-rate-driven rounds, stop-and-copy downtime); the pages
+//!   it transfers are drained from its outbox each epoch and delivered to
+//!   the destination's [`MigrationReceiver`](hatric_migration::MigrationReceiver),
+//!   which materializes them as first-touch faults plus nested-PTE stores
+//!   — the **destination remap storm**.  When the source converges, the VM
+//!   hand-off flips activity from the source slot to the destination slot.
+//! * **Post-copy** — the VM flips immediately (a fixed pause/resume
+//!   downtime) and runs on the destination while its memory is still on
+//!   the source; the receiver pulls the outstanding image, demand-fetched
+//!   pages first at critical-path cost.
+//! * **Auto-convergence** — pre-copy sources whose dirty rate outruns the
+//!   link throttle the migrating VM's scheduler slices
+//!   ([`MigrationParams::throttle_after_rounds`](hatric_migration::MigrationParams)).
+//!
+//! A [`PlacementPolicy`] reacts to a deterministic [`ChurnStream`] of VM
+//! arrivals and departures, and [`ClusterReport`] merges the per-host
+//! reports into cluster aggregates (including the causal ledger and a
+//! per-migration downtime distribution).
+//!
+//! The cluster knows hosts only through the [`EpochHost`] trait —
+//! `hatric-host` implements it for `ConsolidatedHost`, keeping this crate
+//! below the host crate in the dependency graph (the scenario registry
+//! lives up there).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod churn;
+pub mod cluster;
+pub mod placement;
+pub mod report;
+
+pub use churn::{ChurnEvent, ChurnKind, ChurnStream};
+pub use cluster::{Cluster, ClusterParams, MigrationMode, ScheduledMigration};
+pub use placement::PlacementPolicy;
+pub use report::{ClusterReport, MigrationOutcome};
+
+use hatric::metrics::{HostReport, MigrationStats};
+use hatric::telemetry::TraceSink;
+use hatric_migration::{MigrationParams, ReceiverParams};
+use hatric_types::GuestFrame;
+
+/// What the cluster needs from one host to advance it in epochs and wire
+/// inter-host migrations through it.
+///
+/// `hatric-host` implements this for `ConsolidatedHost`; the trait exists
+/// so the cluster crate can sit *below* the host crate (which owns the
+/// scenario registry) in the dependency graph.  `Send` because the epoch
+/// loop moves host borrows across worker threads.
+///
+/// Per-host invariants the cluster relies on: at most one outgoing
+/// migration engine and at most one incoming receiver are live on a host
+/// at a time (the [`Cluster`] serializes additional requests).
+pub trait EpochHost: std::fmt::Debug + Send {
+    /// Advances the host by `n` scheduler slices.
+    fn run_slices(&mut self, n: u64);
+    /// Clears measurement counters while keeping architectural state
+    /// (called once at the cluster's warmup/measured boundary).
+    fn reset_measurements(&mut self);
+    /// The host's report (per-VM + host aggregate + migration stats).
+    fn report(&self) -> HostReport;
+    /// Number of VM slots this host was built with.
+    fn vm_slots(&self) -> usize;
+    /// Whether slot `slot` is active (scheduled).
+    fn vm_active(&self, slot: usize) -> bool;
+    /// Activates or deactivates slot `slot` (arrivals, departures, and
+    /// the migration hand-off flip).
+    fn set_vm_active(&mut self, slot: usize, active: bool);
+    /// Scheduled vCPUs across active slots — the placement load gauge.
+    fn active_vcpus(&self) -> u64;
+    /// The host's simulated time: its largest per-CPU cycle counter.
+    fn sim_cycles(&self) -> u64;
+    /// Guest-physical frames currently mapped for slot `slot` (the image
+    /// a post-copy destination must pull).
+    fn vm_image(&self, slot: usize) -> Vec<GuestFrame>;
+
+    // ----- outgoing (source side) ----------------------------------------
+    /// Starts a pre-copy migration of `params.vm_slot` at the host's next
+    /// slice (the host overrides `params.start_slice`).
+    fn start_migration(&mut self, params: MigrationParams);
+    /// Whether no outgoing migration is mid-protocol (none ever started,
+    /// or the last one completed).
+    fn migration_idle(&self) -> bool;
+    /// Statistics of the current (or last) outgoing migration engine.
+    fn migration_stats(&self) -> MigrationStats;
+    /// Pages the outgoing migration still has to transfer.
+    fn migration_pending_pages(&self) -> u64;
+    /// Takes the pages the outgoing migration transferred since the last
+    /// drain (the inter-host wire).
+    fn drain_outbox(&mut self) -> Vec<GuestFrame>;
+
+    // ----- incoming (destination side) -----------------------------------
+    /// Installs a destination-side receiver for `params.vm_slot`
+    /// (replacing — and folding the stats of — any finished one).
+    fn attach_receiver(&mut self, params: ReceiverParams);
+    /// Queues pages arriving over the wire for the receiver.
+    fn deliver_pages(&mut self, pages: Vec<GuestFrame>);
+    /// Switches the receiver to post-copy over `outstanding` pages.
+    fn begin_post_copy(&mut self, outstanding: Vec<GuestFrame>);
+    /// Tells the receiver the source finished sending.
+    fn mark_source_done(&mut self);
+    /// Whether the receiver (if any) has landed everything.
+    fn receiver_complete(&self) -> bool;
+    /// Pages the receiver still has to land (inbox + outstanding).
+    fn receiver_pending_pages(&self) -> u64;
+
+    // ----- observability --------------------------------------------------
+    /// Enables sim-time tracing with the given span capacity.
+    fn enable_tracing(&mut self, capacity: usize);
+    /// The host's trace sink, when tracing is enabled.
+    fn trace_sink(&self) -> Option<&TraceSink>;
+}

@@ -1,0 +1,167 @@
+//! The cluster's merged view of a run.
+
+use serde::{Deserialize, Serialize};
+
+use hatric::metrics::{HostReport, MigrationStats, SimReport};
+
+/// What happened to one inter-host migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationOutcome {
+    /// Source host index.
+    pub src_host: usize,
+    /// Source VM slot.
+    pub src_slot: usize,
+    /// Destination host index.
+    pub dst_host: usize,
+    /// Destination VM slot.
+    pub dst_slot: usize,
+    /// Whether the migration ran post-copy.
+    pub post_copy: bool,
+    /// The VM's blackout window: stop-and-copy cycles for pre-copy, the
+    /// fixed pause/resume hand-off for post-copy.
+    pub downtime_cycles: u64,
+    /// Whether the hand-off happened before the run ended (pre-copy
+    /// converged / post-copy flipped; the residual backlog may still be
+    /// draining).
+    pub handed_off: bool,
+    /// Whether every page also landed on the destination.
+    pub drained: bool,
+}
+
+/// The merged result of a cluster run: per-host [`HostReport`]s plus
+/// cluster-level aggregates.
+///
+/// `aggregate` sums the *mergeable* per-host host-level fields (accesses,
+/// coherence, faults, interference, NUMA, paging, latency histograms and
+/// the causal ledger — each via its own `merge`); `cycles_per_cpu` is the
+/// per-host concatenation in host order, so `runtime_cycles()` is the
+/// fleet-wide critical path.  The reconciliation contract — aggregate
+/// fields equal the field-wise sum over `per_host` — is enforced by the
+/// `tests/cluster.rs` reconciliation test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// One report per host, in host-index order.
+    pub per_host: Vec<HostReport>,
+    /// Field-wise merge of every host's `host` aggregate.
+    pub aggregate: SimReport,
+    /// Migration/balloon stats merged over all hosts (source engines and
+    /// destination receivers both).
+    pub migration: MigrationStats,
+    /// One entry per inter-host migration, in start order.
+    pub migrations: Vec<MigrationOutcome>,
+    /// Largest number of simultaneously in-flight inter-host migrations
+    /// observed at any epoch boundary.
+    pub peak_inflight: u64,
+}
+
+impl ClusterReport {
+    /// Builds the merged view from per-host reports and the migration
+    /// ledger.
+    #[must_use]
+    pub fn new(
+        per_host: Vec<HostReport>,
+        migrations: Vec<MigrationOutcome>,
+        peak_inflight: u64,
+    ) -> Self {
+        let mut aggregate = SimReport::default();
+        let mut migration = MigrationStats::default();
+        for host in &per_host {
+            aggregate
+                .cycles_per_cpu
+                .extend_from_slice(&host.host.cycles_per_cpu);
+            aggregate.accesses += host.host.accesses;
+            aggregate.coherence.merge(&host.host.coherence);
+            aggregate.faults.merge(&host.host.faults);
+            aggregate.interference.merge(&host.host.interference);
+            aggregate.numa.merge(&host.host.numa);
+            aggregate.paging.merge(&host.host.paging);
+            aggregate.latency.merge(&host.host.latency);
+            aggregate.causal.merge(&host.host.causal);
+            migration.merge(&host.migration);
+        }
+        Self {
+            per_host,
+            aggregate,
+            migration,
+            migrations,
+            peak_inflight,
+        }
+    }
+
+    /// Number of hosts.
+    #[must_use]
+    pub fn hosts(&self) -> usize {
+        self.per_host.len()
+    }
+
+    /// Migrations that handed off (completed their blackout window).
+    #[must_use]
+    pub fn completed_migrations(&self) -> u64 {
+        self.migrations.iter().filter(|m| m.handed_off).count() as u64
+    }
+
+    /// Exact `p`-th percentile (0–100) of per-migration downtime over the
+    /// handed-off migrations: the smallest downtime ≥ `p`% of the
+    /// population (nearest-rank, so `downtime_percentile(100)` is the
+    /// maximum).  Zero when nothing handed off.
+    #[must_use]
+    pub fn downtime_percentile(&self, p: u64) -> u64 {
+        let mut downtimes: Vec<u64> = self
+            .migrations
+            .iter()
+            .filter(|m| m.handed_off)
+            .map(|m| m.downtime_cycles)
+            .collect();
+        if downtimes.is_empty() {
+            return 0;
+        }
+        downtimes.sort_unstable();
+        let rank = (p.min(100) as usize * downtimes.len()).div_ceil(100);
+        downtimes[rank.saturating_sub(1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(downtime: u64) -> MigrationOutcome {
+        MigrationOutcome {
+            src_host: 0,
+            src_slot: 0,
+            dst_host: 1,
+            dst_slot: 0,
+            post_copy: false,
+            downtime_cycles: downtime,
+            handed_off: true,
+            drained: true,
+        }
+    }
+
+    #[test]
+    fn downtime_percentile_is_nearest_rank() {
+        let migrations: Vec<MigrationOutcome> = (1..=100).map(|n| outcome(n * 10)).collect();
+        let report = ClusterReport::new(Vec::new(), migrations, 4);
+        assert_eq!(report.downtime_percentile(99), 990);
+        assert_eq!(report.downtime_percentile(50), 500);
+        assert_eq!(report.downtime_percentile(100), 1000);
+    }
+
+    #[test]
+    fn aggregate_sums_host_fields() {
+        let mut a = HostReport::default();
+        a.host.accesses = 10;
+        a.host.cycles_per_cpu = vec![5, 7];
+        a.migration.pages_copied = 3;
+        let mut b = HostReport::default();
+        b.host.accesses = 32;
+        b.host.cycles_per_cpu = vec![9];
+        b.migration.received_pages = 2;
+        let report = ClusterReport::new(vec![a, b], Vec::new(), 0);
+        assert_eq!(report.aggregate.accesses, 42);
+        assert_eq!(report.aggregate.cycles_per_cpu, vec![5, 7, 9]);
+        assert_eq!(report.migration.pages_copied, 3);
+        assert_eq!(report.migration.received_pages, 2);
+        assert_eq!(report.downtime_percentile(99), 0, "no migrations ran");
+    }
+}

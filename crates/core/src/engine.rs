@@ -77,10 +77,14 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// `std::thread::scope` spawns OS threads on every call; at one simulate
 /// scope plus one commit scope per slice, thread-creation latency swamps
 /// the parallel work (slices are ~1 ms).  This pool keeps its workers
-/// alive across slices: [`WorkerPool::run`] dispatches one borrowed
-/// closure per worker and blocks until all of them finish — the same
-/// fork-join contract as a scope, without the per-slice spawns.
-pub(crate) struct WorkerPool {
+/// alive across slices: [`WorkerPool::run_with_local`] dispatches one
+/// borrowed closure per worker and blocks until all of them finish — the
+/// same fork-join contract as a scope, without the per-slice spawns.
+///
+/// Public because the cluster tier reuses it to shard whole hosts across
+/// threads with the exact same fork-join discipline the slice engine uses
+/// for units.
+pub struct WorkerPool {
     handles: Vec<std::thread::JoinHandle<()>>,
     job_txs: Vec<std::sync::mpsc::Sender<Job>>,
     done_rx: std::sync::mpsc::Receiver<bool>,
@@ -96,7 +100,8 @@ impl std::fmt::Debug for WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers` long-lived threads.
-    fn new(workers: usize) -> Self {
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
         let (done_tx, done_rx) = std::sync::mpsc::channel::<bool>();
         let mut handles = Vec::with_capacity(workers);
         let mut job_txs = Vec::with_capacity(workers);
@@ -122,7 +127,8 @@ impl WorkerPool {
     }
 
     /// Number of pool workers.
-    pub(crate) fn workers(&self) -> usize {
+    #[must_use]
+    pub fn workers(&self) -> usize {
         self.handles.len()
     }
 
@@ -133,7 +139,12 @@ impl WorkerPool {
     /// Jobs may borrow caller stack data: this function does not return
     /// until every job has run to completion, so the borrows outlive their
     /// use (the `std::thread::scope` guarantee, amortized across calls).
-    pub(crate) fn run_with_local<'env>(
+    ///
+    /// # Panics
+    ///
+    /// Panics if more jobs than workers are submitted, or if any job
+    /// panicked (after all jobs drained).
+    pub fn run_with_local<'env>(
         &self,
         jobs: Vec<Box<dyn FnOnce() + Send + 'env>>,
         local: impl FnOnce(),

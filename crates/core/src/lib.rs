@@ -62,7 +62,7 @@ pub use config::{
     CoherenceMechanismExt, LatencyConfig, MemoryMode, PagingKnobs, SystemConfig, DEFAULT_SEED,
 };
 pub use driver::WorkloadDriver;
-pub use engine::{run_slice_parallel, EngineBackend, EngineKind, EngineState};
+pub use engine::{run_slice_parallel, EngineBackend, EngineKind, EngineState, WorkerPool};
 pub use engine_mp::MessageEngine;
 pub use experiments::{ExperimentParams, RunSpec};
 pub use metrics::{

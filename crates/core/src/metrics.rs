@@ -193,6 +193,16 @@ pub struct MigrationStats {
     pub balloon_reclaimed_pages: u64,
     /// Die-stacked capacity pages granted by balloon deflation.
     pub balloon_granted_pages: u64,
+    /// Pages materialized on the destination host of an inter-host
+    /// migration (each one a nested-PTE store with its coherence bill —
+    /// the destination-side remap storm).
+    pub received_pages: u64,
+    /// Pages a post-copy destination demand-fetched from the source on a
+    /// guest access's critical path (subset of `received_pages`).
+    pub postcopy_fetched_pages: u64,
+    /// Scheduler slices withheld from a migrating VM by auto-convergence
+    /// throttling (pre-copy failing to converge against the dirty rate).
+    pub throttled_slices: u64,
 }
 
 impl MigrationStats {
@@ -207,6 +217,9 @@ impl MigrationStats {
         self.migration_remaps += other.migration_remaps;
         self.balloon_reclaimed_pages += other.balloon_reclaimed_pages;
         self.balloon_granted_pages += other.balloon_granted_pages;
+        self.received_pages += other.received_pages;
+        self.postcopy_fetched_pages += other.postcopy_fetched_pages;
+        self.throttled_slices += other.throttled_slices;
     }
 }
 

@@ -44,8 +44,10 @@ use crate::vm_instance::{VmInstance, GUEST_PT_GPP_BASE};
 /// (EPT dirty bits, KVM's dirty ring) that live VM migration builds on:
 /// the `hatric-migration` crate installs a [`WriteObserver`] to feed its
 /// pre-copy dirty bitmap.  Observation is architectural bookkeeping and
-/// charges no cycles.
-pub trait WriteObserver: std::fmt::Debug {
+/// charges no cycles.  Observers must be `Send`: the cluster tier moves
+/// whole hosts (platform and observer included) across worker threads
+/// between epochs.
+pub trait WriteObserver: std::fmt::Debug + Send {
     /// Called for every guest write by VM `slot` to guest-physical frame
     /// `gpp`.
     fn on_guest_write(&mut self, slot: usize, gpp: GuestFrame);
@@ -806,6 +808,33 @@ impl Platform {
         };
         self.remap_coherence(vms, slot, initiator, pte_addr);
         true
+    }
+
+    /// Materializes an inter-host migration page arriving for VM `slot`:
+    /// allocates backing for `gpp` if the destination has none yet (the
+    /// first-touch placement path, charging the fault cost to the occupant
+    /// of `initiator`), then performs the hypervisor's store to the nested
+    /// leaf entry with its full translation-coherence bill.  Unlike the
+    /// guest-driven first touch, the store always pays coherence: the
+    /// destination's CPUs may already cache translations for the page (the
+    /// post-copy guest runs ahead of the copy stream), and the hypervisor
+    /// cannot know which — this is the destination-side remap storm.
+    /// Returns `false` only if the leaf entry could not be resolved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `initiator` is out of range.
+    pub fn hypervisor_map_page(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        initiator: CpuId,
+        gpp: GuestFrame,
+    ) -> bool {
+        if vms[slot].nested_page_table().translate(gpp).is_none() {
+            self.ensure_nested_mapping(vms, slot, initiator, gpp);
+        }
+        self.hypervisor_pte_write(vms, slot, initiator, gpp)
     }
 
     // ----- translation coherence -------------------------------------------

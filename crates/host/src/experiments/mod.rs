@@ -1,10 +1,12 @@
 //! Experiment runners built on the consolidated host.
 
+pub mod cluster_churn;
 pub mod host_scale;
 pub mod migration_storm;
 pub mod multivm;
 pub mod numa_contention;
 
+pub use cluster_churn::{ClusterChurnParams, ClusterChurnRow};
 pub use host_scale::{HostScaleParams, HostScaleRow};
 pub use migration_storm::{MigrationStormParams, MigrationStormRow};
 pub use multivm::{MultiVmParams, MultiVmRow};

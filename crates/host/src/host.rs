@@ -6,8 +6,10 @@ use hatric::telemetry::{track, CounterTimeline, PhaseTotals, TraceEvent, TraceSi
 use hatric::{EngineBackend, Platform, VmInstance, VmPagingParams, WorkloadDriver};
 use hatric_hypervisor::{Placement, Scheduler, VmConfig};
 use hatric_memory::MemoryKind;
-use hatric_migration::{BalloonDriver, HostEvent, MigrationEngine, MigrationPhase};
-use hatric_types::{CpuId, Result, VcpuId, VmId};
+use hatric_migration::{
+    BalloonDriver, HostEvent, MigrationEngine, MigrationPhase, MigrationReceiver, ReceiverParams,
+};
+use hatric_types::{CpuId, GuestFrame, Result, VcpuId, VmId};
 use hatric_workloads::Workload;
 
 use crate::config::HostConfig;
@@ -54,6 +56,13 @@ pub struct ConsolidatedHost {
     pending_scratch: Vec<HostEvent>,
     /// The in-flight (or most recently completed) live migration.
     migration: Option<MigrationEngine>,
+    /// The destination side of an inter-host migration, when this host is
+    /// receiving a VM image from a cluster peer.
+    receiver: Option<MigrationReceiver>,
+    /// Which VM slots are scheduled at all.  The cluster tier deactivates
+    /// slots for departures and flips activity at migration hand-off; a
+    /// standalone host leaves every slot active.
+    vm_active: Vec<bool>,
     /// In-flight and completed balloon operations.
     balloons: Vec<BalloonDriver>,
     /// Stats of migrations already replaced by a newer one.
@@ -120,6 +129,7 @@ impl ConsolidatedHost {
             Scheduler::new(config.sched, config.num_pcpus, &vcpu_counts)
         };
         let pending_events = config.events.clone();
+        let vm_active = vec![true; config.vms.len()];
         let engine = config.engine.build(config.vms.len(), config.numa.sockets);
         Ok(Self {
             config,
@@ -134,6 +144,8 @@ impl ConsolidatedHost {
             pending_events,
             pending_scratch: Vec::new(),
             migration: None,
+            receiver: None,
+            vm_active,
             balloons: Vec::new(),
             finished_migration_stats: MigrationStats::default(),
             timeline: None,
@@ -305,6 +317,7 @@ impl ConsolidatedHost {
 
     fn run_one_slice(&mut self) {
         self.start_due_events();
+        self.apply_throttle();
         let mut placements = std::mem::take(&mut self.next_slice_buf);
         self.scheduler.next_slice_into(&mut placements);
         // Context switch: clear last slice's occupants, install this one's.
@@ -355,6 +368,30 @@ impl ConsolidatedHost {
     }
 
     // ----- hypervisor events (live migration, ballooning) -------------------
+
+    /// Applies auto-convergence before the scheduler builds the next
+    /// slice: when the in-flight pre-copy migration's dirty rate has
+    /// outrun the link for more than
+    /// [`MigrationParams::throttle_after_rounds`](hatric_migration::MigrationParams)
+    /// rounds, the migrating VM loses `level` of every 8 slices.  With
+    /// throttling disabled (the default) this re-asserts the pause state
+    /// the engine already requested, so existing runs are untouched.
+    fn apply_throttle(&mut self) {
+        let Some(engine) = &mut self.migration else {
+            return;
+        };
+        if engine.is_complete() {
+            return;
+        }
+        let slot = engine.vm_slot();
+        let level = engine.throttle_level();
+        let throttled = level > 0 && self.slices_run % 8 < u64::from(level);
+        if throttled {
+            engine.note_throttled();
+        }
+        let paused = throttled || engine.wants_vm_paused() || !self.vm_active[slot];
+        self.scheduler.set_vm_paused(slot, paused);
+    }
 
     /// Fires events whose start slice has arrived.  A migration due while
     /// another is still in flight stays pending until the engine frees up.
@@ -414,11 +451,19 @@ impl ConsolidatedHost {
                 self.platform
                     .set_occupant(cpu, Some((engine.vm_slot(), VcpuId::new(0))));
                 engine.advance(&mut self.platform, &mut self.vms, cpu);
-                self.scheduler
-                    .set_vm_paused(engine.vm_slot(), engine.wants_vm_paused());
+                let slot = engine.vm_slot();
+                let paused = engine.wants_vm_paused() || !self.vm_active[slot];
+                self.scheduler.set_vm_paused(slot, paused);
                 if engine.is_complete() {
                     self.platform.clear_write_observer();
                 }
+            }
+        }
+        if let Some(receiver) = &mut self.receiver {
+            if !receiver.is_complete() {
+                self.platform
+                    .set_occupant(cpu, Some((receiver.vm_slot(), VcpuId::new(0))));
+                receiver.advance(&mut self.platform, &mut self.vms, cpu);
             }
         }
         self.platform.set_occupant(cpu, saved);
@@ -428,6 +473,72 @@ impl ConsolidatedHost {
     #[must_use]
     pub fn migration_phase(&self) -> Option<MigrationPhase> {
         self.migration.as_ref().map(MigrationEngine::phase)
+    }
+
+    // ----- the cluster-facing surface ---------------------------------------
+
+    /// Queues a hypervisor event to fire at its start slice (the cluster
+    /// uses this to start source-side migrations mid-run; standalone
+    /// configs list events up front in [`HostConfig::events`]).
+    pub fn inject_event(&mut self, event: HostEvent) {
+        self.pending_events.push(event);
+    }
+
+    /// Activates or deactivates VM slot `slot`.  An inactive slot is never
+    /// scheduled (its vCPUs are paused) but keeps its memory image — the
+    /// cluster tier uses this for departures and for the hand-off flip of
+    /// an inter-host migration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn set_vm_active(&mut self, slot: usize, active: bool) {
+        self.vm_active[slot] = active;
+        let migration_paused = self.migration.as_ref().is_some_and(|engine| {
+            engine.vm_slot() == slot && !engine.is_complete() && engine.wants_vm_paused()
+        });
+        self.scheduler
+            .set_vm_paused(slot, !active || migration_paused);
+    }
+
+    /// Whether VM slot `slot` is active (scheduled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn vm_active(&self, slot: usize) -> bool {
+        self.vm_active[slot]
+    }
+
+    /// Installs the destination side of an inter-host migration for
+    /// `params.vm_slot`, folding the statistics of any finished previous
+    /// receiver into the host totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous receiver is still mid-stream — the cluster
+    /// serializes receivers per host.
+    pub fn attach_receiver(&mut self, params: ReceiverParams) {
+        if let Some(old) = self.receiver.take() {
+            assert!(
+                old.is_complete(),
+                "attach_receiver while a receiver is still draining"
+            );
+            self.finished_migration_stats.merge(&old.stats());
+        }
+        self.receiver = Some(MigrationReceiver::new(params));
+    }
+
+    /// The host's simulated time: its largest per-CPU cycle counter.
+    #[must_use]
+    pub fn max_cycles(&self) -> u64 {
+        self.platform
+            .cycles_per_cpu()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether VM `slot` is currently fully paused (stop-and-copy).
@@ -457,6 +568,9 @@ impl ConsolidatedHost {
         self.finished_migration_stats = MigrationStats::default();
         if let Some(engine) = &mut self.migration {
             engine.reset_stats();
+        }
+        if let Some(receiver) = &mut self.receiver {
+            receiver.reset_stats();
         }
         for balloon in &mut self.balloons {
             balloon.reset_stats();
@@ -495,6 +609,9 @@ impl ConsolidatedHost {
         if let Some(engine) = &self.migration {
             migration.merge(&engine.stats());
         }
+        if let Some(receiver) = &self.receiver {
+            migration.merge(&receiver.stats());
+        }
         for balloon in &self.balloons {
             migration.merge(&balloon.stats());
         }
@@ -503,6 +620,136 @@ impl ConsolidatedHost {
             host,
             migration,
         }
+    }
+}
+
+/// The cluster tier drives a consolidated host entirely through this
+/// trait: epoch advancement, churn activity flips, and both sides of an
+/// inter-host migration.
+impl hatric_cluster::EpochHost for ConsolidatedHost {
+    fn run_slices(&mut self, n: u64) {
+        ConsolidatedHost::run_slices(self, n);
+    }
+
+    fn reset_measurements(&mut self) {
+        ConsolidatedHost::reset_measurements(self);
+    }
+
+    fn report(&self) -> HostReport {
+        ConsolidatedHost::report(self)
+    }
+
+    fn vm_slots(&self) -> usize {
+        self.vms.len()
+    }
+
+    fn vm_active(&self, slot: usize) -> bool {
+        ConsolidatedHost::vm_active(self, slot)
+    }
+
+    fn set_vm_active(&mut self, slot: usize, active: bool) {
+        ConsolidatedHost::set_vm_active(self, slot, active);
+    }
+
+    fn active_vcpus(&self) -> u64 {
+        self.config
+            .vms
+            .iter()
+            .zip(&self.vm_active)
+            .filter(|(_, active)| **active)
+            .map(|(spec, _)| spec.vcpus as u64)
+            .sum()
+    }
+
+    fn sim_cycles(&self) -> u64 {
+        self.max_cycles()
+    }
+
+    fn vm_image(&self, slot: usize) -> Vec<GuestFrame> {
+        self.vms[slot].nested_page_table().mapped_gpps()
+    }
+
+    fn start_migration(&mut self, params: hatric_migration::MigrationParams) {
+        let params = hatric_migration::MigrationParams {
+            start_slice: self.slices_run,
+            ..params
+        };
+        self.inject_event(HostEvent::Migrate(params));
+    }
+
+    fn migration_idle(&self) -> bool {
+        self.migration
+            .as_ref()
+            .is_none_or(MigrationEngine::is_complete)
+            && self
+                .pending_events
+                .iter()
+                .all(|e| !matches!(e, HostEvent::Migrate(_)))
+    }
+
+    fn migration_stats(&self) -> MigrationStats {
+        self.migration
+            .as_ref()
+            .map(MigrationEngine::stats)
+            .unwrap_or_default()
+    }
+
+    fn migration_pending_pages(&self) -> u64 {
+        self.migration
+            .as_ref()
+            .map_or(0, MigrationEngine::pending_pages)
+    }
+
+    fn drain_outbox(&mut self) -> Vec<GuestFrame> {
+        self.migration
+            .as_mut()
+            .map(MigrationEngine::drain_outbox)
+            .unwrap_or_default()
+    }
+
+    fn attach_receiver(&mut self, params: ReceiverParams) {
+        ConsolidatedHost::attach_receiver(self, params);
+    }
+
+    fn deliver_pages(&mut self, pages: Vec<GuestFrame>) {
+        self.receiver
+            .as_mut()
+            .expect("deliver_pages without an attached receiver")
+            .enqueue_pages(pages);
+    }
+
+    fn begin_post_copy(&mut self, outstanding: Vec<GuestFrame>) {
+        self.receiver
+            .as_mut()
+            .expect("begin_post_copy without an attached receiver")
+            .begin_post_copy(outstanding);
+    }
+
+    fn mark_source_done(&mut self) {
+        self.receiver
+            .as_mut()
+            .expect("mark_source_done without an attached receiver")
+            .mark_source_done();
+    }
+
+    fn receiver_complete(&self) -> bool {
+        self.receiver
+            .as_ref()
+            .is_some_and(MigrationReceiver::is_complete)
+    }
+
+    fn receiver_pending_pages(&self) -> u64 {
+        self.receiver
+            .as_ref()
+            .map_or(0, MigrationReceiver::pending_pages)
+    }
+
+    fn enable_tracing(&mut self, capacity: usize) {
+        ConsolidatedHost::enable_tracing(self, capacity);
+    }
+
+    fn trace_sink(&self) -> Option<&TraceSink> {
+        self.platform.trace_sink()
     }
 }
 

@@ -33,18 +33,21 @@
 //! assert_eq!(report.scenario, "multivm");
 //! ```
 
-use hatric::experiments::{execute_traced, fig2, fig7, fig9, xen, ExperimentParams, RunSpec};
+use hatric::experiments::{
+    execute_traced, fig10, fig2, fig7, fig8, fig9, xen, ExperimentParams, RunSpec,
+};
 use hatric::metrics::HostReport;
 use hatric::telemetry::{global_phase_totals, CounterTimeline, EnginePhase};
-use hatric::WorkloadKind;
+use hatric::{PagingKnobs, WorkloadKind};
+use hatric_cluster::PlacementPolicy;
 use hatric_coherence::CoherenceMechanism;
 use hatric_hypervisor::{NumaPolicy, SchedPolicy};
 use hatric_types::ConfigError;
 
 use crate::config::HostConfig;
 use crate::experiments::{
-    host_scale, migration_storm, multivm, numa_contention, HostScaleParams, MigrationStormParams,
-    MultiVmParams, NumaContentionParams,
+    cluster_churn, host_scale, migration_storm, multivm, numa_contention, ClusterChurnParams,
+    HostScaleParams, MigrationStormParams, MultiVmParams, NumaContentionParams,
 };
 use crate::host::ConsolidatedHost;
 
@@ -630,8 +633,8 @@ pub trait Scenario: Sync {
     /// `scenarios run <name> --timeline out.json` exports as Chrome counter
     /// events plus a CSV sibling.  The default is `None`: the sampler hooks
     /// the consolidated host's commit barrier, so scenarios built on the
-    /// single-VM [`hatric::System`] (`fig2`, `fig7`, `fig9`, `xen`) have no
-    /// timeline to sample.
+    /// single-VM [`hatric::System`] (`fig2`, `fig7`, `fig8`, `fig9`,
+    /// `fig10`, `xen`) have no timeline to sample.
     fn timeline_run(
         &self,
         params: &Params,
@@ -663,9 +666,12 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &MigrationStormScenario,
         &NumaContentionScenario,
         &HostScaleScenario,
+        &ClusterChurnScenario,
         &Fig2Scenario,
         &Fig7Scenario,
+        &Fig8Scenario,
         &Fig9Scenario,
+        &Fig10Scenario,
         &XenScenario,
     ];
     REGISTRY
@@ -1531,6 +1537,254 @@ impl Scenario for HostScaleScenario {
 }
 
 // ---------------------------------------------------------------------------
+// cluster_churn
+// ---------------------------------------------------------------------------
+
+/// The datacenter-tier scenario (`cluster_churn`): a fleet of consolidated
+/// hosts under concurrent inter-host pre-copy migrations and VM
+/// arrival/departure churn, swept over the concurrent-migration count.
+pub struct ClusterChurnScenario;
+
+/// The concurrent-migration sweep: the fleet stays fixed while the number
+/// of simultaneously in-flight inter-host migrations grows.
+const MIGRATION_SWEEP: [(&str, usize); 3] = [("mig1", 1), ("mig2", 2), ("mig4", 4)];
+
+impl ClusterChurnScenario {
+    fn base(scale: Scale) -> ClusterChurnParams {
+        match scale {
+            Scale::Smoke => ClusterChurnParams::quick(),
+            Scale::Bench => ClusterChurnParams::default_scale(),
+            Scale::Full => {
+                let mut p = ClusterChurnParams::default_scale();
+                p.warmup_epochs *= 2;
+                p.measured_epochs *= 2;
+                p
+            }
+        }
+    }
+
+    fn typed(params: &Params) -> Result<ClusterChurnParams, ConfigError> {
+        let policy_label = params
+            .get("policy")
+            .ok_or_else(|| ConfigError::UnknownParam {
+                key: "policy".to_string(),
+            })?;
+        let policy = PlacementPolicy::parse(policy_label).map_err(|_| ConfigError::BadValue {
+            key: "policy".to_string(),
+            value: policy_label.to_string(),
+        })?;
+        Ok(ClusterChurnParams {
+            hosts: params.usize("hosts")?,
+            num_pcpus: params.usize("num_pcpus")?,
+            fast_pages: params.u64("fast_pages")?,
+            active_vms: params.usize("active_vms")?,
+            spare_slots: params.usize("spare_slots")?,
+            vm_vcpus: params.usize("vm_vcpus")?,
+            epoch_slices: params.u64("epoch_slices")?,
+            warmup_epochs: params.u64("warmup_epochs")?,
+            measured_epochs: params.u64("measured_epochs")?,
+            slice_accesses: params.u64("slice_accesses")?,
+            seed: params.u64("seed")?,
+            threads: params.usize("threads")?,
+            engine: params.parsed("engine")?,
+            churn_period: params.u64("churn_period")?,
+            copy_pages_per_slice: params.u64("copy_pages_per_slice")?,
+            throttle_after_rounds: params.u32("throttle_after_rounds")?,
+            policy,
+        })
+    }
+
+    /// Validates a sizing without building the fleet (slot-count and
+    /// capacity invariants surface as typed errors, not panics).
+    fn validate(base: &ClusterChurnParams) -> Result<(), ConfigError> {
+        for host in 0..base.hosts {
+            base.host_config(host, CoherenceMechanism::Software)
+                .validate()?;
+        }
+        Ok(())
+    }
+}
+
+impl Scenario for ClusterChurnScenario {
+    fn name(&self) -> &'static str {
+        "cluster_churn"
+    }
+
+    fn describe(&self) -> &'static str {
+        "HATRIC keeps fleet-wide victim slowdown and p99 migration downtime \
+         bounded under concurrent inter-host migrations; software degrades \
+         with every added migration"
+    }
+
+    fn default_params(&self, scale: Scale) -> Params {
+        let base = Self::base(scale);
+        Params::new()
+            .with("hosts", base.hosts)
+            .with("num_pcpus", base.num_pcpus)
+            .with("fast_pages", base.fast_pages)
+            .with("active_vms", base.active_vms)
+            .with("spare_slots", base.spare_slots)
+            .with("vm_vcpus", base.vm_vcpus)
+            .with("epoch_slices", base.epoch_slices)
+            .with("warmup_epochs", base.warmup_epochs)
+            .with("measured_epochs", base.measured_epochs)
+            .with("slice_accesses", base.slice_accesses)
+            .with("seed", base.seed)
+            .with("churn_period", base.churn_period)
+            .with("copy_pages_per_slice", base.copy_pages_per_slice)
+            .with("throttle_after_rounds", base.throttle_after_rounds)
+            .with("policy", base.policy.label())
+            .with("threads", base.threads)
+            .with("engine", base.engine)
+    }
+
+    /// # Panics
+    ///
+    /// A *default-parameter* run at [`Scale::Bench`] or [`Scale::Full`]
+    /// asserts the scenario's headline claim — every scheduled migration
+    /// completes; HATRIC's aggregate victim slowdown and downtime p99
+    /// never exceed software's at any concurrency; software's victim
+    /// slowdown degrades strictly monotonically with the
+    /// concurrent-migration count — and panics if a model change broke
+    /// it.  Runs with parameter overrides skip the claim check.
+    fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError> {
+        let merged = resolve_params(self, params, scale)?;
+        let base = Self::typed(&merged)?;
+        Self::validate(&base)?;
+        let assert_claim = scale != Scale::Smoke && params.entries().is_empty();
+        let mut report = ScenarioReport::new(self.name());
+        let mut software_slowdowns = Vec::new();
+        for (label, migrations) in MIGRATION_SWEEP {
+            let rows = cluster_churn::run(&base, migrations.min(base.hosts));
+            if assert_claim {
+                let by = |m: CoherenceMechanism| {
+                    rows.iter()
+                        .find(|r| r.mechanism == m)
+                        .expect("run() emits every mechanism")
+                };
+                let software = by(CoherenceMechanism::Software);
+                let hatric = by(CoherenceMechanism::Hatric);
+                for row in &rows {
+                    assert!(
+                        row.report.completed_migrations() >= migrations as u64,
+                        "{label}/{:?}: only {} of {migrations} scheduled migrations handed off",
+                        row.mechanism,
+                        row.report.completed_migrations()
+                    );
+                }
+                assert!(
+                    hatric.agg_victim_slowdown_vs_ideal <= software.agg_victim_slowdown_vs_ideal,
+                    "{label}: HATRIC victim slowdown {} exceeds software's {}",
+                    hatric.agg_victim_slowdown_vs_ideal,
+                    software.agg_victim_slowdown_vs_ideal
+                );
+                assert!(
+                    hatric.downtime_p99_cycles <= software.downtime_p99_cycles,
+                    "{label}: HATRIC downtime p99 {} exceeds software's {}",
+                    hatric.downtime_p99_cycles,
+                    software.downtime_p99_cycles
+                );
+                software_slowdowns.push(software.agg_victim_slowdown_vs_ideal);
+            }
+            for row in &rows {
+                let built = Row::new("config", label, &mechanism_label(row.mechanism))
+                    .ratio(
+                        "agg_victim_slowdown_vs_ideal",
+                        row.agg_victim_slowdown_vs_ideal,
+                    )
+                    .count("downtime_p99_cycles", row.downtime_p99_cycles)
+                    .count("downtime_max_cycles", row.downtime_max_cycles)
+                    .count("migrations_completed", row.report.completed_migrations())
+                    .count("peak_inflight", row.report.peak_inflight)
+                    .count("victim_disrupted_cycles", row.victim_disrupted_cycles)
+                    .count("migration_remaps", row.report.migration.migration_remaps)
+                    .count("received_pages", row.report.migration.received_pages)
+                    .count(
+                        "postcopy_fetched_pages",
+                        row.report.migration.postcopy_fetched_pages,
+                    )
+                    .count("throttled_slices", row.report.migration.throttled_slices)
+                    .count("pages_copied", row.report.migration.pages_copied)
+                    .count(
+                        "cluster_runtime_cycles",
+                        row.report.aggregate.runtime_cycles(),
+                    );
+                // The timing/latency/attribution tail rides on a host-shaped
+                // view of the fleet aggregate, so the column set matches the
+                // other host scenarios exactly.
+                let fleet_view = HostReport {
+                    per_vm: Vec::new(),
+                    host: row.report.aggregate.clone(),
+                    migration: row.report.migration,
+                };
+                report.push(timing_columns(
+                    built,
+                    &fleet_view,
+                    row.elapsed_ms,
+                    row.accesses_per_sec,
+                ));
+            }
+        }
+        if assert_claim {
+            assert!(
+                software_slowdowns.windows(2).all(|w| w[0] < w[1]),
+                "software victim slowdown must degrade monotonically with the \
+                 concurrent-migration count: {software_slowdowns:?}"
+            );
+        }
+        Ok(report)
+    }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| Self::typed(&merged))
+            .and_then(|base| {
+                Self::validate(&base)?;
+                // The four-migration software point: page streams land on
+                // every host's hypervisor track, one trace process per host.
+                let mut cluster =
+                    base.build_cluster(CoherenceMechanism::Software, 4.min(base.hosts));
+                cluster.enable_tracing(TRACE_CAPACITY);
+                cluster.run(base.warmup_epochs, base.measured_epochs);
+                Ok(cluster.export_trace().expect("tracing was enabled above"))
+            });
+        Some(traced)
+    }
+
+    fn timeline_run(
+        &self,
+        params: &Params,
+        scale: Scale,
+    ) -> Option<Result<CounterTimeline, ConfigError>> {
+        let timeline = resolve_params(self, params, scale)
+            .and_then(|merged| Self::typed(&merged))
+            .and_then(|base| {
+                Self::validate(&base)?;
+                // The same four-migration software point, sampled at epoch
+                // granularity: in-flight migrations, fleet activity and
+                // per-host load.
+                let mut cluster =
+                    base.build_cluster(CoherenceMechanism::Software, 4.min(base.hosts));
+                cluster.enable_timeline((base.measured_epochs / 64).max(1));
+                cluster.run(base.warmup_epochs, base.measured_epochs);
+                Ok(cluster
+                    .timeline()
+                    .expect("the timeline was enabled above")
+                    .clone())
+            });
+        Some(timeline)
+    }
+
+    fn baseline_stem(&self) -> Option<&'static str> {
+        Some("cluster")
+    }
+
+    fn gated_metrics(&self) -> &'static [&'static str] {
+        &["agg_victim_slowdown_vs_ideal", "downtime_p99_cycles"]
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Core-figure scenarios (fig9, xen)
 // ---------------------------------------------------------------------------
 
@@ -1701,6 +1955,61 @@ impl Scenario for Fig7Scenario {
     }
 }
 
+/// The Fig. 8 scenario (`fig8`): HATRIC's benefit across KVM paging
+/// policies (plain LRU, +migration daemon, +prefetching), per workload,
+/// under software / HATRIC / ideal coherence.
+pub struct Fig8Scenario;
+
+impl Scenario for Fig8Scenario {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn describe(&self) -> &'static str {
+        "HATRIC helps under every KVM paging policy, most where paging is \
+         smartest (Fig. 8)"
+    }
+
+    fn default_params(&self, scale: Scale) -> Params {
+        fig_default_params(scale)
+    }
+
+    fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError> {
+        let merged = resolve_params(self, params, scale)?;
+        let base = fig_typed(&merged)?;
+        let mut report = ScenarioReport::new(self.name());
+        for fig_row in fig8::run(&base) {
+            let label = format!("{}/{}", fig_row.workload, fig_row.policy);
+            for (mechanism, runtime) in [
+                ("Software", fig_row.sw),
+                ("Hatric", fig_row.hatric),
+                ("Ideal", fig_row.ideal),
+            ] {
+                report
+                    .push(Row::new("config", &label, mechanism).ratio("runtime_vs_nohbm", runtime));
+            }
+        }
+        Ok(report)
+    }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| fig_typed(&merged))
+            .map(|base| {
+                // The software bar under the most sophisticated paging
+                // policy (migration daemon + prefetching): the remap rate
+                // the smarter policies buy their wins with.
+                let knobs = PagingKnobs::fig8_sweep()[2];
+                traced_system_run(
+                    &RunSpec::new(WorkloadKind::Canneal, CoherenceMechanism::Software)
+                        .with_paging(knobs),
+                    &base,
+                )
+            });
+        Some(traced)
+    }
+}
+
 /// The Fig. 9 scenario (`fig9`): runtime versus translation-structure
 /// sizes, per workload and size multiplier, under software / HATRIC /
 /// ideal coherence.
@@ -1748,6 +2057,66 @@ impl Scenario for Fig9Scenario {
                 traced_system_run(
                     &RunSpec::new(WorkloadKind::Canneal, CoherenceMechanism::Software)
                         .with_structure_scale(4),
+                    &base,
+                )
+            });
+        Some(traced)
+    }
+}
+
+/// The Fig. 10 scenario (`fig10`): multiprogrammed SPEC mixes — weighted
+/// (average) normalised runtime and the slowest application per mix, under
+/// software coherence and HATRIC.
+pub struct Fig10Scenario;
+
+impl Scenario for Fig10Scenario {
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn describe(&self) -> &'static str {
+        "software coherence's imprecise targeting punishes whole SPEC mixes; \
+         HATRIC fixes throughput and fairness (Fig. 10)"
+    }
+
+    fn default_params(&self, scale: Scale) -> Params {
+        let mixes = match scale {
+            Scale::Smoke => 3,
+            Scale::Bench => 12,
+            Scale::Full => 20,
+        };
+        fig_default_params(scale).with("mixes", mixes)
+    }
+
+    fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError> {
+        let merged = resolve_params(self, params, scale)?;
+        let base = fig_typed(&merged)?;
+        let mixes = merged.usize("mixes")?;
+        let mut report = ScenarioReport::new(self.name());
+        for fig_row in fig10::run(&base, mixes) {
+            let label = format!("mix{}", fig_row.mix);
+            for (mechanism, weighted, slowest) in [
+                ("Software", fig_row.weighted_sw, fig_row.slowest_sw),
+                ("Hatric", fig_row.weighted_hatric, fig_row.slowest_hatric),
+            ] {
+                report.push(
+                    Row::new("config", &label, mechanism)
+                        .ratio("weighted_runtime", weighted)
+                        .ratio("slowest_runtime", slowest),
+                );
+            }
+        }
+        Ok(report)
+    }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| fig_typed(&merged))
+            .map(|base| {
+                // One software-coherence run standing in for a mix member:
+                // the imprecise-targeting flushes the mixes suffer from.
+                traced_system_run(
+                    &RunSpec::new(WorkloadKind::Canneal, CoherenceMechanism::Software),
                     &base,
                 )
             });
@@ -1822,9 +2191,12 @@ mod tests {
                 "migration_storm",
                 "numa_contention",
                 "host_scale",
+                "cluster_churn",
                 "fig2",
                 "fig7",
+                "fig8",
                 "fig9",
+                "fig10",
                 "xen"
             ]
         );
@@ -1958,7 +2330,10 @@ mod tests {
             );
             // The counter sampler hooks the consolidated host's commit
             // barrier, so only host scenarios expose a timeline.
-            let expects_timeline = !matches!(scenario.name(), "fig2" | "fig7" | "fig9" | "xen");
+            let expects_timeline = !matches!(
+                scenario.name(),
+                "fig2" | "fig7" | "fig8" | "fig9" | "fig10" | "xen"
+            );
             assert_eq!(
                 scenario
                     .timeline_run(&Params::new().with("bogus", 1), Scale::Smoke)
@@ -1997,11 +2372,10 @@ mod tests {
         for scenario in registry() {
             let smoke = scenario.default_params(Scale::Smoke);
             let bench = scenario.default_params(Scale::Bench);
-            let key = if smoke.get("measured").is_some() {
-                "measured"
-            } else {
-                "measured_slices"
-            };
+            let key = ["measured", "measured_slices", "measured_epochs"]
+                .into_iter()
+                .find(|k| smoke.get(k).is_some())
+                .expect("every scenario sizes a measured phase");
             assert!(
                 smoke.u64(key).unwrap() < bench.u64(key).unwrap(),
                 "{}: smoke must be smaller than bench",

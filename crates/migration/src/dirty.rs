@@ -9,9 +9,8 @@
 //! The [`MigrationEngine`](crate::MigrationEngine) drains the bitmap at
 //! the end of each copy round to form the next round's copy set.
 
-use std::cell::RefCell;
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use hatric::WriteObserver;
 use hatric_types::GuestFrame;
@@ -60,12 +59,15 @@ impl DirtyBitmap {
 /// A shared handle to one VM's dirty bitmap.
 ///
 /// Clones share state: the engine keeps one handle, and a boxed clone is
-/// installed as the platform's write observer.  The simulator is
-/// single-threaded per host, so `Rc<RefCell<_>>` suffices.
+/// installed as the platform's write observer.  Accesses stay
+/// single-threaded per host, but a whole host (engine and platform
+/// together) may be moved across the cluster tier's worker threads between
+/// epochs, so the shared state must be `Send` — an uncontended
+/// `Arc<Mutex<_>>` costs nothing measurable on the per-write path.
 #[derive(Debug, Clone)]
 pub struct DirtyTracker {
     vm_slot: usize,
-    bitmap: Rc<RefCell<DirtyBitmap>>,
+    bitmap: Arc<Mutex<DirtyBitmap>>,
 }
 
 impl DirtyTracker {
@@ -75,7 +77,7 @@ impl DirtyTracker {
     pub fn new(vm_slot: usize) -> Self {
         Self {
             vm_slot,
-            bitmap: Rc::new(RefCell::new(DirtyBitmap::default())),
+            bitmap: Arc::new(Mutex::new(DirtyBitmap::default())),
         }
     }
 
@@ -83,6 +85,13 @@ impl DirtyTracker {
     #[must_use]
     pub fn vm_slot(&self) -> usize {
         self.vm_slot
+    }
+
+    /// The bitmap, locked.  Access is single-threaded (one host at a time
+    /// touches the tracker), so the lock can only be poisoned if that
+    /// single thread panicked mid-call — propagating via unwrap is fine.
+    fn lock(&self) -> std::sync::MutexGuard<'_, DirtyBitmap> {
+        self.bitmap.lock().expect("no concurrent tracker access")
     }
 
     /// A boxed clone suitable for
@@ -95,32 +104,32 @@ impl DirtyTracker {
     /// Number of distinct pages currently dirty.
     #[must_use]
     pub fn dirty_pages(&self) -> u64 {
-        self.bitmap.borrow().dirty_pages()
+        self.lock().dirty_pages()
     }
 
     /// Total writes observed so far.
     #[must_use]
     pub fn writes_observed(&self) -> u64 {
-        self.bitmap.borrow().writes_observed()
+        self.lock().writes_observed()
     }
 
     /// Takes the dirty set (ascending), leaving the bitmap clean.
     pub fn drain(&self) -> Vec<GuestFrame> {
-        self.bitmap.borrow_mut().drain()
+        self.lock().drain()
     }
 
     /// Unmarks `gpp`.  Called when a page is transferred: the copy captures
     /// its current content, so only stores *after* the copy re-dirty it
     /// (stores before it were already folded into the transferred bytes).
     pub fn unmark(&self, gpp: GuestFrame) {
-        self.bitmap.borrow_mut().unmark(gpp);
+        self.lock().unmark(gpp);
     }
 }
 
 impl WriteObserver for DirtyTracker {
     fn on_guest_write(&mut self, slot: usize, gpp: GuestFrame) {
         if slot == self.vm_slot {
-            self.bitmap.borrow_mut().mark(gpp);
+            self.lock().mark(gpp);
         }
     }
 }

@@ -69,6 +69,12 @@ pub struct MigrationParams {
     /// Fixed stop-and-copy overhead: pausing the vCPUs and transferring
     /// their state to the destination (mechanism-independent).
     pub pause_resume_cycles: u64,
+    /// Auto-convergence: once pre-copy has run this many rounds without
+    /// converging, the host starts withholding scheduler slices from the
+    /// migrating VM (one extra withheld slice per 8 for every round past
+    /// the threshold, capped) so the dirty rate falls below the link rate.
+    /// `0` disables throttling (the default).
+    pub throttle_after_rounds: u32,
 }
 
 impl MigrationParams {
@@ -86,6 +92,7 @@ impl MigrationParams {
             max_rounds: 8,
             page_copy_cycles: 1_500,
             pause_resume_cycles: 10_000,
+            throttle_after_rounds: 0,
         }
     }
 }
@@ -114,8 +121,15 @@ pub struct MigrationEngine {
     stats: MigrationStats,
     /// `(start_cycle, pages_copied_at_start)` of the in-flight pre-copy
     /// round, captured lazily on its first advance so the round span's
-    /// `ts` sits on the migration thread's cycle counter.
+    /// `ts` sits on the migration thread's cycle counter.  Also the
+    /// round counter's anchor: `stats.precopy_rounds` ticks exactly when
+    /// a round span is (re-)anchored, so rounds are counted in one place.
     round_span: Option<(u64, u64)>,
+    /// Pages transferred since the last [`MigrationEngine::drain_outbox`]
+    /// call, in copy order — the wire the cluster tier forwards to the
+    /// destination host's `MigrationReceiver`.  Unobserved (and bounded by
+    /// the VM image) in single-host runs.
+    outbox: Vec<GuestFrame>,
 }
 
 impl MigrationEngine {
@@ -132,7 +146,6 @@ impl MigrationEngine {
         let image = vms[params.vm_slot].nested_page_table().mapped_gpps();
         let stats = MigrationStats {
             migrations_started: 1,
-            precopy_rounds: 1,
             ..MigrationStats::default()
         };
         Self {
@@ -144,6 +157,7 @@ impl MigrationEngine {
             tracker: DirtyTracker::new(params.vm_slot),
             stats,
             round_span: None,
+            outbox: Vec::new(),
         }
     }
 
@@ -221,13 +235,15 @@ impl MigrationEngine {
         } else {
             MigrationStats {
                 migrations_started: 1,
-                precopy_rounds: u64::from(self.phase == MigrationPhase::PreCopy),
                 ..MigrationStats::default()
             }
         };
         // The platform's cycle counters (and trace sink) restart at the
         // measured boundary, so a span anchored to a warmup cycle would
         // dangle — re-anchor the in-flight round on its next advance.
+        // Re-anchoring also re-counts the in-flight round (the counter
+        // ticks at anchor time), so the measured report still shows the
+        // round the window opened inside.
         self.round_span = None;
     }
 
@@ -253,6 +269,11 @@ impl MigrationEngine {
                 platform.cycles_per_cpu()[cpu.index()],
                 self.stats.pages_copied,
             ));
+            // The single place rounds are counted: when their span is
+            // anchored.  Seeding the counter anywhere else (construction,
+            // stats reset, the round += 1 transition) double-counts once a
+            // destination-side receiver also carries a MigrationStats.
+            self.stats.precopy_rounds += 1;
         }
         for _ in 0..self.params.copy_pages_per_slice {
             let Some(gpp) = self.copy_queue.pop_front() else {
@@ -293,7 +314,6 @@ impl MigrationEngine {
         } else {
             self.copy_queue = dirty.into();
             self.round += 1;
-            self.stats.precopy_rounds += 1;
         }
     }
 
@@ -366,5 +386,38 @@ impl MigrationEngine {
         // Only stores after this point must force a re-send.
         self.tracker.unmark(gpp);
         self.stats.pages_copied += 1;
+        self.outbox.push(gpp);
+    }
+
+    /// Takes the pages transferred since the last drain, in copy order.
+    /// The cluster tier forwards them to the destination host's
+    /// [`MigrationReceiver`](crate::MigrationReceiver) at the epoch
+    /// boundary; single-host runs never call this and the outbox stays
+    /// bounded by the VM's image (pages are deduplicated per round by the
+    /// dirty tracker, not here — re-sends are genuine wire traffic).
+    pub fn drain_outbox(&mut self) -> Vec<GuestFrame> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Auto-convergence throttle level for the current round: `0` while
+    /// throttling is disabled, pre-copy is inside its grace rounds, or the
+    /// migration left pre-copy; otherwise how many of every 8 scheduler
+    /// slices the host should withhold from the migrating VM (capped at 6
+    /// so the guest always keeps making some progress).
+    #[must_use]
+    pub fn throttle_level(&self) -> u32 {
+        if self.params.throttle_after_rounds == 0
+            || self.phase != MigrationPhase::PreCopy
+            || self.round <= self.params.throttle_after_rounds
+        {
+            return 0;
+        }
+        (self.round - self.params.throttle_after_rounds).min(6)
+    }
+
+    /// Records that the scheduler withheld one slice from the migrating VM
+    /// because of [`Self::throttle_level`] (auto-convergence accounting).
+    pub fn note_throttled(&mut self) {
+        self.stats.throttled_slices += 1;
     }
 }

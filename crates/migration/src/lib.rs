@@ -12,6 +12,11 @@
 //!   round, dirty-rate-driven re-copy rounds (fed by a [`DirtyTracker`]
 //!   installed as the platform's write observer), and a stop-and-copy
 //!   phase whose cycles are the migration's *downtime*.
+//! * [`MigrationReceiver`] — the destination side of an *inter-host*
+//!   migration: arriving pages are materialized as first-touch faults
+//!   plus nested-PTE stores (the destination remap storm), with a
+//!   post-copy mode that demand-fetches pages the relocated guest is
+//!   already waiting on.
 //! * [`BalloonDriver`] — balloon inflation in one VM and a capacity grant
 //!   to another, demoting evicted residents and refilling through demand
 //!   promotions.
@@ -31,11 +36,13 @@ pub mod balloon;
 pub mod dirty;
 pub mod engine;
 pub mod event;
+pub mod receiver;
 
 pub use balloon::{BalloonDriver, BalloonParams};
 pub use dirty::{DirtyBitmap, DirtyTracker};
 pub use engine::{MigrationEngine, MigrationParams, MigrationPhase};
 pub use event::HostEvent;
+pub use receiver::{MigrationReceiver, ReceiverParams};
 
 // Re-export the stats type engines report with, so callers need not import
 // the core crate for it.

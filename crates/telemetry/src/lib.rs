@@ -313,14 +313,26 @@ impl TraceSink {
     pub fn export_chrome_trace(&self) -> String {
         let mut out = String::from("{\"traceEvents\":[\n");
         let mut first = true;
+        self.write_events(&mut out, 0, &mut first);
+        out.push_str(&format!(
+            "\n],\"metadata\":{{\"droppedSpans\":{}}}}}\n",
+            self.dropped
+        ));
+        out
+    }
+
+    /// Appends the held spans to `out` as Chrome trace-event objects under
+    /// process `pid` (comma-separating from whatever `first` says precedes
+    /// them).
+    fn write_events(&self, out: &mut String, pid: usize, first: &mut bool) {
         for event in self.events() {
-            if !first {
+            if !*first {
                 out.push_str(",\n");
             }
-            first = false;
+            *first = false;
             out.push_str(&format!(
-                "  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{",
-                event.name, event.cat, event.ts, event.dur, event.track
+                "  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{",
+                event.name, event.cat, event.ts, event.dur, pid, event.track
             ));
             for (i, (key, value)) in event.args.iter().enumerate() {
                 if i > 0 {
@@ -330,12 +342,35 @@ impl TraceSink {
             }
             out.push_str("}}");
         }
-        out.push_str(&format!(
-            "\n],\"metadata\":{{\"droppedSpans\":{}}}}}\n",
-            self.dropped
-        ));
-        out
     }
+}
+
+/// Merges several sinks — one per cluster host — into one Chrome trace
+/// document: sink `i`'s spans land under process `i` (so each host gets
+/// its own process group in the viewer, with the usual per-CPU /
+/// scheduler / hypervisor tracks inside), and `process_name` metadata
+/// events label the groups `host0`, `host1`, ….  `droppedSpans` sums over
+/// all sinks.
+#[must_use]
+pub fn merge_chrome_traces<'a>(sinks: impl IntoIterator<Item = &'a TraceSink>) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut dropped = 0u64;
+    for (pid, sink) in sinks.into_iter().enumerate() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "  {{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"host{pid}\"}}}}"
+        ));
+        sink.write_events(&mut out, pid, &mut first);
+        dropped += sink.dropped();
+    }
+    out.push_str(&format!(
+        "\n],\"metadata\":{{\"droppedSpans\":{dropped}}}}}\n"
+    ));
+    out
 }
 
 // ---------------------------------------------------------------------------

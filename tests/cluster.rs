@@ -1,0 +1,215 @@
+//! The cluster tier's end-to-end contracts.
+//!
+//! Three invariants, per the cluster design:
+//!
+//! 1. **Byte-identical fleets** — a `ClusterReport` is byte-identical
+//!    for any worker-thread count ({1, 2, 4}) and for both per-host
+//!    slice-executor backends (`sliced` and `mp`).  All cross-host
+//!    coupling is serialized at epoch boundaries, so the fleet's shape
+//!    of parallelism must never leak into results.  The scenario layer
+//!    gets the same treatment through the registry (reusing the
+//!    `tests/common` timing-stripping helpers), which also covers the
+//!    report-JSON path `bench_check` gates.
+//! 2. **Fuzzed churn determinism** — a property test hammers the same
+//!    invariant over randomized churn streams, migration counts,
+//!    placement policies and fleet shapes.
+//! 3. **Exact reconciliation** — cluster aggregates equal the field-wise
+//!    sum (or concatenation) of the per-host reports; nothing is counted
+//!    twice and nothing is dropped in the merge.
+
+mod common;
+
+use proptest::prelude::*;
+
+use common::strip_timing;
+use hatric_cluster::PlacementPolicy;
+use hatric_host::experiments::ClusterChurnParams;
+use hatric_host::scenario::{find, Params, Scale};
+use hatric_host::{CoherenceMechanism, EngineKind};
+
+/// A tighter sizing than [`ClusterChurnParams::quick`] for the sweeps
+/// that run many fleets.
+fn tiny() -> ClusterChurnParams {
+    ClusterChurnParams {
+        hosts: 3,
+        num_pcpus: 2,
+        fast_pages: 256,
+        active_vms: 1,
+        spare_slots: 1,
+        vm_vcpus: 1,
+        epoch_slices: 10,
+        warmup_epochs: 4,
+        measured_epochs: 10,
+        slice_accesses: 20,
+        churn_period: 4,
+        copy_pages_per_slice: 32,
+        ..ClusterChurnParams::quick()
+    }
+}
+
+/// Runs a fleet and renders its report in full (`ClusterReport` carries
+/// no wall-clock fields, so the Debug form is already timing-free).
+fn fleet_fingerprint(params: &ClusterChurnParams, migrations: usize) -> String {
+    let mut cluster = params.build_cluster(CoherenceMechanism::Hatric, migrations);
+    let report = cluster.run(params.warmup_epochs, params.measured_epochs);
+    format!("{report:#?}")
+}
+
+#[test]
+fn cluster_report_is_byte_identical_across_threads_and_engines() {
+    let reference = fleet_fingerprint(&tiny(), 2);
+    for engine in [EngineKind::Sliced, EngineKind::MessagePassing] {
+        for threads in [1usize, 2, 4] {
+            let params = ClusterChurnParams {
+                threads,
+                engine,
+                ..tiny()
+            };
+            let run = fleet_fingerprint(&params, 2);
+            assert_eq!(
+                run, reference,
+                "fleet diverged at threads={threads} engine={engine}"
+            );
+        }
+    }
+}
+
+/// The same invariant one layer up: the registered scenario's report JSON
+/// (the artifact `bench_check` gates) must be byte-identical across the
+/// worker-thread counts once wall-clock columns are stripped.  The
+/// engine axis at this layer is swept by `tests/engine_conformance.rs`.
+#[test]
+fn cluster_churn_scenario_report_is_thread_invariant() {
+    let scenario = find("cluster_churn").expect("cluster_churn is registered");
+    let runs: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let report = scenario
+                .run(&Params::new().with("threads", threads), Scale::Smoke)
+                .unwrap_or_else(|err| panic!("threads={threads}: {err}"));
+            strip_timing(&report.to_json())
+        })
+        .collect();
+    assert_eq!(runs[1], runs[0], "threads=2 diverged from threads=1");
+    assert_eq!(runs[2], runs[0], "threads=4 diverged from threads=1");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized churn streams, fleet shapes, migration counts and
+    /// placement policies never break thread-count invariance.
+    #[test]
+    fn fuzzed_fleets_are_thread_invariant(
+        seed in any::<u64>(),
+        hosts in 2usize..5,
+        churn_period in 0u64..6,
+        migrations in 0usize..3,
+        affinity in any::<bool>(),
+        threads in 2usize..5,
+    ) {
+        let params = ClusterChurnParams {
+            seed,
+            hosts,
+            churn_period,
+            policy: if affinity {
+                PlacementPolicy::Affinity
+            } else {
+                PlacementPolicy::LeastLoaded
+            },
+            ..tiny()
+        };
+        let migrations = migrations.min(hosts);
+        let reference = fleet_fingerprint(&params, migrations);
+        let wide = fleet_fingerprint(
+            &ClusterChurnParams { threads, ..params },
+            migrations,
+        );
+        prop_assert_eq!(
+            wide, reference,
+            "threads={} diverged (seed={seed:#x} hosts={hosts} churn={churn_period} \
+             migs={migrations} affinity={affinity})",
+            threads
+        );
+    }
+}
+
+#[test]
+fn cluster_aggregates_reconcile_exactly_with_per_host_reports() {
+    let params = ClusterChurnParams::quick();
+    let mut cluster = params.build_cluster(CoherenceMechanism::Software, 2);
+    let report = cluster.run(params.warmup_epochs, params.measured_epochs);
+
+    prop_assert_hosts(&report, params.hosts);
+
+    // Scalar sums.
+    let sum = |f: &dyn Fn(&hatric_host::HostReport) -> u64| -> u64 {
+        report.per_host.iter().map(f).sum()
+    };
+    assert_eq!(report.aggregate.accesses, sum(&|h| h.host.accesses));
+    assert_eq!(
+        report.aggregate.coherence.remaps,
+        sum(&|h| h.host.coherence.remaps)
+    );
+    assert_eq!(
+        report.aggregate.coherence.ipis,
+        sum(&|h| h.host.coherence.ipis)
+    );
+    assert_eq!(
+        report.aggregate.coherence.coherence_vm_exits,
+        sum(&|h| h.host.coherence.coherence_vm_exits)
+    );
+    assert_eq!(
+        report.aggregate.interference.disrupted_cycles,
+        sum(&|h| h.host.interference.disrupted_cycles)
+    );
+    assert_eq!(
+        report.migration.pages_copied,
+        sum(&|h| h.migration.pages_copied)
+    );
+    assert_eq!(
+        report.migration.received_pages,
+        sum(&|h| h.migration.received_pages)
+    );
+    assert_eq!(
+        report.migration.migrations_started,
+        sum(&|h| h.migration.migrations_started)
+    );
+    assert_eq!(
+        report.migration.throttled_slices,
+        sum(&|h| h.migration.throttled_slices)
+    );
+
+    // The fleet's cycle vector is the per-host concatenation in host order.
+    let concatenated: Vec<u64> = report
+        .per_host
+        .iter()
+        .flat_map(|h| h.host.cycles_per_cpu.iter().copied())
+        .collect();
+    assert_eq!(report.aggregate.cycles_per_cpu, concatenated);
+
+    // The migration ledger is internally consistent: every outcome names
+    // real endpoints, the source handed pages to the destination, and the
+    // completion count matches the hand-off flags.
+    assert!(!report.migrations.is_empty(), "both migrations must appear");
+    for outcome in &report.migrations {
+        assert!(outcome.src_host < report.hosts());
+        assert!(outcome.dst_host < report.hosts());
+        assert_ne!(
+            (outcome.src_host, outcome.src_slot),
+            (outcome.dst_host, outcome.dst_slot),
+            "a migration never lands on its own source slot"
+        );
+    }
+    assert_eq!(
+        report.completed_migrations(),
+        report.migrations.iter().filter(|m| m.handed_off).count() as u64
+    );
+    assert!(report.peak_inflight >= 1);
+    assert!(report.downtime_percentile(99) <= report.downtime_percentile(100));
+}
+
+fn prop_assert_hosts(report: &hatric_cluster::ClusterReport, hosts: usize) {
+    assert_eq!(report.hosts(), hosts);
+    assert_eq!(report.per_host.len(), hosts);
+}
