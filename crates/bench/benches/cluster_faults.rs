@@ -1,0 +1,51 @@
+//! The cluster tier under a deterministic fault storm: an engineered host
+//! crash mid-migration (aborting a migration source *and* a migration
+//! destination, the latter with a bounded retry), a stuck pre-copy that
+//! force-escalates to post-copy at the non-convergence timeout,
+//! crash-driven cold restarts through the placement policy, and a seeded
+//! background schedule of link degradation, blackouts and DRAM brownouts.
+//!
+//! The recorded claim: under the *identical* fault storm, HATRIC recovers
+//! no slower than the software path — aggregate victim slowdown and the
+//! p99 of recovery downtime (handed-off migration blackouts ∪ restart
+//! windows) both gate `hatric ≤ software` (asserted by the scenario and,
+//! against the committed baseline, by `bench_check`).
+//!
+//! Results land in `BENCH_faults.json` (or `$HATRIC_BENCH_FAULTS_JSON`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatric_bench::{collect_records, skip_tables, write_baseline};
+use hatric_host::experiments::{cluster_faults, ClusterFaultsParams};
+use hatric_host::CoherenceMechanism;
+
+fn bench(c: &mut Criterion) {
+    let report = if skip_tables() {
+        None
+    } else {
+        Some(collect_records("cluster_faults", true))
+    };
+
+    let mut group = c.benchmark_group("cluster_faults");
+    group.sample_size(10);
+    group.bench_function("faulted_4host_storm_kernel", |b| {
+        b.iter(|| {
+            let params = ClusterFaultsParams::quick();
+            let mut cluster = params.build_cluster(CoherenceMechanism::Hatric);
+            cluster.run(params.base.warmup_epochs, params.base.measured_epochs)
+        })
+    });
+    group.bench_function("faulted_4host_storm_table", |b| {
+        b.iter(|| cluster_faults::run(&ClusterFaultsParams::quick()))
+    });
+    group.finish();
+
+    if let Some(report) = report {
+        match write_baseline(&report) {
+            Ok(path) => println!("\nwrote {} fault rows to {path}", report.rows.len()),
+            Err(err) => eprintln!("could not write faults JSON: {err}"),
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -36,6 +36,34 @@
 //! reports into cluster aggregates (including the causal ledger and a
 //! per-migration downtime distribution).
 //!
+//! ## Fault injection & recovery
+//!
+//! [`Cluster::set_faults`] arms a deterministic
+//! [`FaultClock`] of typed fault events, all
+//! keyed to epoch boundaries (sim-time, never wall-clock, so fault runs
+//! stay byte-identical across thread counts and engine backends):
+//!
+//! * **Host crash** — the host drops out at the epoch boundary; every
+//!   migration touching it aborts (source resumes its VM, destination
+//!   rolls back the partial image it had landed), its VMs cold-restart
+//!   through the [`PlacementPolicy`], and aborted migrations whose
+//!   *source* survived retry after a deterministic linear backoff.
+//! * **Link degradation / blackout** — the host's outgoing migration wire
+//!   delivers a reduced page budget per epoch (remainder held back
+//!   reliably), or nothing at all (pre-copy pages are dropped on the
+//!   floor and re-sent; stop-and-copy residue is held, never lost).
+//! * **DRAM brownout** — the host's DRAM devices serve every line slower
+//!   by an integer multiplier, back-pressuring through the leaky-bucket
+//!   queue model.
+//! * **Stuck pre-copy** — the outgoing migration engine freezes for a
+//!   window; combined with `stall_timeout_epochs`, a non-converging
+//!   pre-copy is force-escalated to a post-copy flip.
+//!
+//! [`ClusterReport::recovery`](report::RecoveryStats) accounts for
+//! crashes, restarts, aborted/retried/escalated migrations and fleet
+//! unavailability; `recovery_downtime_percentile` gates the fault
+//! scenario's HATRIC-vs-software claim.
+//!
 //! The cluster knows hosts only through the [`EpochHost`] trait —
 //! `hatric-host` implements it for `ConsolidatedHost`, keeping this crate
 //! below the host crate in the dependency graph (the scenario registry
@@ -51,8 +79,9 @@ pub mod report;
 
 pub use churn::{ChurnEvent, ChurnKind, ChurnStream};
 pub use cluster::{Cluster, ClusterParams, MigrationMode, ScheduledMigration};
+pub use hatric_faults::{FaultClock, FaultEvent, FaultKind, FaultPlan, FaultWeights};
 pub use placement::PlacementPolicy;
-pub use report::{ClusterReport, MigrationOutcome};
+pub use report::{ClusterReport, MigrationOutcome, RecoveryStats, RestartOutcome};
 
 use hatric::metrics::{HostReport, MigrationStats};
 use hatric::telemetry::TraceSink;
@@ -122,6 +151,46 @@ pub trait EpochHost: std::fmt::Debug + Send {
     fn receiver_complete(&self) -> bool;
     /// Pages the receiver still has to land (inbox + outstanding).
     fn receiver_pending_pages(&self) -> u64;
+
+    // ----- robustness (fault injection & recovery) ------------------------
+    /// Tears down the outgoing migration mid-protocol: the VM keeps
+    /// running on the source (its slot was never deactivated), throttling
+    /// stops, and the un-sent backlog is discarded.  Returns the number of
+    /// outbox pages thrown away.  No-op (returning 0) when the migration
+    /// is already terminal or none ever started.
+    fn abort_migration(&mut self) -> u64;
+    /// Force-escalates the outgoing pre-copy to a post-copy hand-off:
+    /// terminates the source engine and returns the pages the destination
+    /// must still pull (dirty set ∪ copy backlog, deduplicated).  Empty
+    /// when the migration is already terminal.
+    fn escalate_migration(&mut self) -> Vec<GuestFrame>;
+    /// Whether the outgoing migration is in its pre-copy rounds (the only
+    /// phase blackout re-sends and escalation apply to).
+    fn migration_in_precopy(&self) -> bool;
+    /// Returns undelivered pages to the *front* of the outgoing wire
+    /// queue, preserving order — the wire held them back reliably (link
+    /// degradation); they were transferred, just not yet delivered.
+    fn requeue_outbox(&mut self, pages: Vec<GuestFrame>);
+    /// Returns dropped pages to the front of the outgoing copy queue —
+    /// the wire lost them (link blackout) and the source must genuinely
+    /// re-send, paying the copy cost again.
+    fn requeue_copy(&mut self, pages: Vec<GuestFrame>);
+    /// Freezes (or thaws) the outgoing migration engine: a stalled engine
+    /// makes no protocol progress and counts stalled slices.  The
+    /// `StuckPreCopy` fault window drives this.
+    fn set_migration_stalled(&mut self, stalled: bool);
+    /// Tears down the incoming receiver.  With `rollback`, un-registers
+    /// the first-touch remaps the receiver had landed (frees the frames,
+    /// clears the nested-PT entries, pays the shootdown/coherence bill) —
+    /// the destination of a crashed source must not keep a partial image.
+    /// Returns pages discarded (backlog plus rolled-back landings).
+    fn abort_receiver(&mut self, rollback: bool) -> u64;
+    /// Applies a DRAM brownout service multiplier (×100; `100` restores
+    /// nominal speed) to every DRAM device on the host.
+    fn set_dram_brownout(&mut self, multiplier_x100: u64);
+    /// Records a fault span on the host's hypervisor trace track.  No-op
+    /// by default (and when tracing is disabled).
+    fn record_fault_span(&mut self, _name: &'static str, _args: Vec<(&'static str, u64)>) {}
 
     // ----- observability --------------------------------------------------
     /// Enables sim-time tracing with the given span capacity.

@@ -26,6 +26,65 @@ pub struct MigrationOutcome {
     pub handed_off: bool,
     /// Whether every page also landed on the destination.
     pub drained: bool,
+    /// Whether the migration was torn down by a fault (a crashed
+    /// endpoint): the source resumed or the VM cold-restarted, and
+    /// partial destination state was discarded.
+    pub aborted: bool,
+    /// Whether a non-convergence timeout force-escalated this pre-copy
+    /// to a post-copy flip.
+    pub escalated: bool,
+    /// Which attempt this was: `0` for a first try, `n` for the `n`-th
+    /// bounded retry after an abort.
+    pub attempt: u32,
+}
+
+/// One crash-driven VM cold restart: the host died, the placement policy
+/// re-placed the VM elsewhere with its dirty state lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestartOutcome {
+    /// Host that crashed.
+    pub from_host: usize,
+    /// Slot the VM occupied there.
+    pub from_slot: usize,
+    /// Host the VM restarted on.
+    pub to_host: usize,
+    /// Slot it restarted in.
+    pub to_slot: usize,
+    /// Epoch of the crash (0-based, warmup included).
+    pub epoch: u64,
+    /// The restart's unavailability window in cycles (the cluster's
+    /// `restart_penalty_cycles`).
+    pub downtime_cycles: u64,
+}
+
+/// Fleet-level recovery metrics accumulated over the whole run (warmup
+/// included — like the migration ledger, recovery is about the fleet's
+/// lifetime, not the measured window).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Hosts taken down by `HostCrash` faults.
+    pub host_crashes: u64,
+    /// VMs cold-restarted onto another host after a crash.
+    pub vm_restarts: u64,
+    /// Crashed VMs the placement policy could not re-place (no alive
+    /// host had a free slot).
+    pub restarts_failed: u64,
+    /// Migrations torn down by a crashed endpoint.
+    pub migrations_aborted: u64,
+    /// Aborted migrations re-started after their deterministic backoff.
+    pub migrations_retried: u64,
+    /// Pre-copy migrations force-escalated to post-copy by the
+    /// non-convergence timeout.
+    pub migrations_escalated: u64,
+    /// Host-epochs spent dead (one per crashed host per epoch) — the
+    /// fleet's unavailability integral.
+    pub unavailability_epochs: u64,
+    /// Pages a blacked-out migration link dropped on the floor (each one
+    /// re-sent by its source).
+    pub wire_dropped_pages: u64,
+    /// Fault events fired from the schedule (including events that found
+    /// nothing to break, e.g. a stall on a host with no migration).
+    pub faults_injected: u64,
 }
 
 /// The merged result of a cluster run: per-host [`HostReport`]s plus
@@ -52,6 +111,11 @@ pub struct ClusterReport {
     /// Largest number of simultaneously in-flight inter-host migrations
     /// observed at any epoch boundary.
     pub peak_inflight: u64,
+    /// Fleet-level recovery metrics (crashes, restarts, aborted /
+    /// retried / escalated migrations, unavailability).
+    pub recovery: RecoveryStats,
+    /// One entry per crash-driven VM cold restart, in crash order.
+    pub restarts: Vec<RestartOutcome>,
 }
 
 impl ClusterReport {
@@ -62,6 +126,8 @@ impl ClusterReport {
         per_host: Vec<HostReport>,
         migrations: Vec<MigrationOutcome>,
         peak_inflight: u64,
+        recovery: RecoveryStats,
+        restarts: Vec<RestartOutcome>,
     ) -> Self {
         let mut aggregate = SimReport::default();
         let mut migration = MigrationStats::default();
@@ -85,6 +151,8 @@ impl ClusterReport {
             migration,
             migrations,
             peak_inflight,
+            recovery,
+            restarts,
         }
     }
 
@@ -106,19 +174,42 @@ impl ClusterReport {
     /// maximum).  Zero when nothing handed off.
     #[must_use]
     pub fn downtime_percentile(&self, p: u64) -> u64 {
+        let downtimes: Vec<u64> = self
+            .migrations
+            .iter()
+            .filter(|m| m.handed_off)
+            .map(|m| m.downtime_cycles)
+            .collect();
+        nearest_rank(downtimes, p)
+    }
+
+    /// Exact `p`-th percentile of *recovery* downtime: the union of every
+    /// handed-off migration's blackout window and every crash restart's
+    /// unavailability window — the distribution the fault scenario gates
+    /// (HATRIC must recover no slower than software shootdowns).  Zero
+    /// when nothing handed off and nothing restarted.
+    #[must_use]
+    pub fn recovery_downtime_percentile(&self, p: u64) -> u64 {
         let mut downtimes: Vec<u64> = self
             .migrations
             .iter()
             .filter(|m| m.handed_off)
             .map(|m| m.downtime_cycles)
             .collect();
-        if downtimes.is_empty() {
-            return 0;
-        }
-        downtimes.sort_unstable();
-        let rank = (p.min(100) as usize * downtimes.len()).div_ceil(100);
-        downtimes[rank.saturating_sub(1)]
+        downtimes.extend(self.restarts.iter().map(|r| r.downtime_cycles));
+        nearest_rank(downtimes, p)
     }
+}
+
+/// Smallest value ≥ `p`% of the population (nearest-rank; zero on an
+/// empty population).
+fn nearest_rank(mut values: Vec<u64>, p: u64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    let rank = (p.min(100) as usize * values.len()).div_ceil(100);
+    values[rank.saturating_sub(1)]
 }
 
 #[cfg(test)]
@@ -135,16 +226,61 @@ mod tests {
             downtime_cycles: downtime,
             handed_off: true,
             drained: true,
+            aborted: false,
+            escalated: false,
+            attempt: 0,
+        }
+    }
+
+    fn restart(downtime: u64) -> RestartOutcome {
+        RestartOutcome {
+            from_host: 0,
+            from_slot: 0,
+            to_host: 1,
+            to_slot: 2,
+            epoch: 3,
+            downtime_cycles: downtime,
         }
     }
 
     #[test]
     fn downtime_percentile_is_nearest_rank() {
         let migrations: Vec<MigrationOutcome> = (1..=100).map(|n| outcome(n * 10)).collect();
-        let report = ClusterReport::new(Vec::new(), migrations, 4);
+        let report = ClusterReport::new(
+            Vec::new(),
+            migrations,
+            4,
+            RecoveryStats::default(),
+            Vec::new(),
+        );
         assert_eq!(report.downtime_percentile(99), 990);
         assert_eq!(report.downtime_percentile(50), 500);
         assert_eq!(report.downtime_percentile(100), 1000);
+    }
+
+    #[test]
+    fn recovery_downtime_unions_migrations_and_restarts() {
+        let report = ClusterReport::new(
+            Vec::new(),
+            vec![outcome(100), outcome(200)],
+            1,
+            RecoveryStats::default(),
+            vec![restart(5_000)],
+        );
+        assert_eq!(
+            report.recovery_downtime_percentile(100),
+            5_000,
+            "the restart's blackout dominates the distribution"
+        );
+        assert_eq!(report.downtime_percentile(100), 200);
+        let empty = ClusterReport::new(
+            Vec::new(),
+            Vec::new(),
+            0,
+            RecoveryStats::default(),
+            Vec::new(),
+        );
+        assert_eq!(empty.recovery_downtime_percentile(99), 0);
     }
 
     #[test]
@@ -157,7 +293,13 @@ mod tests {
         b.host.accesses = 32;
         b.host.cycles_per_cpu = vec![9];
         b.migration.received_pages = 2;
-        let report = ClusterReport::new(vec![a, b], Vec::new(), 0);
+        let report = ClusterReport::new(
+            vec![a, b],
+            Vec::new(),
+            0,
+            RecoveryStats::default(),
+            Vec::new(),
+        );
         assert_eq!(report.aggregate.accesses, 42);
         assert_eq!(report.aggregate.cycles_per_cpu, vec![5, 7, 9]);
         assert_eq!(report.migration.pages_copied, 3);

@@ -203,6 +203,23 @@ pub struct MigrationStats {
     /// Scheduler slices withheld from a migrating VM by auto-convergence
     /// throttling (pre-copy failing to converge against the dirty rate).
     pub throttled_slices: u64,
+    /// Migrations torn down before hand-off: the source resumed the VM
+    /// and the destination discarded its partial state.
+    pub migrations_aborted: u64,
+    /// Pre-copy migrations force-escalated (stop-and-copy skipped in
+    /// favor of an immediate post-copy flip) by a non-convergence
+    /// timeout.
+    pub migrations_escalated: u64,
+    /// Pages lost in flight on a blacked-out migration link; each one
+    /// must be re-sent by the source.
+    pub pages_dropped: u64,
+    /// Pages thrown away during an abort: the source's unsent outbox
+    /// plus everything the destination discarded (inbox backlog,
+    /// outstanding post-copy set, and rolled-back landed pages).
+    pub pages_discarded: u64,
+    /// Scheduler slices a pre-copy round spent stuck (a `StuckPreCopy`
+    /// fault held the engine: no pages copied, no rounds retired).
+    pub stalled_slices: u64,
 }
 
 impl MigrationStats {
@@ -220,6 +237,11 @@ impl MigrationStats {
         self.received_pages += other.received_pages;
         self.postcopy_fetched_pages += other.postcopy_fetched_pages;
         self.throttled_slices += other.throttled_slices;
+        self.migrations_aborted += other.migrations_aborted;
+        self.migrations_escalated += other.migrations_escalated;
+        self.pages_dropped += other.pages_dropped;
+        self.pages_discarded += other.pages_discarded;
+        self.stalled_slices += other.stalled_slices;
     }
 }
 

@@ -837,6 +837,52 @@ impl Platform {
         self.hypervisor_pte_write(vms, slot, initiator, gpp)
     }
 
+    /// Tears down VM `slot`'s nested mapping for `gpp` — the rollback of an
+    /// aborted migration's first-touch remap.  The hypervisor's store to the
+    /// leaf entry pays the full translation-coherence bill *first* (stale
+    /// translations for the dying mapping must be invalidated before the
+    /// frame can be reused), then the entry is cleared, the backing frame is
+    /// returned to its allocator, and the paging policy forgets the page if
+    /// it was counted resident in fast memory.  Frames in the page-table
+    /// reserve region are never freed: they back page-table nodes, not data.
+    /// Returns `false` (charging nothing) if `gpp` has no nested mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `initiator` is out of range.
+    pub fn hypervisor_unmap_page(
+        &mut self,
+        vms: &mut [VmInstance],
+        slot: usize,
+        initiator: CpuId,
+        gpp: GuestFrame,
+    ) -> bool {
+        let Some(pte_addr) = vms[slot].nested_page_table().leaf_entry_addr(gpp) else {
+            return false;
+        };
+        self.remap_coherence(vms, slot, initiator, pte_addr);
+        let Some(spp) = vms[slot].nested_pt_mut().unmap(gpp) else {
+            return false;
+        };
+        if spp.number() < self.memory.reserve_base().number() {
+            self.memory.free(spp);
+        }
+        if vms[slot].paging_enabled() {
+            vms[slot].paging_mut().forget(gpp);
+        }
+        true
+    }
+
+    /// Applies (or, with `100`, lifts) a DRAM brownout: every memory device
+    /// on this host serves lines `multiplier_x100/100` times slower.  The
+    /// multiplier lives in device state, so both the serial access path and
+    /// the parallel engine's plan/commit path observe identical degraded
+    /// timing.
+    pub fn set_dram_brownout(&mut self, multiplier_x100: u64) {
+        self.memory
+            .set_dram_service_multiplier_x100(multiplier_x100);
+    }
+
     // ----- translation coherence -------------------------------------------
 
     /// Socket distance makes coherence asymmetric: a software shootdown

@@ -200,6 +200,7 @@ impl ClusterChurnParams {
                 epoch: self.migration_start_epoch(),
                 src_host: m % self.hosts,
                 src_slot: 0,
+                dst_host: None,
                 mode: MigrationMode::PreCopy,
             });
         }
@@ -241,7 +242,7 @@ pub struct ClusterChurnRow {
 /// migration.  The set is a function of the deterministic churn/placement
 /// flow only, so it is identical across mechanisms and the ratio to the
 /// ideal run compares like with like.
-fn mean_victim_runtime(report: &ClusterReport) -> f64 {
+pub(crate) fn mean_victim_runtime(report: &ClusterReport) -> f64 {
     let involved: Vec<(usize, usize)> = report
         .migrations
         .iter()
@@ -266,7 +267,7 @@ fn mean_victim_runtime(report: &ClusterReport) -> f64 {
 
 /// Summed coherence-disruption cycles over the same victim set
 /// [`mean_victim_runtime`] averages.
-fn victim_disrupted_cycles(report: &ClusterReport) -> u64 {
+pub(crate) fn victim_disrupted_cycles(report: &ClusterReport) -> u64 {
     let involved: Vec<(usize, usize)> = report
         .migrations
         .iter()

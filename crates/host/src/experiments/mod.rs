@@ -1,12 +1,14 @@
 //! Experiment runners built on the consolidated host.
 
 pub mod cluster_churn;
+pub mod cluster_faults;
 pub mod host_scale;
 pub mod migration_storm;
 pub mod multivm;
 pub mod numa_contention;
 
 pub use cluster_churn::{ClusterChurnParams, ClusterChurnRow};
+pub use cluster_faults::{ClusterFaultsParams, ClusterFaultsRow};
 pub use host_scale::{HostScaleParams, HostScaleRow};
 pub use migration_storm::{MigrationStormParams, MigrationStormRow};
 pub use multivm::{MultiVmParams, MultiVmRow};

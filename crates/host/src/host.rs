@@ -67,6 +67,10 @@ pub struct ConsolidatedHost {
     balloons: Vec<BalloonDriver>,
     /// Stats of migrations already replaced by a newer one.
     finished_migration_stats: MigrationStats,
+    /// Sticky stall flag: `start_migration` only *queues* the engine, so a
+    /// fault window opening in the same epoch must survive until the
+    /// engine actually exists and be applied at creation.
+    migration_stalled: bool,
     /// The counter timeline, when gauge sampling is enabled.
     timeline: Option<CounterTimeline>,
     /// Coherence-target total at the previous timeline sample (the
@@ -148,6 +152,7 @@ impl ConsolidatedHost {
             vm_active,
             balloons: Vec::new(),
             finished_migration_stats: MigrationStats::default(),
+            migration_stalled: false,
             timeline: None,
             timeline_prev_targets: 0,
         })
@@ -418,7 +423,8 @@ impl ConsolidatedHost {
                     if let Some(done) = self.migration.take() {
                         self.finished_migration_stats.merge(&done.stats());
                     }
-                    let engine = MigrationEngine::new(params, &self.vms);
+                    let mut engine = MigrationEngine::new(params, &self.vms);
+                    engine.set_stalled(self.migration_stalled);
                     self.platform.set_write_observer(engine.observer());
                     self.migration = Some(engine);
                 }
@@ -742,6 +748,113 @@ impl hatric_cluster::EpochHost for ConsolidatedHost {
         self.receiver
             .as_ref()
             .map_or(0, MigrationReceiver::pending_pages)
+    }
+
+    fn abort_migration(&mut self) -> u64 {
+        // A queued-but-unstarted migration dies with its request.
+        self.pending_events
+            .retain(|e| !matches!(e, HostEvent::Migrate(_)));
+        let Some(engine) = &mut self.migration else {
+            return 0;
+        };
+        if engine.phase().is_terminal() {
+            return 0;
+        }
+        let slot = engine.vm_slot();
+        let discarded = engine.abort();
+        // The engine's dirty tracker must stop observing guest writes,
+        // and the VM resumes (unless the cluster deactivated the slot).
+        self.platform.clear_write_observer();
+        self.scheduler.set_vm_paused(slot, !self.vm_active[slot]);
+        discarded
+    }
+
+    fn escalate_migration(&mut self) -> Vec<GuestFrame> {
+        let Some(engine) = &mut self.migration else {
+            return Vec::new();
+        };
+        if engine.phase().is_terminal() {
+            return Vec::new();
+        }
+        let slot = engine.vm_slot();
+        let pending = engine.escalate();
+        self.platform.clear_write_observer();
+        self.scheduler.set_vm_paused(slot, !self.vm_active[slot]);
+        pending
+    }
+
+    fn migration_in_precopy(&self) -> bool {
+        self.migration
+            .as_ref()
+            .is_some_and(|engine| engine.phase() == MigrationPhase::PreCopy)
+    }
+
+    fn requeue_outbox(&mut self, pages: Vec<GuestFrame>) {
+        if let Some(engine) = &mut self.migration {
+            engine.requeue_outbox(pages);
+        }
+    }
+
+    fn requeue_copy(&mut self, pages: Vec<GuestFrame>) {
+        if let Some(engine) = &mut self.migration {
+            engine.requeue_copy(pages);
+        }
+    }
+
+    fn set_migration_stalled(&mut self, stalled: bool) {
+        self.migration_stalled = stalled;
+        if let Some(engine) = &mut self.migration {
+            engine.set_stalled(stalled);
+        }
+    }
+
+    fn abort_receiver(&mut self, rollback: bool) -> u64 {
+        let Some(receiver) = &mut self.receiver else {
+            return 0;
+        };
+        if receiver.is_complete() {
+            return 0;
+        }
+        let slot = receiver.vm_slot();
+        let (mut discarded, landed) = receiver.abort();
+        if rollback {
+            // Un-register the first-touch remaps the receiver had landed,
+            // newest first — frees the frames, clears the nested-PT
+            // entries and pays the shootdown/coherence bill on the
+            // hypervisor worker, charged to the half-received VM.
+            let cpu = HYPERVISOR_WORKER_CPU;
+            let saved = self.platform.occupant(cpu);
+            self.platform
+                .set_occupant(cpu, Some((slot, VcpuId::new(0))));
+            for gpp in landed.into_iter().rev() {
+                if self
+                    .platform
+                    .hypervisor_unmap_page(&mut self.vms, slot, cpu, gpp)
+                {
+                    discarded += 1;
+                }
+            }
+            self.platform.set_occupant(cpu, saved);
+        }
+        discarded
+    }
+
+    fn set_dram_brownout(&mut self, multiplier_x100: u64) {
+        self.platform.set_dram_brownout(multiplier_x100);
+    }
+
+    fn record_fault_span(&mut self, name: &'static str, args: Vec<(&'static str, u64)>) {
+        if self.platform.trace_enabled() {
+            let ts = self.max_cycles();
+            self.platform.trace_event(TraceEvent {
+                name,
+                cat: "fault",
+                track: track::HYPERVISOR,
+                ts,
+                dur: 0,
+                args,
+            });
+        }
     }
 
     fn enable_tracing(&mut self, capacity: usize) {

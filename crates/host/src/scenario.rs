@@ -34,7 +34,7 @@
 //! ```
 
 use hatric::experiments::{
-    execute_traced, fig10, fig2, fig7, fig8, fig9, xen, ExperimentParams, RunSpec,
+    execute_traced, fig10, fig11, fig2, fig7, fig8, fig9, xen, ExperimentParams, RunSpec,
 };
 use hatric::metrics::HostReport;
 use hatric::telemetry::{global_phase_totals, CounterTimeline, EnginePhase};
@@ -46,8 +46,9 @@ use hatric_types::ConfigError;
 
 use crate::config::HostConfig;
 use crate::experiments::{
-    cluster_churn, host_scale, migration_storm, multivm, numa_contention, ClusterChurnParams,
-    HostScaleParams, MigrationStormParams, MultiVmParams, NumaContentionParams,
+    cluster_churn, cluster_faults, host_scale, migration_storm, multivm, numa_contention,
+    ClusterChurnParams, ClusterFaultsParams, HostScaleParams, MigrationStormParams, MultiVmParams,
+    NumaContentionParams,
 };
 use crate::host::ConsolidatedHost;
 
@@ -667,11 +668,13 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &NumaContentionScenario,
         &HostScaleScenario,
         &ClusterChurnScenario,
+        &ClusterFaultsScenario,
         &Fig2Scenario,
         &Fig7Scenario,
         &Fig8Scenario,
         &Fig9Scenario,
         &Fig10Scenario,
+        &Fig11Scenario,
         &XenScenario,
     ];
     REGISTRY
@@ -1784,6 +1787,265 @@ impl Scenario for ClusterChurnScenario {
     }
 }
 
+/// The cluster-faults scenario (`cluster_faults`): the churn fleet under a
+/// deterministic fault storm — an engineered host crash that aborts two
+/// in-flight migrations (one with a bounded retry), a stuck pre-copy that
+/// force-escalates to post-copy, crash-driven cold restarts through the
+/// placement policy, and a seeded background schedule of link and DRAM
+/// faults.  Gated claim: under the identical storm, HATRIC's aggregate
+/// victim slowdown and recovery-downtime p99 never exceed software's.
+pub struct ClusterFaultsScenario;
+
+impl ClusterFaultsScenario {
+    fn base(scale: Scale) -> ClusterFaultsParams {
+        match scale {
+            Scale::Smoke => ClusterFaultsParams::quick(),
+            Scale::Bench => ClusterFaultsParams::default_scale(),
+            Scale::Full => {
+                let mut p = ClusterFaultsParams::default_scale();
+                p.base.warmup_epochs *= 2;
+                p.base.measured_epochs *= 2;
+                p
+            }
+        }
+    }
+
+    fn typed(params: &Params) -> Result<ClusterFaultsParams, ConfigError> {
+        Ok(ClusterFaultsParams {
+            base: ClusterChurnScenario::typed(params)?,
+            fault_seed: params.u64("fault_seed")?,
+            fault_period: params.u64("fault_period")?,
+            crash_after_epochs: params.u64("crash_after_epochs")?,
+            stall_epochs: params.u64("stall_epochs")?,
+            stall_timeout_epochs: params.u64("stall_timeout_epochs")?,
+            max_retries: params.u32("max_retries")?,
+            retry_backoff_epochs: params.u64("retry_backoff_epochs")?,
+            restart_penalty_cycles: params.u64("restart_penalty_cycles")?,
+        })
+    }
+
+    /// Validates a sizing without building the fleet.
+    fn validate(params: &ClusterFaultsParams) -> Result<(), ConfigError> {
+        if params.base.hosts < 4 {
+            return Err(ConfigError::BadValue {
+                key: "hosts".to_string(),
+                value: format!(
+                    "{} (the engineered fault storm needs at least four hosts)",
+                    params.base.hosts
+                ),
+            });
+        }
+        ClusterChurnScenario::validate(&params.base)
+    }
+}
+
+impl Scenario for ClusterFaultsScenario {
+    fn name(&self) -> &'static str {
+        "cluster_faults"
+    }
+
+    fn describe(&self) -> &'static str {
+        "under a deterministic fault storm (host crash, migration aborts with \
+         bounded retry, forced post-copy escalation, link/DRAM faults) HATRIC \
+         recovers no slower than software on victim slowdown and recovery \
+         downtime p99"
+    }
+
+    fn default_params(&self, scale: Scale) -> Params {
+        let p = Self::base(scale);
+        let base = p.base;
+        Params::new()
+            .with("hosts", base.hosts)
+            .with("num_pcpus", base.num_pcpus)
+            .with("fast_pages", base.fast_pages)
+            .with("active_vms", base.active_vms)
+            .with("spare_slots", base.spare_slots)
+            .with("vm_vcpus", base.vm_vcpus)
+            .with("epoch_slices", base.epoch_slices)
+            .with("warmup_epochs", base.warmup_epochs)
+            .with("measured_epochs", base.measured_epochs)
+            .with("slice_accesses", base.slice_accesses)
+            .with("seed", base.seed)
+            .with("churn_period", base.churn_period)
+            .with("copy_pages_per_slice", base.copy_pages_per_slice)
+            .with("throttle_after_rounds", base.throttle_after_rounds)
+            .with("policy", base.policy.label())
+            .with("threads", base.threads)
+            .with("engine", base.engine)
+            .with("fault_seed", p.fault_seed)
+            .with("fault_period", p.fault_period)
+            .with("crash_after_epochs", p.crash_after_epochs)
+            .with("stall_epochs", p.stall_epochs)
+            .with("stall_timeout_epochs", p.stall_timeout_epochs)
+            .with("max_retries", p.max_retries)
+            .with("retry_backoff_epochs", p.retry_backoff_epochs)
+            .with("restart_penalty_cycles", p.restart_penalty_cycles)
+    }
+
+    /// # Panics
+    ///
+    /// A *default-parameter* run at [`Scale::Bench`] or [`Scale::Full`]
+    /// asserts the scenario's headline claim — the engineered crash fires
+    /// exactly once and aborts at least two in-flight migrations, the
+    /// stuck pre-copy escalates, the dead host's VMs cold-restart, and
+    /// HATRIC's victim slowdown and recovery-downtime p99 never exceed
+    /// software's under the identical storm — and panics if a model
+    /// change broke it.  Runs with parameter overrides skip the check.
+    fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError> {
+        let merged = resolve_params(self, params, scale)?;
+        let typed = Self::typed(&merged)?;
+        Self::validate(&typed)?;
+        let assert_claim = scale != Scale::Smoke && params.entries().is_empty();
+        let rows = cluster_faults::run(&typed);
+        if assert_claim {
+            let by = |m: CoherenceMechanism| {
+                rows.iter()
+                    .find(|r| r.mechanism == m)
+                    .expect("run() emits every mechanism")
+            };
+            let software = by(CoherenceMechanism::Software);
+            let hatric = by(CoherenceMechanism::Hatric);
+            for row in &rows {
+                let recovery = row.report.recovery;
+                assert_eq!(
+                    recovery.host_crashes, 1,
+                    "{:?}: exactly the engineered crash must fire",
+                    row.mechanism
+                );
+                assert!(
+                    recovery.migrations_aborted >= 2,
+                    "{:?}: the crash must abort both migrations touching the \
+                     dead host (got {})",
+                    row.mechanism,
+                    recovery.migrations_aborted
+                );
+                assert!(
+                    recovery.migrations_escalated >= 1,
+                    "{:?}: the stuck pre-copy must escalate to post-copy",
+                    row.mechanism
+                );
+                assert!(
+                    recovery.vm_restarts >= 1,
+                    "{:?}: the dead host's VMs must cold-restart elsewhere",
+                    row.mechanism
+                );
+            }
+            assert!(
+                hatric.agg_victim_slowdown_vs_ideal <= software.agg_victim_slowdown_vs_ideal,
+                "HATRIC victim slowdown {} exceeds software's {} under faults",
+                hatric.agg_victim_slowdown_vs_ideal,
+                software.agg_victim_slowdown_vs_ideal
+            );
+            assert!(
+                hatric.recovery_downtime_p99_cycles <= software.recovery_downtime_p99_cycles,
+                "HATRIC recovery p99 {} exceeds software's {}",
+                hatric.recovery_downtime_p99_cycles,
+                software.recovery_downtime_p99_cycles
+            );
+        }
+        let mut report = ScenarioReport::new(self.name());
+        for row in &rows {
+            let recovery = row.report.recovery;
+            let built = Row::new("config", "storm", &mechanism_label(row.mechanism))
+                .ratio(
+                    "agg_victim_slowdown_vs_ideal",
+                    row.agg_victim_slowdown_vs_ideal,
+                )
+                .count(
+                    "recovery_downtime_p99_cycles",
+                    row.recovery_downtime_p99_cycles,
+                )
+                .count(
+                    "recovery_downtime_max_cycles",
+                    row.recovery_downtime_max_cycles,
+                )
+                .count("host_crashes", recovery.host_crashes)
+                .count("migrations_aborted", recovery.migrations_aborted)
+                .count("migrations_retried", recovery.migrations_retried)
+                .count("migrations_escalated", recovery.migrations_escalated)
+                .count("vm_restarts", recovery.vm_restarts)
+                .count("restarts_failed", recovery.restarts_failed)
+                .count("unavailability_epochs", recovery.unavailability_epochs)
+                .count("wire_dropped_pages", recovery.wire_dropped_pages)
+                .count("faults_injected", recovery.faults_injected)
+                .count("migrations_completed", row.report.completed_migrations())
+                .count("victim_disrupted_cycles", row.victim_disrupted_cycles)
+                .count("received_pages", row.report.migration.received_pages)
+                .count(
+                    "postcopy_fetched_pages",
+                    row.report.migration.postcopy_fetched_pages,
+                )
+                .count("pages_copied", row.report.migration.pages_copied)
+                .count(
+                    "cluster_runtime_cycles",
+                    row.report.aggregate.runtime_cycles(),
+                );
+            let fleet_view = HostReport {
+                per_vm: Vec::new(),
+                host: row.report.aggregate.clone(),
+                migration: row.report.migration,
+            };
+            report.push(timing_columns(
+                built,
+                &fleet_view,
+                row.elapsed_ms,
+                row.accesses_per_sec,
+            ));
+        }
+        Ok(report)
+    }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| Self::typed(&merged))
+            .and_then(|typed| {
+                Self::validate(&typed)?;
+                // The software run: fault spans (crash, blackout, brownout,
+                // stall) land on every host's hypervisor track alongside
+                // the migration page streams they disrupt.
+                let mut cluster = typed.build_cluster(CoherenceMechanism::Software);
+                cluster.enable_tracing(TRACE_CAPACITY);
+                cluster.run(typed.base.warmup_epochs, typed.base.measured_epochs);
+                Ok(cluster.export_trace().expect("tracing was enabled above"))
+            });
+        Some(traced)
+    }
+
+    fn timeline_run(
+        &self,
+        params: &Params,
+        scale: Scale,
+    ) -> Option<Result<CounterTimeline, ConfigError>> {
+        let timeline = resolve_params(self, params, scale)
+            .and_then(|merged| Self::typed(&merged))
+            .and_then(|typed| {
+                Self::validate(&typed)?;
+                // The same software run sampled at epoch granularity: the
+                // in-flight count collapsing at the crash, fleet activity
+                // dipping through the restart windows.
+                let mut cluster = typed.build_cluster(CoherenceMechanism::Software);
+                cluster.enable_timeline((typed.base.measured_epochs / 64).max(1));
+                cluster.run(typed.base.warmup_epochs, typed.base.measured_epochs);
+                Ok(cluster
+                    .timeline()
+                    .expect("the timeline was enabled above")
+                    .clone())
+            });
+        Some(timeline)
+    }
+
+    fn baseline_stem(&self) -> Option<&'static str> {
+        Some("faults")
+    }
+
+    fn gated_metrics(&self) -> &'static [&'static str] {
+        &[
+            "agg_victim_slowdown_vs_ideal",
+            "recovery_downtime_p99_cycles",
+        ]
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Core-figure scenarios (fig9, xen)
 // ---------------------------------------------------------------------------
@@ -2124,6 +2386,65 @@ impl Scenario for Fig10Scenario {
     }
 }
 
+/// The Fig. 11 scenario (`fig11`): performance-energy trade-offs.  The
+/// left-hand scatter compares HATRIC against the best software-coherence
+/// configuration per workload (runtime *and* energy ratios); the
+/// right-hand sweep varies the co-tag width over
+/// [`fig11::COTAG_SWEEP`] (mean over the big-memory suite).
+pub struct Fig11Scenario;
+
+impl Scenario for Fig11Scenario {
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn describe(&self) -> &'static str {
+        "HATRIC wins performance and energy; 2-byte co-tags suffice (Fig. 11)"
+    }
+
+    fn default_params(&self, scale: Scale) -> Params {
+        fig_default_params(scale)
+    }
+
+    fn run(&self, params: &Params, scale: Scale) -> Result<ScenarioReport, ConfigError> {
+        let merged = resolve_params(self, params, scale)?;
+        let base = fig_typed(&merged)?;
+        let mut report = ScenarioReport::new(self.name());
+        for point in fig11::run_scatter(&base) {
+            report.push(
+                Row::new("config", &point.workload, "Hatric")
+                    .ratio("runtime_vs_software", point.runtime_ratio)
+                    .ratio("energy_vs_software", point.energy_ratio),
+            );
+        }
+        for cotag in fig11::run_cotag_sweep(&base) {
+            let label = format!("cotag{}B", cotag.cotag_bytes);
+            report.push(
+                Row::new("config", &label, "Hatric")
+                    .ratio("runtime_vs_software", cotag.runtime_ratio)
+                    .ratio("energy_vs_software", cotag.energy_ratio),
+            );
+        }
+        Ok(report)
+    }
+
+    fn trace_run(&self, params: &Params, scale: Scale) -> Option<Result<String, ConfigError>> {
+        let traced = resolve_params(self, params, scale)
+            .and_then(|merged| fig_typed(&merged))
+            .map(|base| {
+                // The paper's chosen design point: HATRIC with 2-byte
+                // co-tags, whose invalidation traffic the energy model
+                // charges for.
+                traced_system_run(
+                    &RunSpec::new(WorkloadKind::Canneal, CoherenceMechanism::Hatric)
+                        .with_cotag_bytes(2),
+                    &base,
+                )
+            });
+        Some(traced)
+    }
+}
+
 /// The Xen generality scenario (`xen`): HATRIC's improvement over Xen's
 /// software translation coherence, per workload.
 pub struct XenScenario;
@@ -2192,11 +2513,13 @@ mod tests {
                 "numa_contention",
                 "host_scale",
                 "cluster_churn",
+                "cluster_faults",
                 "fig2",
                 "fig7",
                 "fig8",
                 "fig9",
                 "fig10",
+                "fig11",
                 "xen"
             ]
         );
@@ -2332,7 +2655,7 @@ mod tests {
             // barrier, so only host scenarios expose a timeline.
             let expects_timeline = !matches!(
                 scenario.name(),
-                "fig2" | "fig7" | "fig8" | "fig9" | "fig10" | "xen"
+                "fig2" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "xen"
             );
             assert_eq!(
                 scenario

@@ -217,6 +217,16 @@ impl PagingManager {
         self.stats = PagingStats::default();
     }
 
+    /// Drops `gpp` from the resident set without counting an eviction —
+    /// the page's mapping was rolled back (an aborted migration
+    /// un-registered its first-touch remap), so it no longer occupies
+    /// fast memory.  Returns whether the page was resident.  The CLOCK /
+    /// FIFO queue cleans itself lazily: victim selection already skips
+    /// entries absent from the resident set.
+    pub fn forget(&mut self, gpp: GuestFrame) -> bool {
+        self.resident.remove(&gpp).is_some()
+    }
+
     /// Notes an access to a page already resident in fast memory (sets its
     /// reference bit for CLOCK).
     pub fn on_fast_access(&mut self, gpp: GuestFrame) {

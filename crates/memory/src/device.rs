@@ -88,6 +88,11 @@ pub struct MemoryDevice {
     streams: Vec<StreamState>,
     last_update: u64,
     stats: DeviceStats,
+    /// Transient service-latency multiplier × 100 (`100` = nominal).
+    /// Fault injection raises it during a DRAM brownout; every deposit —
+    /// serial or planned — goes through [`MemoryDevice::effective_service`]
+    /// so both slice-engine backends observe the same degraded timing.
+    service_multiplier_x100: u64,
 }
 
 impl MemoryDevice {
@@ -99,6 +104,7 @@ impl MemoryDevice {
             streams: Vec::new(),
             last_update: 0,
             stats: DeviceStats::default(),
+            service_multiplier_x100: 100,
         }
     }
 
@@ -106,6 +112,26 @@ impl MemoryDevice {
     #[must_use]
     pub fn config(&self) -> DeviceConfig {
         self.config
+    }
+
+    /// Sets the transient brownout multiplier (×100 fixed point; `100`
+    /// restores nominal service).  Zero is clamped to `100`: a brownout
+    /// slows the device, it never makes it free.
+    pub fn set_service_multiplier_x100(&mut self, multiplier_x100: u64) {
+        self.service_multiplier_x100 = multiplier_x100.max(1);
+    }
+
+    /// The brownout multiplier currently in force.
+    #[must_use]
+    pub fn service_multiplier_x100(&self) -> u64 {
+        self.service_multiplier_x100
+    }
+
+    /// Service time per line with the brownout multiplier applied
+    /// (integer fixed-point: exact identity at the nominal `100`).
+    #[must_use]
+    pub fn effective_service(&self) -> u64 {
+        self.config.service_cycles_per_line * self.service_multiplier_x100 / 100
     }
 
     /// Drains the shared pipe: `elapsed` cycles of service are consumed from
@@ -143,10 +169,11 @@ impl MemoryDevice {
     pub fn occupy(&mut self, stream: usize, now: u64) -> u64 {
         self.drain(now);
         self.ensure_stream(stream);
-        self.streams[stream].backlog_cycles += self.config.service_cycles_per_line as f64;
+        let service = self.effective_service();
+        self.streams[stream].backlog_cycles += service as f64;
         self.streams[stream].stats.occupied_lines.incr();
         self.stats.occupied_lines.incr();
-        self.config.service_cycles_per_line
+        service
     }
 
     /// Performs one demand access by `stream` at time `now`; returns its
@@ -162,7 +189,7 @@ impl MemoryDevice {
         self.drain(now);
         self.ensure_stream(stream);
         let queueing = self.total_backlog() as u64;
-        self.streams[stream].backlog_cycles += self.config.service_cycles_per_line as f64;
+        self.streams[stream].backlog_cycles += self.effective_service() as f64;
         self.streams[stream].stats.accesses.incr();
         self.streams[stream].stats.queueing_cycles.add(queueing);
         self.stats.accesses.incr();
@@ -293,6 +320,30 @@ mod tests {
         assert_eq!(dev.stream_stats(0).accesses.get(), 10);
         assert_eq!(dev.stream_stats(1).accesses.get(), 1);
         assert_eq!(dev.stream_stats(7).accesses.get(), 0);
+    }
+
+    #[test]
+    fn brownout_multiplies_service_and_restores_exactly() {
+        let mut dev = MemoryDevice::new(cfg(4));
+        assert_eq!(dev.effective_service(), 4);
+        dev.set_service_multiplier_x100(250);
+        assert_eq!(dev.effective_service(), 10);
+        assert_eq!(dev.occupy(0, 0), 10, "occupancy pays the browned-out rate");
+        dev.set_service_multiplier_x100(100);
+        assert_eq!(dev.effective_service(), 4, "nominal is an exact identity");
+        // Zero is clamped: a brownout never makes service free.
+        dev.set_service_multiplier_x100(0);
+        assert!(dev.effective_service() <= 1);
+    }
+
+    #[test]
+    fn browned_out_device_queues_more() {
+        let mut nominal = MemoryDevice::new(cfg(4));
+        let mut browned = MemoryDevice::new(cfg(4));
+        browned.set_service_multiplier_x100(300);
+        let a: u64 = (0..200).map(|i| nominal.access(0, i)).sum();
+        let b: u64 = (0..200).map(|i| browned.access(0, i)).sum();
+        assert!(b > a, "3x service time must raise queueing delay");
     }
 
     #[test]

@@ -523,7 +523,9 @@ impl MemorySystem {
         let device = self.device(home, kind);
         let bucket = pending.device_mut(home, kind);
         let mut queueing = device.projected_queueing(now) + bucket.projected(now);
-        bucket.deposit(device.config().service_cycles_per_line as f64);
+        // Deposit the *effective* service time so a DRAM brownout degrades
+        // the planned path exactly as it degrades the serial one.
+        bucket.deposit(device.effective_service() as f64);
         let mut cycles = device.config().base_latency_cycles + queueing;
         if home != from_socket {
             cycles += self.config.numa.remote_dram_extra_cycles;
@@ -558,14 +560,10 @@ impl MemorySystem {
         let src_socket = self.socket_of(from);
         let dst_socket = self.socket_of(to);
         let mut cycles = self.config.page_copy_overhead_cycles;
-        let src_service = self
-            .device(src_socket, src_kind)
-            .config()
-            .service_cycles_per_line;
-        let dst_service = self
-            .device(dst_socket, dst_kind)
-            .config()
-            .service_cycles_per_line;
+        // Effective (brownout-adjusted) service, so the prediction keeps its
+        // exact-match promise against the serial `page_copy_cycles` path.
+        let src_service = self.device(src_socket, src_kind).effective_service();
+        let dst_service = self.device(dst_socket, dst_kind).effective_service();
         // Drain the overlay to `now` (as the serial occupy() path drains the
         // real buckets) before depositing the copy's occupancy.
         let src_bucket = pending.device_mut(src_socket, src_kind);
@@ -610,6 +608,17 @@ impl MemorySystem {
             } => {
                 let _ = self.page_copy_cycles(from, to, stream, now);
             }
+        }
+    }
+
+    /// Applies a transient DRAM brownout: every device (both kinds, all
+    /// sockets) serves lines `multiplier_x100/100` times slower until the
+    /// multiplier is set back to `100`.  Inter-socket links are *not*
+    /// affected — a brownout is a DRAM-device fault, not a fabric fault.
+    pub fn set_dram_service_multiplier_x100(&mut self, multiplier_x100: u64) {
+        for s in &mut self.sockets {
+            s.die_stacked.set_service_multiplier_x100(multiplier_x100);
+            s.off_chip.set_service_multiplier_x100(multiplier_x100);
         }
     }
 

@@ -106,6 +106,25 @@ pub enum MigrationPhase {
     StopAndCopy,
     /// Migration finished; the VM runs again.
     Completed,
+    /// Migration torn down before hand-off ([`MigrationEngine::abort`]):
+    /// the VM keeps running on the source as if the migration never
+    /// happened.
+    Aborted,
+    /// Pre-copy was force-escalated to post-copy
+    /// ([`MigrationEngine::escalate`]): the source's part is over; the
+    /// destination pulls the residue.
+    Escalated,
+}
+
+impl MigrationPhase {
+    /// Whether the phase is terminal (the engine will do no more work).
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            MigrationPhase::Completed | MigrationPhase::Aborted | MigrationPhase::Escalated
+        )
+    }
 }
 
 /// Drives one pre-copy live migration, one scheduler slice at a time.
@@ -130,6 +149,10 @@ pub struct MigrationEngine {
     /// destination host's `MigrationReceiver`.  Unobserved (and bounded by
     /// the VM image) in single-host runs.
     outbox: Vec<GuestFrame>,
+    /// A `StuckPreCopy` fault is holding the engine: advances are total
+    /// no-ops (no pages copied, no rounds anchored or retired) until the
+    /// fault expires.
+    stalled: bool,
 }
 
 impl MigrationEngine {
@@ -158,6 +181,7 @@ impl MigrationEngine {
             stats,
             round_span: None,
             outbox: Vec::new(),
+            stalled: false,
         }
     }
 
@@ -198,16 +222,17 @@ impl MigrationEngine {
     /// reads engine state.
     #[must_use]
     pub fn pending_pages(&self) -> u64 {
-        if self.phase == MigrationPhase::Completed {
+        if self.phase.is_terminal() {
             return 0;
         }
         self.copy_queue.len() as u64 + self.final_set.len() as u64 + self.tracker.dirty_pages()
     }
 
-    /// Whether the migration has finished.
+    /// Whether the engine has no more work to do: the migration
+    /// completed, aborted, or escalated to post-copy.
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.phase == MigrationPhase::Completed
+        self.phase.is_terminal()
     }
 
     /// The dirty-tracking observer to install on the platform while this
@@ -256,10 +281,18 @@ impl MigrationEngine {
     ///
     /// Panics if the engine's VM slot or `initiator` is out of range.
     pub fn advance(&mut self, platform: &mut Platform, vms: &mut [VmInstance], initiator: CpuId) {
+        if self.stalled && !self.phase.is_terminal() {
+            // A stuck round makes no progress at all: nothing is copied,
+            // no span is anchored, no round retires.  Only the stall
+            // counter moves, so an expired fault resumes byte-identically
+            // to a run that started the round later.
+            self.stats.stalled_slices += 1;
+            return;
+        }
         match self.phase {
             MigrationPhase::PreCopy => self.advance_precopy(platform, vms, initiator),
             MigrationPhase::StopAndCopy => self.stop_and_copy(platform, vms, initiator),
-            MigrationPhase::Completed => {}
+            MigrationPhase::Completed | MigrationPhase::Aborted | MigrationPhase::Escalated => {}
         }
     }
 
@@ -397,6 +430,81 @@ impl MigrationEngine {
     /// dirty tracker, not here — re-sends are genuine wire traffic).
     pub fn drain_outbox(&mut self) -> Vec<GuestFrame> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Puts pages back at the *front* of the outbox, in order — a degraded
+    /// link delivered only part of an epoch's drain and the rest stays
+    /// queued on the wire (nothing is lost, nothing is re-copied).
+    pub fn requeue_outbox(&mut self, pages: Vec<GuestFrame>) {
+        let tail = std::mem::replace(&mut self.outbox, pages);
+        self.outbox.extend(tail);
+    }
+
+    /// Returns pages the wire *dropped* (a link blackout) to the front of
+    /// the copy queue: each one is a genuine re-send the source must pay
+    /// for again.  Counted in `pages_dropped`.
+    pub fn requeue_copy(&mut self, pages: Vec<GuestFrame>) {
+        self.stats.pages_dropped += pages.len() as u64;
+        for gpp in pages.into_iter().rev() {
+            self.copy_queue.push_front(gpp);
+        }
+    }
+
+    /// Freezes (or thaws) the engine: while stalled, advances are total
+    /// no-ops apart from the `stalled_slices` counter.  The cluster's
+    /// non-convergence timeout keeps counting against a stalled
+    /// migration, which is how a `StuckPreCopy` fault escalates.
+    pub fn set_stalled(&mut self, stalled: bool) {
+        self.stalled = stalled;
+    }
+
+    /// Whether a `StuckPreCopy` fault currently holds the engine.
+    #[must_use]
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Tears the migration down before hand-off: clears every queue (the
+    /// unsent outbox is discarded — the destination rolls back its own
+    /// copy separately), drains the dirty tracker, and parks the engine
+    /// in [`MigrationPhase::Aborted`].  The VM keeps running on the
+    /// source as if the migration never happened.  Returns the number of
+    /// outbox pages discarded.
+    pub fn abort(&mut self) -> u64 {
+        if self.phase.is_terminal() {
+            return 0;
+        }
+        let discarded = self.outbox.len() as u64;
+        self.stats.pages_discarded += discarded;
+        self.stats.migrations_aborted += 1;
+        self.outbox.clear();
+        self.copy_queue.clear();
+        self.final_set.clear();
+        let _ = self.tracker.drain();
+        self.round_span = None;
+        self.phase = MigrationPhase::Aborted;
+        discarded
+    }
+
+    /// Force-escalates a non-converging pre-copy to post-copy: returns
+    /// the still-unsent page set (copy queue ∪ residual set ∪ dirty
+    /// tracker, ascending and deduplicated) for the destination to pull,
+    /// and parks the engine in [`MigrationPhase::Escalated`].  The caller
+    /// flips the VM to the destination and hands this set to
+    /// [`MigrationReceiver::begin_post_copy`](crate::MigrationReceiver::begin_post_copy).
+    pub fn escalate(&mut self) -> Vec<GuestFrame> {
+        if self.phase.is_terminal() {
+            return Vec::new();
+        }
+        let mut pending: Vec<GuestFrame> = self.copy_queue.drain(..).collect();
+        pending.append(&mut self.final_set);
+        pending.extend(self.tracker.drain());
+        pending.sort_unstable();
+        pending.dedup();
+        self.stats.migrations_escalated += 1;
+        self.round_span = None;
+        self.phase = MigrationPhase::Escalated;
+        pending
     }
 
     /// Auto-convergence throttle level for the current round: `0` while

@@ -92,6 +92,12 @@ pub struct MigrationReceiver {
     post_copy: bool,
     source_done: bool,
     stats: MigrationStats,
+    /// Pages this receiver *newly mapped* on the destination (first-touch
+    /// remaps it registered), in landing order.  These are the mappings a
+    /// rollback must un-register if the migration dies before hand-off;
+    /// pages that already had a destination mapping belong to the slot's
+    /// previous occupant and are never touched.
+    landed: Vec<GuestFrame>,
 }
 
 impl MigrationReceiver {
@@ -106,6 +112,7 @@ impl MigrationReceiver {
             post_copy: false,
             source_done: false,
             stats: MigrationStats::default(),
+            landed: Vec::new(),
         }
     }
 
@@ -159,6 +166,23 @@ impl MigrationReceiver {
     #[must_use]
     pub fn is_complete(&self) -> bool {
         self.source_done && self.inbox.is_empty() && self.outstanding.is_empty()
+    }
+
+    /// Tears the intake down: discards the inbox backlog and the
+    /// outstanding post-copy set, marks the receiver complete (so a later
+    /// `attach_receiver` on the slot does not trip the still-draining
+    /// assertion), and returns `(pages_discarded, landed)` — the count of
+    /// pages thrown away un-materialized, and the pages this receiver had
+    /// newly mapped, which the caller rolls back (un-registers the
+    /// first-touch remaps) when the migration dies before hand-off.
+    pub fn abort(&mut self) -> (u64, Vec<GuestFrame>) {
+        let discarded = self.pending_pages();
+        self.stats.pages_discarded += discarded;
+        self.inbox.clear();
+        self.outstanding.clear();
+        self.post_copy = false;
+        self.source_done = true;
+        (discarded, std::mem::take(&mut self.landed))
     }
 
     /// Statistics accumulated so far (destination-side only; the cluster
@@ -262,9 +286,16 @@ impl MigrationReceiver {
         transfer_cycles: u64,
         gpp: GuestFrame,
     ) {
+        let newly_mapped = vms[self.params.vm_slot]
+            .nested_page_table()
+            .translate(gpp)
+            .is_none();
         platform.charge_hypervisor_cycles(vms, initiator, transfer_cycles);
         if platform.hypervisor_map_page(vms, self.params.vm_slot, initiator, gpp) {
             self.stats.migration_remaps += 1;
+        }
+        if newly_mapped {
+            self.landed.push(gpp);
         }
         self.stats.received_pages += 1;
     }

@@ -39,6 +39,12 @@ pub enum SimError {
         /// Description of the problem.
         what: String,
     },
+    /// An operation targeted a host that has crashed (fault injection
+    /// took it down; it no longer advances or accepts migrations).
+    HostDown {
+        /// Index of the dead host.
+        host: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -54,6 +60,7 @@ impl fmt::Display for SimError {
             }
             SimError::UnknownEntity { what } => write!(f, "unknown entity: {what}"),
             SimError::MalformedTrace { what } => write!(f, "malformed trace: {what}"),
+            SimError::HostDown { host } => write!(f, "host {host} is down"),
         }
     }
 }
@@ -120,6 +127,13 @@ pub enum ConfigError {
         /// The unparseable value.
         value: String,
     },
+    /// A fault-injection plan is inconsistent (zero hosts, weights that
+    /// sum to zero, an out-of-order schedule, an event naming a host the
+    /// fleet does not have, …).
+    BadFaultPlan {
+        /// Description of the problem.
+        what: String,
+    },
     /// Any other invalid configuration (platform-level checks).
     Invalid {
         /// Description of the offending parameter.
@@ -163,6 +177,7 @@ impl fmt::Display for ConfigError {
                  only {sockets} socket(s)"
             ),
             ConfigError::BadEvent { what } => write!(f, "invalid host event: {what}"),
+            ConfigError::BadFaultPlan { what } => write!(f, "invalid fault plan: {what}"),
             ConfigError::UnknownParam { key } => {
                 write!(f, "unknown scenario parameter: {key}")
             }
@@ -200,6 +215,12 @@ impl ConfigError {
     #[must_use]
     pub fn event(what: impl Into<String>) -> Self {
         ConfigError::BadEvent { what: what.into() }
+    }
+
+    /// Shorthand constructor for fault-plan validation errors.
+    #[must_use]
+    pub fn fault_plan(what: impl Into<String>) -> Self {
+        ConfigError::BadFaultPlan { what: what.into() }
     }
 }
 
@@ -260,6 +281,15 @@ mod tests {
             sockets: 2,
         };
         assert!(err.to_string().contains("socket 2"));
+        assert_eq!(
+            ConfigError::fault_plan("weights sum to zero").to_string(),
+            "invalid fault plan: weights sum to zero"
+        );
+    }
+
+    #[test]
+    fn host_down_names_the_host() {
+        assert_eq!(SimError::HostDown { host: 3 }.to_string(), "host 3 is down");
     }
 
     #[test]

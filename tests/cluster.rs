@@ -179,6 +179,26 @@ fn cluster_aggregates_reconcile_exactly_with_per_host_reports() {
         report.migration.throttled_slices,
         sum(&|h| h.migration.throttled_slices)
     );
+    assert_eq!(
+        report.migration.migrations_aborted,
+        sum(&|h| h.migration.migrations_aborted)
+    );
+    assert_eq!(
+        report.migration.migrations_escalated,
+        sum(&|h| h.migration.migrations_escalated)
+    );
+    assert_eq!(
+        report.migration.pages_dropped,
+        sum(&|h| h.migration.pages_dropped)
+    );
+    assert_eq!(
+        report.migration.pages_discarded,
+        sum(&|h| h.migration.pages_discarded)
+    );
+    assert_eq!(
+        report.migration.stalled_slices,
+        sum(&|h| h.migration.stalled_slices)
+    );
 
     // The fleet's cycle vector is the per-host concatenation in host order.
     let concatenated: Vec<u64> = report
@@ -212,4 +232,99 @@ fn cluster_aggregates_reconcile_exactly_with_per_host_reports() {
 fn prop_assert_hosts(report: &hatric_cluster::ClusterReport, hosts: usize) {
     assert_eq!(report.hosts(), hosts);
     assert_eq!(report.per_host.len(), hosts);
+}
+
+/// Mid-flight receiver abort reconciles page-exactly.  The source host is
+/// crashed in the middle of a pre-copy against a deliberately *slow*
+/// receiver (one page per slice), so the destination holds both a landed
+/// partial image (rolled back, but still counted as received) and a
+/// non-empty inbox backlog (discarded) at abort time.  Every page the
+/// source ever copied must be accounted for:
+///
+/// ```text
+/// pages_copied == received_pages + pages_dropped + pages_discarded
+/// ```
+///
+/// Nothing in flight is lost — the epoch-boundary wiring drains the
+/// source outbox every epoch, and the crash fires at a boundary.
+#[test]
+fn a_source_crash_mid_precopy_reconciles_pages_exactly() {
+    use hatric_cluster::{
+        Cluster, ClusterParams, FaultEvent, FaultKind, MigrationMode, ScheduledMigration,
+    };
+    use hatric_host::{ConsolidatedHost, MigrationParams};
+    use hatric_migration::ReceiverParams;
+
+    let base = ClusterChurnParams::quick();
+    let fleet: Vec<ConsolidatedHost> = (0..2)
+        .map(|h| {
+            ConsolidatedHost::new(base.host_config(h, CoherenceMechanism::Hatric))
+                .expect("quick configs are valid")
+        })
+        .collect();
+    let mut params = ClusterParams::new(base.epoch_slices, 1);
+    params.migration = MigrationParams {
+        copy_pages_per_slice: 2,
+        ..MigrationParams::at(0, 0)
+    };
+    params.receiver = ReceiverParams {
+        pages_per_slice: 1,
+        ..ReceiverParams::for_slot(0)
+    };
+    let mut cluster = Cluster::new(fleet, params);
+    for host in 0..2 {
+        for slot in base.active_vms..base.vm_slots() {
+            cluster.set_vm_active(host, slot, false);
+        }
+    }
+    cluster.schedule_migration(ScheduledMigration {
+        epoch: 2,
+        src_host: 0,
+        src_slot: 0,
+        dst_host: Some(1),
+        mode: MigrationMode::PreCopy,
+    });
+    cluster
+        .set_faults(vec![FaultEvent {
+            epoch: 5,
+            kind: FaultKind::HostCrash { host: 0 },
+        }])
+        .expect("the crash targets an in-range host");
+    let report = cluster.run(2, 10);
+
+    assert_eq!(report.recovery.host_crashes, 1);
+    assert_eq!(report.recovery.migrations_aborted, 1);
+    assert_eq!(report.migrations.len(), 1, "exactly one migration ran");
+    let outcome = &report.migrations[0];
+    assert!(outcome.aborted, "the crash must abort the migration");
+    assert!(
+        !outcome.handed_off,
+        "three epochs of pre-copy at two pages a slice cannot move the \
+         whole image, so the VM never flipped"
+    );
+
+    // The slow receiver guarantees both sides of the ledger are non-zero:
+    // some pages landed (and survive the rollback *as counters*), some
+    // were still queued and were discarded.
+    assert!(report.migration.received_pages > 0, "some pages landed");
+    assert!(
+        report.migration.pages_discarded > 0,
+        "the inbox backlog at abort time must be non-empty"
+    );
+    assert_eq!(
+        report.migration.pages_copied,
+        report.migration.received_pages
+            + report.migration.pages_dropped
+            + report.migration.pages_discarded,
+        "every copied page must be landed, dropped or discarded"
+    );
+    // All destination-side counters live on host 1, source-side on host 0.
+    assert_eq!(
+        report.per_host[1].migration.pages_discarded,
+        report.migration.pages_discarded
+    );
+    assert_eq!(
+        report.per_host[0].migration.migrations_aborted, 1,
+        "the source engine records its own abort"
+    );
 }
